@@ -1,0 +1,157 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//
+//   1. Test pruning vs traversal pruning — compile the Fig. 10 pattern with
+//      each pruning kind disabled and measure which knowledge buys what.
+//   2. Encoding — fixed-width big-endian vs LEB128 varint scalars
+//      (checkpoint size and construction time).
+//   3. Flag maintenance — mutation cost with intrusive tracking vs the same
+//      stores without it (the paper's "extra time on every assignment").
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+void ablate_pruning() {
+  print_header("Ablation 1: which pruning buys what (Fig. 10 config, "
+               "mod-lists=1, last element, L=5, 10 ints)");
+  synth::SynthConfig config;
+  config.num_structures = bench_structures();
+  config.list_length = 5;
+  config.values_per_elem = 10;
+  config.modified_lists = 1;
+  config.last_element_only = true;
+  config.percent_modified = 100;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  spec::PatternNode pattern = synth::make_synth_pattern(
+      synth::SpecLevel::kPositions, config.list_length,
+      config.values_per_elem, config.modified_lists);
+
+  Measured generic =
+      measure_generic(workload, core::Mode::kIncremental, flags);
+
+  struct Variant {
+    const char* name;
+    bool prune_tests;
+    bool prune_traversal;
+  };
+  print_row({"variant", "time", "speedup-vs-generic"}, 22);
+  print_row({"generic (virtual)", fmt_ms(generic.seconds), "1.00x"}, 22);
+  for (const Variant& v :
+       {Variant{"no pruning (structure)", false, false},
+        Variant{"tests pruned only", true, false},
+        Variant{"traversal pruned only", false, true},
+        Variant{"both pruned (full)", true, true}}) {
+    spec::CompileOptions opts;
+    opts.prune_tests = v.prune_tests;
+    opts.prune_traversal = v.prune_traversal;
+    spec::Plan plan = spec::PlanCompiler(opts).compile(*shapes.compound,
+                                                       pattern);
+    spec::PlanExecutor exec(plan);
+    Measured m = measure_plan(workload, exec, flags);
+    print_row({v.name, fmt_ms(m.seconds),
+               fmt_x(generic.seconds / m.seconds)},
+              22);
+  }
+  std::printf("expected: traversal pruning dominates when few lists may be\n"
+              "modified; test pruning adds a smaller, additive win.\n");
+}
+
+void ablate_encoding() {
+  print_header("Ablation 2: fixed-width vs varint scalar encoding");
+  synth::SynthConfig config;
+  config.num_structures = bench_structures();
+  config.list_length = 5;
+  config.values_per_elem = 10;
+  config.percent_modified = 100;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  spec::PatternNode pattern = synth::make_synth_pattern(
+      synth::SpecLevel::kStructure, config.list_length,
+      config.values_per_elem, config.modified_lists);
+
+  print_row({"encoding", "time", "ckpt size"}, 16);
+  for (bool varint : {false, true}) {
+    spec::CompileOptions opts;
+    opts.varint_scalars = varint;
+    spec::Plan plan = spec::PlanCompiler(opts).compile(*shapes.compound,
+                                                       pattern);
+    spec::PlanExecutor exec(plan);
+    Measured m = measure_plan(workload, exec, flags);
+    print_row({varint ? "varint" : "fixed-be", fmt_ms(m.seconds),
+               fmt_mb(m.bytes)},
+              16);
+  }
+  std::printf("expected: varints shrink checkpoints of small values at some\n"
+              "encoding cost; Table 1 sizes assume fixed-width (Java\n"
+              "DataOutputStream semantics).\n");
+}
+
+void ablate_flag_maintenance() {
+  print_header("Ablation 3: intrusive flag maintenance cost on mutation");
+  synth::SynthConfig config;
+  config.num_structures = bench_structures();
+  config.list_length = 5;
+  config.values_per_elem = 10;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+
+  using clock = std::chrono::steady_clock;
+  // Tracked: the normal mutator path (store + set_modified per value).
+  auto t0 = clock::now();
+  std::size_t touched = 0;
+  for (synth::Compound* compound : workload.roots()) {
+    for (int i = 0; i < synth::Compound::kLists; ++i) {
+      for (synth::ListElem* e = compound->list(i); e != nullptr;
+           e = e->next()) {
+        e->set_value(0, 42);
+        ++touched;
+      }
+    }
+  }
+  auto t1 = clock::now();
+  // Baseline: identical volume of reads/branch work without the flag store,
+  // approximated by re-reading and summing the same fields.
+  std::int64_t sink = 0;
+  for (synth::Compound* compound : workload.roots()) {
+    for (int i = 0; i < synth::Compound::kLists; ++i) {
+      for (synth::ListElem* e = compound->list(i); e != nullptr;
+           e = e->next()) {
+        sink += e->value(0);
+      }
+    }
+  }
+  auto t2 = clock::now();
+  double tracked = std::chrono::duration<double>(t1 - t0).count();
+  double baseline = std::chrono::duration<double>(t2 - t1).count();
+  print_row({"mutations", std::to_string(touched)}, 16);
+  print_row({"tracked", fmt_ms(tracked)}, 16);
+  print_row({"read-only", fmt_ms(baseline)}, 16);
+  std::printf("(sink=%lld) the delta bounds the paper's 'extra time on every\n"
+              "assignment to update the associated flag'. Fig. 7 already\n"
+              "showed the end-to-end cost is negligible.\n",
+              static_cast<long long>(sink));
+}
+
+}  // namespace
+
+int main() {
+  ablate_pruning();
+  ablate_encoding();
+  ablate_flag_maintenance();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 11: the Fig. 10 configuration compared across execution engines.
+//
+// Engine substitution (DESIGN.md §2): the paper's JVM axis (JDK 1.2 JIT /
+// JDK 1.2 + HotSpot / Harissa) becomes our execution-engine axis:
+//   virtual — generic driver (virtual dispatch per object)
+//   plan    — compiled plan, interpreted ops, no dispatch
+//   inlined — fully inlined residual code
+// For each engine we report unspecialized ("unspec": the structure-only
+// variant that still tests everything) and specialized ("spec": full
+// pattern) times, mirroring Fig. 11a/b's question: does a better engine
+// subsume specialization? (Paper's answer: no — they are complementary.)
+#include "bench/bench_util.hpp"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  print_header("Figure 11: specialization vs execution engine "
+               "(L=5, last-element positions)");
+  std::printf("structures=%zu reps=%d\n\n", bench_structures(), bench_reps());
+  print_row({"ints/elem", "mod-lists", "engine", "unspec", "spec", "spec-x"},
+            13);
+
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  const int list_length = 5;
+  for (int values : {1, 10}) {
+    for (int mod_lists : {1, 3, 5}) {
+      synth::SynthConfig config;
+      config.num_structures = bench_structures();
+      config.list_length = list_length;
+      config.values_per_elem = values;
+      config.modified_lists = mod_lists;
+      config.last_element_only = true;
+      config.percent_modified = 100;
+      core::Heap heap;
+      synth::SynthWorkload workload(heap, config);
+      workload.reset_flags();
+      workload.mutate();
+      auto flags = workload.save_flags();
+
+      // virtual engine: unspec = generic driver; spec impossible without
+      // leaving the engine (as in the paper, where specialized code is new
+      // source) — we report the structure-only plan as its "spec" analog.
+      Measured v_unspec =
+          measure_generic(workload, core::Mode::kIncremental, flags);
+
+      spec::PlanCompiler compiler;
+      spec::Plan uniform_plan = compiler.compile(
+          *shapes.compound,
+          synth::make_synth_pattern(synth::SpecLevel::kStructure, list_length,
+                                    values, mod_lists));
+      spec::Plan spec_plan = compiler.compile(
+          *shapes.compound,
+          synth::make_synth_pattern(synth::SpecLevel::kPositions, list_length,
+                                    values, mod_lists));
+      spec::PlanExecutor uniform_exec(uniform_plan);
+      spec::PlanExecutor spec_exec(spec_plan);
+      Measured p_unspec = measure_plan(workload, uniform_exec, flags);
+      Measured p_spec = measure_plan(workload, spec_exec, flags);
+
+      Measured i_unspec = measure_residual(
+          workload, synth::residual::uniform_fn(list_length, values), flags);
+      Measured i_spec = measure_residual(
+          workload,
+          synth::residual::specialized_fn(list_length, values, mod_lists,
+                                          /*last_only=*/true),
+          flags);
+
+      auto row = [&](const char* engine, double unspec, double spec) {
+        print_row({std::to_string(values), std::to_string(mod_lists), engine,
+                   fmt_ms(unspec), fmt_ms(spec), fmt_x(unspec / spec)},
+                  13);
+      };
+      row("virtual", v_unspec.seconds, p_spec.seconds);
+      row("plan", p_unspec.seconds, p_spec.seconds);
+      row("inlined", i_unspec.seconds, i_spec.seconds);
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "paper shape: better engines shrink both columns, but specialization\n"
+      "keeps a multi-x win on every engine — engine optimization and\n"
+      "specialization are complementary (paper Table 2 / Fig. 11b).\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// The paper's motivating comparison (§1): system-level page-granularity
+// incremental checkpointing vs language-level object-granularity.
+//
+// "Object-oriented programming style encourages the creation of many small
+// objects ... it is impossible to ensure that frequently modified objects
+// are all stored in the same page." We rebuild the synthetic workload
+// inside an mprotect-tracked arena, run the same mutation patterns, and
+// compare checkpoint *content size* and construction time between:
+//   page  — dump of dirty 4 KiB pages (mprotect/SIGSEGV tracking)
+//   object— the generic incremental object checkpoint
+//
+// Object records here are tens of bytes; a single dirty field costs a full
+// page at page granularity. The gap is the paper's justification for
+// language-level incremental checkpointing of OO programs.
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "pagetrack/arena.hpp"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+/// Plain-data replica of ListElem living in the tracked arena. No vtable:
+/// page-level checkpointing dumps raw memory, so we keep it POD-ish.
+struct RawElem {
+  std::int32_t nvals;
+  std::int32_t vals[10];
+  RawElem* next;
+};
+
+struct RawCompound {
+  RawElem* lists[5];
+};
+
+struct RawWorkload {
+  pagetrack::PageArena arena;
+  std::vector<RawCompound*> compounds;
+
+  RawWorkload(std::size_t n, int list_length, int values)
+      : arena(n * (sizeof(RawCompound) +
+                   5 * static_cast<std::size_t>(list_length) *
+                       sizeof(RawElem)) +
+              (1u << 20)) {
+    compounds.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      auto* compound = arena.make<RawCompound>();
+      for (int i = 0; i < 5; ++i) {
+        RawElem* head = nullptr;
+        RawElem* tail = nullptr;
+        for (int k = 0; k < list_length; ++k) {
+          auto* elem = arena.make<RawElem>();
+          elem->nvals = values;
+          for (int v = 0; v < values; ++v) elem->vals[v] = v;
+          elem->next = nullptr;
+          if (head == nullptr)
+            head = elem;
+          else
+            tail->next = elem;
+          tail = elem;
+        }
+        compound->lists[i] = head;
+      }
+      compounds.push_back(compound);
+    }
+  }
+
+  /// Same mutation pattern as SynthWorkload::mutate with last_element_only.
+  std::size_t mutate_tails(int modified_lists, int percent,
+                           std::mt19937_64& rng) {
+    std::bernoulli_distribution dirty(percent / 100.0);
+    std::size_t modified = 0;
+    for (RawCompound* compound : compounds) {
+      for (int i = 0; i < modified_lists; ++i) {
+        RawElem* elem = compound->lists[i];
+        while (elem->next != nullptr) elem = elem->next;
+        if (dirty(rng)) {
+          elem->vals[0] += 1;
+          ++modified;
+        }
+      }
+    }
+    return modified;
+  }
+};
+
+}  // namespace
+
+int main() {
+  print_header("Page-level vs object-level incremental checkpointing "
+               "(paper §1 motivation; L=5, 10 ints/elem, last-element "
+               "positions, 100% of possibly-modified)");
+  const std::size_t n = bench_structures();
+  std::printf("structures=%zu reps=%d page=%zuB\n\n", n, bench_reps(),
+              pagetrack::kPageSize);
+  print_row({"mod-lists", "page-bytes", "obj-bytes", "ratio", "page-time",
+             "obj-time"},
+            13);
+
+  for (int mod_lists : {1, 3, 5}) {
+    // --- page-granularity side -------------------------------------------
+    RawWorkload raw(n, 5, 10);
+    pagetrack::PageTracker tracker(raw.arena);
+    std::mt19937_64 rng(42);
+    double page_seconds = 0;
+    std::size_t page_bytes = 0;
+    {
+      tracker.protect();  // "previous checkpoint" boundary
+      raw.mutate_tails(mod_lists, 100, rng);
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::uint8_t> payload;
+      tracker.write_dirty_pages(payload);
+      auto t1 = std::chrono::steady_clock::now();
+      page_seconds = std::chrono::duration<double>(t1 - t0).count();
+      page_bytes = payload.size();
+      tracker.unprotect();
+    }
+
+    // --- object-granularity side ------------------------------------------
+    synth::SynthConfig config;
+    config.num_structures = n;
+    config.list_length = 5;
+    config.values_per_elem = 10;
+    config.modified_lists = mod_lists;
+    config.last_element_only = true;
+    config.percent_modified = 100;
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+    workload.reset_flags();
+    workload.mutate();
+    auto flags = workload.save_flags();
+    Measured object =
+        measure_generic(workload, core::Mode::kIncremental, flags);
+
+    print_row({std::to_string(mod_lists), fmt_mb(page_bytes),
+               fmt_mb(object.bytes),
+               fmt_x(static_cast<double>(page_bytes) /
+                     static_cast<double>(object.bytes)),
+               fmt_ms(page_seconds), fmt_ms(object.seconds)},
+              13);
+  }
+
+  std::printf(
+      "\npaper's point: for many small scattered objects, page-granularity\n"
+      "captures orders of magnitude more bytes per incremental checkpoint\n"
+      "than object-granularity — hence language-level checkpointing for OO\n"
+      "programs. (Page tracking also charges a SIGSEGV per first-touch\n"
+      "page, not measured here.)\n");
+  return 0;
+}

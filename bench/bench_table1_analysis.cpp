@@ -1,0 +1,216 @@
+// Table 1: checkpointing the program analysis engine (the realistic
+// application). A checkpoint is taken at the end of every fixpoint
+// iteration of the binding-time and evaluation-time phases; we report, per
+// phase: checkpoint sizes (min/max over iterations) and construction time
+// for full, incremental, and specialized-incremental checkpointing, plus
+// the traversal-time row (cost of the walk alone, the bound on what
+// specialization can remove).
+//
+// The analyzed input is the generated ~750-line image-manipulation program
+// (set ICKPT_BENCH_STAGES to scale it up).
+#include <functional>
+
+#include "analysis/engine.hpp"
+#include "analysis/parser.hpp"
+#include "analysis/program_gen.hpp"
+#include "analysis/residual.hpp"
+#include "analysis/shapes.hpp"
+#include "bench/bench_util.hpp"
+#include "spec/compiler.hpp"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+struct Accum {
+  std::size_t min_bytes = SIZE_MAX;
+  std::size_t max_bytes = 0;
+  double total_seconds = 0;
+  int iterations = 0;
+
+  void add(const Measured& m) {
+    min_bytes = std::min(min_bytes, m.bytes);
+    max_bytes = std::max(max_bytes, m.bytes);
+    total_seconds += m.seconds;
+    ++iterations;
+  }
+  [[nodiscard]] double avg() const {
+    return iterations == 0 ? 0 : total_seconds / iterations;
+  }
+};
+
+struct PhaseReport {
+  Accum full;
+  Accum incremental;
+  Accum specialized;
+  double traversal_generic = 0;
+  double traversal_plan = 0;
+};
+
+Measured measure_attrs_generic(analysis::AnalysisEngine& engine,
+                               core::Mode mode,
+                               const std::vector<bool>& flags) {
+  Measured m;
+  m.seconds = time_best([&] { engine.restore_flags(flags); },
+                        [&] {
+                          io::CountingSink sink;
+                          io::DataWriter writer(sink);
+                          core::CheckpointOptions opts;
+                          opts.mode = mode;
+                          core::Checkpoint::run(writer, 0,
+                                                engine.attr_bases(), opts);
+                          writer.flush();
+                          m.bytes = sink.count();
+                        });
+  return m;
+}
+
+Measured measure_attrs_plan(analysis::AnalysisEngine& engine,
+                            const spec::PlanExecutor& exec,
+                            const std::vector<bool>& flags) {
+  Measured m;
+  m.seconds = time_best([&] { engine.restore_flags(flags); },
+                        [&] {
+                          io::CountingSink sink;
+                          io::DataWriter writer(sink);
+                          spec::run_plan_checkpoint(writer, 0,
+                                                    engine.attr_ptrs(), exec);
+                          writer.flush();
+                          m.bytes = sink.count();
+                        });
+  return m;
+}
+
+double measure_traversal_generic(analysis::AnalysisEngine& engine,
+                                 const std::vector<bool>& flags) {
+  return time_best([&] { engine.restore_flags(flags); },
+                   [&] {
+                     io::CountingSink sink;
+                     io::DataWriter writer(sink);
+                     core::CheckpointOptions opts;
+                     opts.mode = core::Mode::kIncremental;
+                     opts.dry_run = true;
+                     core::Checkpoint::run(writer, 0, engine.attr_bases(),
+                                           opts);
+                   });
+}
+
+double measure_traversal_plan(analysis::AnalysisEngine& engine,
+                              const spec::PlanExecutor& exec,
+                              const std::vector<bool>& flags) {
+  return time_best([&] { engine.restore_flags(flags); },
+                   [&] {
+                     for (void* attr : engine.attr_ptrs()) exec.run_dry(attr);
+                   });
+}
+
+PhaseReport run_phase(analysis::AnalysisEngine& engine,
+                      const spec::PlanExecutor& exec,
+                      const std::function<int(
+                          const analysis::AnalysisEngine::IterationHook&)>&
+                          phase_runner) {
+  PhaseReport report;
+  int traversal_samples = 0;
+  auto hook = [&](int) {
+    auto flags = engine.save_flags();
+    report.full.add(measure_attrs_generic(engine, core::Mode::kFull, flags));
+    report.incremental.add(
+        measure_attrs_generic(engine, core::Mode::kIncremental, flags));
+    report.specialized.add(measure_attrs_plan(engine, exec, flags));
+    report.traversal_generic += measure_traversal_generic(engine, flags);
+    report.traversal_plan += measure_traversal_plan(engine, exec, flags);
+    ++traversal_samples;
+    // Consume the checkpoint: flags cleared, next iteration starts clean.
+    engine.restore_flags(flags);
+    engine.reset_flags();
+  };
+  phase_runner(hook);
+  if (traversal_samples > 0) {
+    report.traversal_generic /= traversal_samples;
+    report.traversal_plan /= traversal_samples;
+  }
+  return report;
+}
+
+void print_phase(const char* name, int iterations, const PhaseReport& r) {
+  std::printf("\n--- %s (%d iterations, checkpoint per iteration) ---\n",
+              name, iterations);
+  print_row({"", "full", "incremental", "spec-incr"}, 14);
+  print_row({"min ckpt size", fmt_mb(r.full.min_bytes),
+             fmt_mb(r.incremental.min_bytes), fmt_mb(r.specialized.min_bytes)},
+            14);
+  print_row({"max ckpt size", fmt_mb(r.full.max_bytes),
+             fmt_mb(r.incremental.max_bytes), fmt_mb(r.specialized.max_bytes)},
+            14);
+  print_row({"avg ckpt time", fmt_ms(r.full.avg()), fmt_ms(r.incremental.avg()),
+             fmt_ms(r.specialized.avg())},
+            14);
+  print_row({"traversal", "-", fmt_ms(r.traversal_generic),
+             fmt_ms(r.traversal_plan)},
+            14);
+  std::printf("speedup spec-incr over incr: time %.2fx, traversal %.2fx\n",
+              r.incremental.avg() / r.specialized.avg(),
+              r.traversal_generic / r.traversal_plan);
+}
+
+}  // namespace
+
+int main() {
+  int stages = 1;
+  if (const char* env = std::getenv("ICKPT_BENCH_STAGES")) {
+    int n = std::atoi(env);
+    if (n > 0) stages = n;
+  }
+  print_header("Table 1: checkpointing the program analysis engine");
+
+  auto program =
+      analysis::parse_program(analysis::generate_image_program(stages));
+  core::Heap heap;
+  analysis::AnalysisEngine engine(*program, heap);
+  std::printf("analyzed program: %zu statements, %zu functions (stages=%d)\n",
+              program->statements.size(), program->functions.size(), stages);
+
+  analysis::AnalysisShapes shapes = analysis::AnalysisShapes::make();
+  spec::PlanCompiler compiler;
+  spec::Plan bta_plan = compiler.compile(
+      *shapes.attributes,
+      analysis::make_phase_pattern(analysis::Phase::kBindingTime));
+  spec::Plan eta_plan = compiler.compile(
+      *shapes.attributes,
+      analysis::make_phase_pattern(analysis::Phase::kEvalTime));
+  spec::PlanExecutor bta_exec(bta_plan);
+  spec::PlanExecutor eta_exec(eta_plan);
+
+  // Side-effect phase runs first (its results are read, never modified, by
+  // the later phases); we checkpoint it but Table 1 reports BTA/ETA.
+  engine.run_side_effect();
+  engine.reset_flags();
+
+  int bta_iters = 0;
+  PhaseReport bta = run_phase(
+      engine, bta_exec,
+      [&](const analysis::AnalysisEngine::IterationHook& hook) {
+        bta_iters = engine.run_binding_time(analysis::default_bta_config(),
+                                            hook);
+        return bta_iters;
+      });
+  print_phase("Binding-time analysis (BTA)", bta_iters, bta);
+
+  int eta_iters = 0;
+  PhaseReport eta = run_phase(
+      engine, eta_exec,
+      [&](const analysis::AnalysisEngine::IterationHook& hook) {
+        eta_iters = engine.run_eval_time(hook);
+        return eta_iters;
+      });
+  print_phase("Evaluation-time analysis (ETA)", eta_iters, eta);
+
+  std::printf(
+      "\npaper shape (Table 1): incremental checkpoints shrink toward the\n"
+      "fixpoint (min << max << full); specialized incremental cuts BTA\n"
+      "checkpoint time >1.3x and ETA almost 1.5x; traversal time drops\n"
+      "1.8x (BTA) to >2x (ETA). Absolute sizes differ (our Attributes\n"
+      "structures are smaller than Tempo's).\n");
+  return 0;
+}

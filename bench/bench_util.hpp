@@ -1,0 +1,151 @@
+// Shared measurement utilities for the paper-reproduction benchmarks.
+//
+// Methodology: every timed quantity is the wall-clock time of constructing
+// one checkpoint into a CountingSink (pure construction cost, no disk — the
+// paper likewise defers the copy to stable storage). Flags are snapshotted
+// and replayed so that each engine measures the identical dirty state, and
+// each measurement reports the minimum over `reps` runs (best-of, to shed
+// scheduler noise). Workload scale defaults to the paper's 20,000 compound
+// structures; set ICKPT_BENCH_STRUCTURES to shrink it on slow machines.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "io/byte_sink.hpp"
+#include "io/data_writer.hpp"
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "synth/residual_dispatch.hpp"
+#include "synth/shapes.hpp"
+#include "synth/workload.hpp"
+
+namespace ickpt::bench {
+
+inline std::size_t bench_structures() {
+  if (const char* env = std::getenv("ICKPT_BENCH_STRUCTURES")) {
+    long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 20000;  // paper: "constructs 20,000 compound structures"
+}
+
+inline int bench_reps() {
+  if (const char* env = std::getenv("ICKPT_BENCH_REPS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 5;
+}
+
+/// Seconds for one invocation of `fn`, minimized over reps (+1 warmup).
+/// `prepare` restores the pre-measurement state before every run.
+inline double time_best(const std::function<void()>& prepare,
+                        const std::function<void()>& fn,
+                        int reps = bench_reps()) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e100;
+  for (int r = 0; r <= reps; ++r) {
+    prepare();
+    auto t0 = clock::now();
+    fn();
+    auto t1 = clock::now();
+    double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r > 0 && s < best) best = s;  // run 0 is warmup
+  }
+  return best;
+}
+
+struct Measured {
+  double seconds = 0;
+  std::size_t bytes = 0;
+};
+
+/// Checkpoint `workload` with the generic driver; bytes counted, not stored.
+inline Measured measure_generic(synth::SynthWorkload& workload,
+                                core::Mode mode,
+                                const std::vector<bool>& flags) {
+  Measured m;
+  auto body = [&] {
+    io::CountingSink sink;
+    io::DataWriter writer(sink);
+    core::CheckpointOptions opts;
+    opts.mode = mode;
+    core::Checkpoint::run(writer, 0, workload.root_bases(), opts);
+    writer.flush();
+    m.bytes = sink.count();
+  };
+  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  return m;
+}
+
+inline Measured measure_plan(synth::SynthWorkload& workload,
+                             const spec::PlanExecutor& exec,
+                             const std::vector<bool>& flags) {
+  Measured m;
+  auto body = [&] {
+    io::CountingSink sink;
+    io::DataWriter writer(sink);
+    spec::run_plan_checkpoint(writer, 0, workload.root_ptrs(), exec);
+    writer.flush();
+    m.bytes = sink.count();
+  };
+  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  return m;
+}
+
+inline Measured measure_residual(synth::SynthWorkload& workload,
+                                 synth::residual::ResidualFn fn,
+                                 const std::vector<bool>& flags) {
+  Measured m;
+  auto body = [&] {
+    io::CountingSink sink;
+    io::DataWriter writer(sink);
+    synth::residual::run_residual_checkpoint(
+        writer, 0, workload.roots(),
+        [fn](synth::Compound& c, io::DataWriter& d) { fn(c, d); });
+    writer.flush();
+    m.bytes = sink.count();
+  };
+  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  return m;
+}
+
+// --- tiny fixed-width table printer ------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  for (const std::string& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  return buf;
+}
+
+inline std::string fmt_mb(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1000000)
+    std::snprintf(buf, sizeof(buf), "%.2fMb", static_cast<double>(bytes) / 1e6);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2fKb", static_cast<double>(bytes) / 1e3);
+  return buf;
+}
+
+inline std::string fmt_x(double speedup) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+  return buf;
+}
+
+}  // namespace ickpt::bench

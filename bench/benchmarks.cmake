@@ -1,0 +1,30 @@
+# Benchmark targets, defined from the root CMakeLists (not via
+# add_subdirectory) so that build/bench/ contains ONLY the bench binaries —
+# `for b in build/bench/*; do $b; done` then runs the whole harness.
+set(ICKPT_BENCHES
+  bench_fig07_incremental
+  bench_fig08_structure
+  bench_fig09_modlists
+  bench_fig10_positions
+  bench_fig11_jvms
+  bench_table1_analysis
+  bench_table2_engines
+  bench_ablation
+  bench_pagelevel
+)
+foreach(name ${ICKPT_BENCHES})
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    ickpt_analysis ickpt_synth ickpt_spec ickpt_pagetrack ickpt_core ickpt_io)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(bench_micro bench/bench_micro.cpp)
+target_link_libraries(bench_micro PRIVATE
+  ickpt_analysis ickpt_synth ickpt_spec ickpt_core ickpt_io
+  benchmark::benchmark)
+target_include_directories(bench_micro PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(bench_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

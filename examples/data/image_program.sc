@@ -1,0 +1,837 @@
+// Synthetic image-manipulation program (simplified-C subset).
+// Generated input for the analysis engine; see program_gen.cpp.
+
+int width = 64;
+int height = 64;
+int npixels = 4096;
+int maxval = 255;
+int gain = 3;
+int bias = 7;
+int threshold = 128;
+int levels = 4;
+int edge_lo = 32;
+int edge_hi = 224;
+int img[4096];
+int tmp[4096];
+int out_img[4096];
+int hist[256];
+int lut[256];
+int seed = 12345;
+int checksum = 0;
+
+int mini(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int maxi(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+int clamp(int v, int lo, int hi) {
+  return maxi(lo, mini(v, hi));
+}
+
+int absi(int v) {
+  if (v < 0) {
+    return 0 - v;
+  }
+  return v;
+}
+
+int idx(int x, int y) {
+  return y * width + x;
+}
+
+int get_pixel(int x, int y) {
+  return img[idx(clamp(x, 0, width - 1), clamp(y, 0, height - 1))];
+}
+
+int put_tmp(int x, int y, int v) {
+  tmp[idx(x, y)] = v;
+  return v;
+}
+
+int rand_next() {
+  seed = seed * 1103 + 12345;
+  seed = seed % 65536;
+  if (seed < 0) {
+    seed = seed + 65536;
+  }
+  return seed % 256;
+}
+
+int lerp(int a, int b, int t) {
+  return a + ((b - a) * t) / 256;
+}
+
+int brightness() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = v + bias;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int darken() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = v - bias;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int contrast_scale() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = ((v - 128) * gain) / 2 + 128;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int invert() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = maxval - v;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int threshold_filter() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v >= threshold) * maxval;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int quantize() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v / (256 / levels)) * (256 / levels);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int gamma_approx() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v * v) / maxval;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int soft_clip() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = mini(maxval, (v * 3) / 2);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int blur3() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + -1, y + -1)];
+      acc = acc + 1 * img[idx(x + 0, y + -1)];
+      acc = acc + 1 * img[idx(x + 1, y + -1)];
+      acc = acc + 1 * img[idx(x + -1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      acc = acc + 1 * img[idx(x + -1, y + 1)];
+      acc = acc + 1 * img[idx(x + 0, y + 1)];
+      acc = acc + 1 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 9;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int sharpen3() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + -1 * img[idx(x + 0, y + -1)];
+      acc = acc + -1 * img[idx(x + -1, y + 0)];
+      acc = acc + 8 * img[idx(x + 0, y + 0)];
+      acc = acc + -1 * img[idx(x + 1, y + 0)];
+      acc = acc + -1 * img[idx(x + 0, y + 1)];
+      tmp[idx(x, y)] = acc / 4;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int sobel_x() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + -1 * img[idx(x + -1, y + -1)];
+      acc = acc + 1 * img[idx(x + 1, y + -1)];
+      acc = acc + -2 * img[idx(x + -1, y + 0)];
+      acc = acc + 2 * img[idx(x + 1, y + 0)];
+      acc = acc + -1 * img[idx(x + -1, y + 1)];
+      acc = acc + 1 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 1;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int sobel_y() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + -1 * img[idx(x + -1, y + -1)];
+      acc = acc + -2 * img[idx(x + 0, y + -1)];
+      acc = acc + -1 * img[idx(x + 1, y + -1)];
+      acc = acc + 1 * img[idx(x + -1, y + 1)];
+      acc = acc + 2 * img[idx(x + 0, y + 1)];
+      acc = acc + 1 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 1;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int emboss() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + -2 * img[idx(x + -1, y + -1)];
+      acc = acc + -1 * img[idx(x + 0, y + -1)];
+      acc = acc + -1 * img[idx(x + -1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 1)];
+      acc = acc + 2 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 1;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int posterize2() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v / 64) * 64;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int gain_up() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v * (gain + 1)) / gain;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int gain_down() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = (v * gain) / (gain + 1);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int bias_shift() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = v + bias - 3;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int clip_low() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = maxi(v, edge_lo);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int clip_high() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = mini(v, edge_hi);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int stretch() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = ((v - edge_lo) * maxval) / maxi(1, edge_hi - edge_lo);
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int fold_mid() {
+  int x;
+  int v;
+  for (x = 0; x < npixels; x = x + 1) {
+    v = img[x];
+    tmp[x] = absi(v - 128) * 2;
+  }
+  for (x = 0; x < npixels; x = x + 1) {
+    img[x] = clamp(tmp[x], 0, maxval);
+  }
+  return 0;
+}
+
+int laplacian() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + 0, y + -1)];
+      acc = acc + 1 * img[idx(x + -1, y + 0)];
+      acc = acc + -4 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 1)];
+      tmp[idx(x, y)] = acc / 1;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int motion_blur() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + -1, y + -1)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 3;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int box_top() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + -1, y + -1)];
+      acc = acc + 1 * img[idx(x + 0, y + -1)];
+      acc = acc + 1 * img[idx(x + 1, y + -1)];
+      acc = acc + 1 * img[idx(x + -1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      tmp[idx(x, y)] = acc / 6;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int box_bottom() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + -1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      acc = acc + 1 * img[idx(x + -1, y + 1)];
+      acc = acc + 1 * img[idx(x + 0, y + 1)];
+      acc = acc + 1 * img[idx(x + 1, y + 1)];
+      tmp[idx(x, y)] = acc / 6;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int cross_blur() {
+  int x;
+  int y;
+  int acc;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      acc = 0;
+      acc = acc + 1 * img[idx(x + 0, y + -1)];
+      acc = acc + 1 * img[idx(x + -1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 0)];
+      acc = acc + 1 * img[idx(x + 1, y + 0)];
+      acc = acc + 1 * img[idx(x + 0, y + 1)];
+      tmp[idx(x, y)] = acc / 5;
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int min_filter() {
+  int x;
+  int y;
+  int m;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      m = get_pixel(x, y);
+      m = mini(m, get_pixel(x - 1, y));
+      m = mini(m, get_pixel(x + 1, y));
+      m = mini(m, get_pixel(x, y - 1));
+      m = mini(m, get_pixel(x, y + 1));
+      put_tmp(x, y, m);
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = tmp[idx(x, y)];
+    }
+  }
+  return 0;
+}
+
+int max_filter() {
+  int x;
+  int y;
+  int m;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      m = get_pixel(x, y);
+      m = maxi(m, get_pixel(x - 1, y));
+      m = maxi(m, get_pixel(x + 1, y));
+      m = maxi(m, get_pixel(x, y - 1));
+      m = maxi(m, get_pixel(x, y + 1));
+      put_tmp(x, y, m);
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      img[idx(x, y)] = tmp[idx(x, y)];
+    }
+  }
+  return 0;
+}
+
+int gradient_magnitude() {
+  int x;
+  int y;
+  int gx;
+  int gy;
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      gx = get_pixel(x + 1, y) - get_pixel(x - 1, y);
+      gy = get_pixel(x, y + 1) - get_pixel(x, y - 1);
+      tmp[idx(x, y)] = absi(gx) + absi(gy);
+    }
+  }
+  for (y = 1; y < height - 1; y = y + 1) {
+    for (x = 1; x < width - 1; x = x + 1) {
+      out_img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);
+    }
+  }
+  return 0;
+}
+
+int row_normalize() {
+  int x;
+  int y;
+  int lo;
+  int hi;
+  for (y = 0; y < height; y = y + 1) {
+    lo = maxval;
+    hi = 0;
+    for (x = 0; x < width; x = x + 1) {
+      lo = mini(lo, img[idx(x, y)]);
+      hi = maxi(hi, img[idx(x, y)]);
+    }
+    if (hi > lo) {
+      for (x = 0; x < width; x = x + 1) {
+        img[idx(x, y)] = ((img[idx(x, y)] - lo) * maxval) / (hi - lo);
+      }
+    }
+  }
+  return 0;
+}
+
+int column_sum_profile() {
+  int x;
+  int y;
+  int acc;
+  for (x = 0; x < width; x = x + 1) {
+    acc = 0;
+    for (y = 0; y < height; y = y + 1) {
+      acc = acc + img[idx(x, y)];
+    }
+    hist[x % 256] = acc / height;
+  }
+  return 0;
+}
+
+int dither_ordered() {
+  int x;
+  int y;
+  int t;
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      t = ((x % 2) * 2 + (y % 2)) * 64;
+      if (img[idx(x, y)] > t) {
+        img[idx(x, y)] = maxval;
+      } else {
+        img[idx(x, y)] = 0;
+      }
+    }
+  }
+  return 0;
+}
+
+int histogram_build() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    hist[i] = 0;
+  }
+  for (i = 0; i < npixels; i = i + 1) {
+    hist[clamp(img[i], 0, maxval)] = hist[clamp(img[i], 0, maxval)] + 1;
+  }
+  return 0;
+}
+
+int histogram_equalize_lut() {
+  int i;
+  int cum;
+  cum = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    cum = cum + hist[i];
+    lut[i] = clamp((cum * maxval) / npixels, 0, maxval);
+  }
+  return 0;
+}
+
+int apply_lut() {
+  int i;
+  for (i = 0; i < npixels; i = i + 1) {
+    img[i] = lut[clamp(img[i], 0, maxval)];
+  }
+  return 0;
+}
+
+int mirror_horizontal() {
+  int x;
+  int y;
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      tmp[idx(x, y)] = img[idx(width - 1 - x, y)];
+    }
+  }
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      img[idx(x, y)] = tmp[idx(x, y)];
+    }
+  }
+  return 0;
+}
+
+int mirror_vertical() {
+  int x;
+  int y;
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      tmp[idx(x, y)] = img[idx(x, height - 1 - y)];
+    }
+  }
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      img[idx(x, y)] = tmp[idx(x, y)];
+    }
+  }
+  return 0;
+}
+
+int rotate180() {
+  int i;
+  for (i = 0; i < npixels; i = i + 1) {
+    tmp[i] = img[npixels - 1 - i];
+  }
+  for (i = 0; i < npixels; i = i + 1) {
+    img[i] = tmp[i];
+  }
+  return 0;
+}
+
+int downscale_half() {
+  int x;
+  int y;
+  int acc;
+  for (y = 0; y < height / 2; y = y + 1) {
+    for (x = 0; x < width / 2; x = x + 1) {
+      acc = get_pixel(2 * x, 2 * y) + get_pixel(2 * x + 1, 2 * y)
+          + get_pixel(2 * x, 2 * y + 1) + get_pixel(2 * x + 1, 2 * y + 1);
+      out_img[idx(x, y)] = acc / 4;
+    }
+  }
+  return 0;
+}
+
+int add_noise() {
+  int i;
+  int n;
+  for (i = 0; i < npixels; i = i + 1) {
+    n = rand_next() / 16;
+    img[i] = clamp(img[i] + n - 8, 0, maxval);
+  }
+  return 0;
+}
+
+int edge_mask() {
+  int i;
+  int v;
+  for (i = 0; i < npixels; i = i + 1) {
+    v = img[i];
+    if (v < edge_lo) {
+      out_img[i] = 0;
+    } else {
+      if (v > edge_hi) {
+        out_img[i] = maxval;
+      } else {
+        out_img[i] = v;
+      }
+    }
+  }
+  return 0;
+}
+
+int blend_with_out(int t) {
+  int i;
+  for (i = 0; i < npixels; i = i + 1) {
+    img[i] = lerp(img[i], out_img[i], t);
+  }
+  return 0;
+}
+
+int image_checksum() {
+  int i;
+  int sum;
+  sum = 0;
+  for (i = 0; i < npixels; i = i + 1) {
+    sum = (sum + img[i]) % 1000000007;
+  }
+  checksum = sum;
+  return sum;
+}
+
+int init_image() {
+  int x;
+  int y;
+  for (y = 0; y < height; y = y + 1) {
+    for (x = 0; x < width; x = x + 1) {
+      img[idx(x, y)] = (x * 255) / maxi(1, width - 1);
+    }
+  }
+  return 0;
+}
+
+int pipeline_stage(int strength) {
+  brightness();
+  blur3();
+  contrast_scale();
+  sharpen3();
+  if (strength > 1) {
+    sobel_x();
+    sobel_y();
+    emboss();
+  }
+  histogram_build();
+  histogram_equalize_lut();
+  apply_lut();
+  return image_checksum();
+}
+
+int main() {
+  int stage;
+  int total;
+  total = 0;
+  init_image();
+  add_noise();
+  for (stage = 0; stage < 3; stage = stage + 1) {
+    total = total + pipeline_stage(stage);
+  }
+  laplacian();
+  motion_blur();
+  box_top();
+  box_bottom();
+  cross_blur();
+  min_filter();
+  max_filter();
+  gradient_magnitude();
+  row_normalize();
+  column_sum_profile();
+  dither_ordered();
+  posterize2();
+  gain_up();
+  gain_down();
+  bias_shift();
+  clip_low();
+  clip_high();
+  stretch();
+  fold_mid();
+  mirror_horizontal();
+  quantize();
+  gamma_approx();
+  mirror_vertical();
+  rotate180();
+  threshold_filter();
+  invert();
+  soft_clip();
+  darken();
+  edge_mask();
+  blend_with_out(128);
+  downscale_half();
+  return total + image_checksum();
+}

@@ -1,0 +1,144 @@
+// Phase-specific specialization on the synthetic workload, including
+// automatic pattern inference (the paper's proposed future work): a program
+// runs through phases with different modification behaviour; the library
+// *observes* each phase, infers its modification pattern, compiles a
+// specialized plan, and checkpoints with it — verifying byte-for-byte
+// equivalence with the generic driver and reporting the speedup.
+//
+// Build: cmake --build build && ./build/examples/synthetic_phases
+#include <chrono>
+#include <cstdio>
+
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "spec/inference.hpp"
+#include "synth/shapes.hpp"
+#include "synth/workload.hpp"
+
+using namespace ickpt;
+
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<std::uint8_t> generic_checkpoint(synth::SynthWorkload& workload,
+                                             Epoch epoch) {
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  core::CheckpointOptions opts;
+  opts.mode = core::Mode::kIncremental;
+  core::Checkpoint::run(writer, epoch, workload.root_bases(), opts);
+  writer.flush();
+  return sink.take();
+}
+
+std::vector<std::uint8_t> plan_checkpoint(synth::SynthWorkload& workload,
+                                          const spec::PlanExecutor& exec,
+                                          Epoch epoch) {
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  spec::run_plan_checkpoint(writer, epoch, workload.root_ptrs(), exec);
+  writer.flush();
+  return sink.take();
+}
+
+void run_phase(const char* name, synth::SynthConfig config,
+               const synth::SynthShapes& shapes, int observe_epochs,
+               int run_epochs) {
+  std::printf("\n--- phase: %s ---\n", name);
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+  std::printf("workload: %zu structures, %zu objects; %zu elements may be "
+              "modified per epoch\n",
+              config.num_structures, workload.total_objects(),
+              workload.possibly_modified_population());
+
+  // 1. Observe the phase's behaviour for a few epochs.
+  spec::PatternInferencer inferencer(*shapes.compound);
+  for (int e = 0; e < observe_epochs; ++e) {
+    workload.reset_flags();
+    workload.mutate();
+    for (const void* root : workload.root_ptrs()) inferencer.observe(root);
+  }
+  spec::PatternNode pattern = inferencer.infer();
+
+  // 2. Compile the phase-specialized plan.
+  spec::Plan plan = spec::PlanCompiler().compile(*shapes.compound, pattern);
+  spec::PlanExecutor exec(plan);
+  spec::Plan structure_plan = spec::PlanCompiler().compile(
+      *shapes.compound,
+      synth::make_synth_pattern(synth::SpecLevel::kStructure,
+                                config.list_length, config.values_per_elem,
+                                config.modified_lists));
+  std::printf("inferred plan: %zu ops (structure-only plan: %zu ops)\n",
+              plan.size(), structure_plan.size());
+
+  // 3. Checkpoint the phase with both engines and compare.
+  double generic_total = 0;
+  double plan_total = 0;
+  for (int e = 0; e < run_epochs; ++e) {
+    workload.reset_flags();
+    workload.mutate();
+    auto flags = workload.save_flags();
+
+    std::vector<std::uint8_t> generic_bytes;
+    generic_total += seconds_of(
+        [&] { generic_bytes = generic_checkpoint(workload, e); });
+
+    workload.restore_flags(flags);
+    std::vector<std::uint8_t> plan_bytes;
+    plan_total +=
+        seconds_of([&] { plan_bytes = plan_checkpoint(workload, exec, e); });
+
+    if (plan_bytes != generic_bytes) {
+      std::printf("ERROR: specialized checkpoint diverged from generic!\n");
+      return;
+    }
+  }
+  std::printf("%d epochs, byte-identical checkpoints: generic %.2fms, "
+              "specialized %.2fms (%.2fx)\n",
+              run_epochs, generic_total * 1e3, plan_total * 1e3,
+              generic_total / plan_total);
+}
+
+}  // namespace
+
+int main() {
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+
+  synth::SynthConfig init;
+  init.num_structures = 10000;
+  init.list_length = 5;
+  init.values_per_elem = 10;
+  init.modified_lists = 5;
+  init.percent_modified = 100;
+  run_phase("initialization (everything modified)", init, shapes, 2, 5);
+
+  synth::SynthConfig update;
+  update.num_structures = 10000;
+  update.list_length = 5;
+  update.values_per_elem = 10;
+  update.modified_lists = 2;
+  update.percent_modified = 50;
+  run_phase("update (two lists, half modified)", update, shapes, 3, 5);
+
+  synth::SynthConfig append;
+  append.num_structures = 10000;
+  append.list_length = 5;
+  append.values_per_elem = 10;
+  append.modified_lists = 1;
+  append.last_element_only = true;
+  append.percent_modified = 100;
+  run_phase("append (only list 0 tails)", append, shapes, 3, 5);
+
+  std::printf(
+      "\nEach phase got its own residual checkpointing routine, inferred\n"
+      "from observed behaviour — the paper's per-phase specialization\n"
+      "(Fig. 6) without hand-written specialization classes.\n");
+  return 0;
+}

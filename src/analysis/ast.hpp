@@ -1,0 +1,140 @@
+// AST and symbol table of the simplified-C subset.
+//
+// Statements are the units the analyses annotate: each carries a pointer to
+// its Attributes structure (paper Fig. 4), attached by the AnalysisEngine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/token.hpp"
+
+namespace ickpt::analysis {
+
+class Attributes;  // attributes.hpp
+
+// ---------------------------------------------------------------------------
+// Symbols
+
+enum class SymbolScope : std::uint8_t { kGlobal, kLocal, kParam };
+
+struct Symbol {
+  std::string name;
+  SymbolScope scope = SymbolScope::kGlobal;
+  bool is_array = false;
+  std::int32_t array_size = 0;   // arrays only
+  std::int32_t init_value = 0;   // global scalars only
+  int function_index = -1;       // locals/params: owning function
+};
+
+class SymbolTable {
+ public:
+  /// Returns the new symbol's id.
+  int add(Symbol symbol) {
+    symbols_.push_back(std::move(symbol));
+    return static_cast<int>(symbols_.size()) - 1;
+  }
+
+  [[nodiscard]] const Symbol& at(int id) const { return symbols_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] Symbol& at(int id) { return symbols_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(symbols_.size()); }
+
+  [[nodiscard]] bool is_global(int id) const {
+    return at(id).scope == SymbolScope::kGlobal;
+  }
+
+ private:
+  std::vector<Symbol> symbols_;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,  // value
+  kVar,     // symbol
+  kIndex,   // symbol, operands[0] = index
+  kUnary,   // op, operands[0]
+  kBinary,  // op, operands[0], operands[1]
+  kCall,    // callee_index, operands = arguments
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLit;
+  std::int32_t value = 0;        // kIntLit
+  int symbol = -1;               // kVar / kIndex (resolved by the parser)
+  int callee_index = -1;         // kCall: index into Program::functions
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  std::vector<std::unique_ptr<Expr>> operands;
+  int line = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : std::uint8_t {
+  kDecl,    // local: symbol, expr1 = optional initializer
+  kAssign,  // symbol (+ expr3 index when is_array_target), expr1 = value
+  kIf,      // expr1 = condition, body / else_body
+  kWhile,   // expr1 = condition, body
+  kFor,     // init_stmt, expr1 = condition, step_stmt, body
+  kReturn,  // expr1
+  kExpr,    // expr1 (call statement)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  int symbol = -1;                 // kDecl / kAssign target
+  bool is_array_target = false;    // kAssign: a[expr3] = expr1
+  std::unique_ptr<Expr> expr1;     // value / condition
+  std::unique_ptr<Expr> expr3;     // array index
+  std::unique_ptr<Stmt> init_stmt; // kFor
+  std::unique_ptr<Stmt> step_stmt; // kFor
+  std::vector<std::unique_ptr<Stmt>> body;
+  std::vector<std::unique_ptr<Stmt>> else_body;
+  int line = 0;
+
+  /// Dense index over all statements of the program (set by the parser) and
+  /// the per-statement annotation record (attached by the AnalysisEngine).
+  int index = -1;
+  Attributes* attrs = nullptr;
+};
+
+struct Function {
+  std::string name;
+  std::vector<int> params;  // symbol ids
+  std::vector<std::unique_ptr<Stmt>> body;
+  int index = -1;
+};
+
+struct Program {
+  SymbolTable symbols;
+  std::vector<int> globals;  // symbol ids, in declaration order
+  std::vector<Function> functions;
+  /// Every statement in the program (including nested ones), in parse order.
+  std::vector<Stmt*> statements;
+
+  [[nodiscard]] int find_function(const std::string& name) const {
+    for (const Function& f : functions)
+      if (f.name == name) return f.index;
+    return -1;
+  }
+
+  [[nodiscard]] int find_global(const std::string& name) const {
+    for (int id : globals)
+      if (symbols.at(id).name == name) return id;
+    return -1;
+  }
+};
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,23 @@
+#include "analysis/attributes.hpp"
+
+namespace ickpt::analysis {
+
+template <>
+const char* const AnnotationLeaf<205>::kTypeName = "analysis.BT";
+template <>
+const char* const AnnotationLeaf<206>::kTypeName = "analysis.ET";
+template <>
+const char* const LeafEntry<203, BT>::kTypeName = "analysis.BTEntry";
+template <>
+const char* const LeafEntry<204, ET>::kTypeName = "analysis.ETEntry";
+
+void register_types(core::TypeRegistry& registry) {
+  registry.register_type<Attributes>();
+  registry.register_type<SEEntry>();
+  registry.register_type<BTEntry>();
+  registry.register_type<ETEntry>();
+  registry.register_type<BT>();
+  registry.register_type<ET>();
+}
+
+}  // namespace ickpt::analysis

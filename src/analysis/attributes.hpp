@@ -1,0 +1,216 @@
+// Checkpointable per-statement annotation structures (paper Figs. 2 and 4).
+//
+//   Attributes ──► SEEntry            (side-effect read/write sets)
+//              ──► BTEntry ──► BT     (binding-time annotation)
+//              ──► ETEntry ──► ET     (evaluation-time annotation)
+//
+// Every mutator is compare-and-set: the modified flag is raised only when
+// the value actually changes, so an analysis iteration that re-derives the
+// same annotation leaves the object clean — this is what makes incremental
+// checkpoints shrink as the fixpoint converges (paper Table 1, min vs max).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"
+#include "core/checkpointable.hpp"
+#include "core/recovery.hpp"
+#include "core/type_registry.hpp"
+
+namespace ickpt::analysis {
+
+/// Binding-time / evaluation-time annotation values.
+inline constexpr std::uint8_t kStatic = 0;
+inline constexpr std::uint8_t kDynamic = 1;
+inline constexpr std::uint8_t kEvaluable = 0;
+inline constexpr std::uint8_t kResidual = 1;
+
+/// Side-effect entry: the sets of global variables read and written by the
+/// statement (paper: "Side-effect analysis collects sets of variables").
+class SEEntry final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 202;
+  static constexpr const char* kTypeName = "analysis.SEEntry";
+  static constexpr int kMaxVars = 48;
+
+  SEEntry() = default;
+  SEEntry(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] std::span<const std::int32_t> reads() const noexcept {
+    return {reads_, static_cast<std::size_t>(nreads_)};
+  }
+  [[nodiscard]] std::span<const std::int32_t> writes() const noexcept {
+    return {writes_, static_cast<std::size_t>(nwrites_)};
+  }
+
+  /// Replace both sets (must be sorted); flags only on a real change.
+  void set_sets(std::span<const std::int32_t> reads,
+                std::span<const std::int32_t> writes) {
+    if (reads.size() > kMaxVars || writes.size() > kMaxVars)
+      throw AnalysisError("side-effect set exceeds SEEntry capacity");
+    bool changed = !std::equal(reads.begin(), reads.end(), this->reads().begin(),
+                               this->reads().end()) ||
+                   !std::equal(writes.begin(), writes.end(),
+                               this->writes().begin(), this->writes().end());
+    if (!changed) return;
+    nreads_ = static_cast<std::int32_t>(reads.size());
+    std::copy(reads.begin(), reads.end(), reads_);
+    nwrites_ = static_cast<std::int32_t>(writes.size());
+    std::copy(writes.begin(), writes.end(), writes_);
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    // "records both lists" (paper Fig. 5).
+    d.write_i32(nreads_);
+    for (std::int32_t i = 0; i < nreads_; ++i) d.write_i32(reads_[i]);
+    d.write_i32(nwrites_);
+    for (std::int32_t i = 0; i < nwrites_; ++i) d.write_i32(writes_[i]);
+  }
+
+  void fold(core::Checkpoint&) override {}
+
+  void restore_record(io::DataReader& d, core::Recovery&) override {
+    nreads_ = d.read_i32();
+    if (nreads_ < 0 || nreads_ > kMaxVars)
+      throw CorruptionError("SEEntry read-set count out of range");
+    for (std::int32_t i = 0; i < nreads_; ++i) reads_[i] = d.read_i32();
+    nwrites_ = d.read_i32();
+    if (nwrites_ < 0 || nwrites_ > kMaxVars)
+      throw CorruptionError("SEEntry write-set count out of range");
+    for (std::int32_t i = 0; i < nwrites_; ++i) writes_[i] = d.read_i32();
+  }
+
+ private:
+  friend struct AnalysisShapes;
+
+  std::int32_t nreads_ = 0;
+  std::int32_t reads_[kMaxVars] = {};
+  std::int32_t nwrites_ = 0;
+  std::int32_t writes_[kMaxVars] = {};
+};
+
+/// Single-byte annotation leaf shared by the BT and ET structures
+/// (paper: "binding-time analysis ... record[s] only a single annotation").
+template <TypeId kId>
+class AnnotationLeaf final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = kId;
+  static const char* const kTypeName;
+
+  AnnotationLeaf() = default;
+  AnnotationLeaf(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] std::uint8_t annotation() const noexcept { return value_; }
+
+  void set_annotation(std::uint8_t value) noexcept {
+    if (value_ == value) return;
+    value_ = value;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+  void record(io::DataWriter& d) const override { d.write_u8(value_); }
+  void fold(core::Checkpoint&) override {}
+  void restore_record(io::DataReader& d, core::Recovery&) override {
+    value_ = d.read_u8();
+  }
+
+ private:
+  friend struct AnalysisShapes;
+
+  std::uint8_t value_ = kStatic;
+};
+
+using BT = AnnotationLeaf<205>;
+using ET = AnnotationLeaf<206>;
+
+/// Entry wrapper holding one annotation leaf (the paper's BTEntry/ETEntry
+/// indirection, Fig. 4: the Entry carries the id, the leaf the value).
+template <TypeId kId, class Leaf>
+class LeafEntry final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = kId;
+  static const char* const kTypeName;
+
+  explicit LeafEntry(Leaf* leaf = nullptr) : leaf_(leaf) {}
+  LeafEntry(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] Leaf* leaf() const noexcept { return leaf_; }
+  void set_leaf(Leaf* leaf) noexcept {
+    leaf_ = leaf;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    core::write_child_id(d, leaf_);
+  }
+  void fold(core::Checkpoint& c) override {
+    if (leaf_ != nullptr) c.checkpoint(*leaf_);
+  }
+  void restore_record(io::DataReader& d, core::Recovery& r) override {
+    r.link(d, leaf_);
+  }
+
+ private:
+  friend struct AnalysisShapes;
+
+  Leaf* leaf_ = nullptr;
+};
+
+using BTEntry = LeafEntry<203, BT>;
+using ETEntry = LeafEntry<204, ET>;
+
+/// Per-statement annotation record (paper Fig. 4).
+class Attributes final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 201;
+  static constexpr const char* kTypeName = "analysis.Attributes";
+
+  Attributes() = default;
+  Attributes(SEEntry* se, BTEntry* bt, ETEntry* et)
+      : se_(se), bt_(bt), et_(et) {}
+  Attributes(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] SEEntry* se() const noexcept { return se_; }
+  [[nodiscard]] BTEntry* bt() const noexcept { return bt_; }
+  [[nodiscard]] ETEntry* et() const noexcept { return et_; }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    core::write_child_id(d, se_);
+    core::write_child_id(d, bt_);
+    core::write_child_id(d, et_);
+  }
+
+  void fold(core::Checkpoint& c) override {
+    if (se_ != nullptr) c.checkpoint(*se_);
+    if (bt_ != nullptr) c.checkpoint(*bt_);
+    if (et_ != nullptr) c.checkpoint(*et_);
+  }
+
+  void restore_record(io::DataReader& d, core::Recovery& r) override {
+    r.link(d, se_);
+    r.link(d, bt_);
+    r.link(d, et_);
+  }
+
+ private:
+  friend struct AnalysisShapes;
+
+  SEEntry* se_ = nullptr;
+  BTEntry* bt_ = nullptr;
+  ETEntry* et_ = nullptr;
+};
+
+/// Register the annotation classes with a recovery registry.
+void register_types(core::TypeRegistry& registry);
+
+}  // namespace ickpt::analysis

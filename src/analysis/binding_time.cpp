@@ -1,0 +1,151 @@
+#include "analysis/binding_time.hpp"
+
+#include <algorithm>
+
+#include "analysis/attributes.hpp"
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+std::uint8_t join(std::uint8_t a, std::uint8_t b) {
+  return a == kDynamic || b == kDynamic ? kDynamic : kStatic;
+}
+}  // namespace
+
+BindingTimeAnalysis::BindingTimeAnalysis(const Program& program,
+                                         const BtaConfig& config)
+    : program_(&program),
+      bt_(static_cast<std::size_t>(program.symbols.size()), kStatic),
+      ret_bt_(program.functions.size(), kStatic),
+      stmt_bt_(program.statements.size(), kStatic) {
+  for (const std::string& name : config.dynamic_globals) {
+    int id = program.find_global(name);
+    if (id < 0)
+      throw AnalysisError("BtaConfig names unknown global '" + name + "'");
+    bt_[static_cast<std::size_t>(id)] = kDynamic;
+  }
+}
+
+void BindingTimeAnalysis::join_symbol(int symbol, std::uint8_t value) {
+  auto& slot = bt_[static_cast<std::size_t>(symbol)];
+  std::uint8_t joined = join(slot, value);
+  if (joined != slot) {
+    slot = joined;
+    changed_ = true;
+  }
+}
+
+std::uint8_t BindingTimeAnalysis::expr_bt(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return kStatic;
+    case ExprKind::kVar:
+      return prev_bt_[static_cast<std::size_t>(expr.symbol)];
+    case ExprKind::kIndex:
+      return join(prev_bt_[static_cast<std::size_t>(expr.symbol)],
+                  expr_bt(*expr.operands[0]));
+    case ExprKind::kUnary:
+      return expr_bt(*expr.operands[0]);
+    case ExprKind::kBinary:
+      return join(expr_bt(*expr.operands[0]), expr_bt(*expr.operands[1]));
+    case ExprKind::kCall: {
+      const Function& callee =
+          program_->functions[static_cast<std::size_t>(expr.callee_index)];
+      std::uint8_t args_bt = kStatic;
+      for (std::size_t i = 0; i < expr.operands.size(); ++i) {
+        std::uint8_t arg = expr_bt(*expr.operands[i]);
+        join_symbol(callee.params[i], arg);  // caller -> callee flow
+        args_bt = join(args_bt, arg);
+      }
+      // A call's result is dynamic if the callee returns dynamic; arguments
+      // alone don't make it dynamic (their effect flows through params).
+      return join(args_bt,
+                  prev_ret_[static_cast<std::size_t>(expr.callee_index)]);
+    }
+  }
+  return kDynamic;
+}
+
+void BindingTimeAnalysis::visit_stmt(const Stmt& stmt, std::uint8_t ctx) {
+  std::uint8_t annotation = ctx;
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      std::uint8_t rhs = stmt.expr1 != nullptr ? expr_bt(*stmt.expr1) : kStatic;
+      join_symbol(stmt.symbol, join(rhs, ctx));
+      annotation = join(annotation,
+                        prev_bt_[static_cast<std::size_t>(stmt.symbol)]);
+      annotation = join(annotation, join(rhs, ctx));
+      break;
+    }
+    case StmtKind::kAssign: {
+      std::uint8_t rhs = expr_bt(*stmt.expr1);
+      if (stmt.expr3 != nullptr) rhs = join(rhs, expr_bt(*stmt.expr3));
+      join_symbol(stmt.symbol, join(rhs, ctx));
+      annotation = join(annotation,
+                        prev_bt_[static_cast<std::size_t>(stmt.symbol)]);
+      annotation = join(annotation, join(rhs, ctx));
+      break;
+    }
+    case StmtKind::kIf: {
+      std::uint8_t cond = expr_bt(*stmt.expr1);
+      annotation = join(annotation, cond);
+      std::uint8_t inner = join(ctx, cond);
+      for (const auto& child : stmt.body) visit_stmt(*child, inner);
+      for (const auto& child : stmt.else_body) visit_stmt(*child, inner);
+      break;
+    }
+    case StmtKind::kWhile: {
+      std::uint8_t cond = expr_bt(*stmt.expr1);
+      annotation = join(annotation, cond);
+      std::uint8_t inner = join(ctx, cond);
+      for (const auto& child : stmt.body) visit_stmt(*child, inner);
+      break;
+    }
+    case StmtKind::kFor: {
+      visit_stmt(*stmt.init_stmt, ctx);
+      std::uint8_t cond = expr_bt(*stmt.expr1);
+      annotation = join(annotation, cond);
+      std::uint8_t inner = join(ctx, cond);
+      visit_stmt(*stmt.step_stmt, inner);
+      for (const auto& child : stmt.body) visit_stmt(*child, inner);
+      break;
+    }
+    case StmtKind::kReturn: {
+      std::uint8_t value = join(expr_bt(*stmt.expr1), ctx);
+      annotation = join(annotation, value);
+      // callee -> caller flow handled per enclosing function below.
+      pending_return_ = join(pending_return_, value);
+      break;
+    }
+    case StmtKind::kExpr:
+      annotation = join(annotation, expr_bt(*stmt.expr1));
+      break;
+  }
+  auto& slot = stmt_bt_[static_cast<std::size_t>(stmt.index)];
+  std::uint8_t joined = join(slot, annotation);
+  if (joined != slot) {
+    slot = joined;
+    changed_ = true;
+  }
+}
+
+bool BindingTimeAnalysis::iterate() {
+  changed_ = false;
+  // Jacobi snapshot: this pass reads the previous pass's solution.
+  prev_bt_ = bt_;
+  prev_ret_ = ret_bt_;
+  for (std::size_t fn = 0; fn < program_->functions.size(); ++fn) {
+    pending_return_ = kStatic;
+    for (const auto& stmt : program_->functions[fn].body)
+      visit_stmt(*stmt, kStatic);
+    std::uint8_t joined = join(ret_bt_[fn], pending_return_);
+    if (joined != ret_bt_[fn]) {
+      ret_bt_[fn] = joined;
+      changed_ = true;
+    }
+  }
+  return changed_;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,120 @@
+#include "analysis/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+AnalysisEngine::AnalysisEngine(Program& program, core::Heap& heap)
+    : program_(&program) {
+  attrs_.reserve(program.statements.size());
+  for (Stmt* stmt : program.statements) {
+    auto* se = heap.make<SEEntry>();
+    auto* bt_leaf = heap.make<BT>();
+    auto* bt = heap.make<BTEntry>(bt_leaf);
+    auto* et_leaf = heap.make<ET>();
+    auto* et = heap.make<ETEntry>(et_leaf);
+    auto* attrs = heap.make<Attributes>(se, bt, et);
+    stmt->attrs = attrs;
+    attrs_.push_back(attrs);
+    attr_bases_.push_back(attrs);
+    attr_ptrs_.push_back(attrs);
+  }
+}
+
+void AnalysisEngine::reset_flags() noexcept {
+  for (Attributes* attrs : attrs_) {
+    attrs->info().reset_modified();
+    attrs->se()->info().reset_modified();
+    attrs->bt()->info().reset_modified();
+    attrs->bt()->leaf()->info().reset_modified();
+    attrs->et()->info().reset_modified();
+    attrs->et()->leaf()->info().reset_modified();
+  }
+}
+
+std::vector<bool> AnalysisEngine::save_flags() const {
+  std::vector<bool> flags;
+  flags.reserve(attrs_.size() * 6);
+  for (const Attributes* attrs : attrs_) {
+    flags.push_back(attrs->info().modified());
+    flags.push_back(attrs->se()->info().modified());
+    flags.push_back(attrs->bt()->info().modified());
+    flags.push_back(attrs->bt()->leaf()->info().modified());
+    flags.push_back(attrs->et()->info().modified());
+    flags.push_back(attrs->et()->leaf()->info().modified());
+  }
+  return flags;
+}
+
+void AnalysisEngine::restore_flags(const std::vector<bool>& flags) {
+  if (flags.size() != attrs_.size() * 6)
+    throw AnalysisError("restore_flags: snapshot size mismatch");
+  std::size_t i = 0;
+  auto apply = [&](core::CheckpointInfo& info) {
+    if (flags[i++])
+      info.set_modified();
+    else
+      info.reset_modified();
+  };
+  for (Attributes* attrs : attrs_) {
+    apply(attrs->info());
+    apply(attrs->se()->info());
+    apply(attrs->bt()->info());
+    apply(attrs->bt()->leaf()->info());
+    apply(attrs->et()->info());
+    apply(attrs->et()->leaf()->info());
+  }
+}
+
+int AnalysisEngine::run_side_effect(const IterationHook& hook) {
+  SideEffectAnalysis sea(*program_);
+  int iteration = 0;
+  bool changed = true;
+  while (changed) {
+    changed = sea.iterate();
+    ++iteration;
+    VarSet reads;
+    VarSet writes;
+    for (Stmt* stmt : program_->statements) {
+      sea.statement_effect(*stmt, reads, writes);
+      stmt->attrs->se()->set_sets(reads, writes);
+    }
+    if (hook) hook(iteration);
+  }
+  return iteration;
+}
+
+int AnalysisEngine::run_binding_time(const BtaConfig& config,
+                                     const IterationHook& hook) {
+  bta_ = std::make_unique<BindingTimeAnalysis>(*program_, config);
+  int iteration = 0;
+  bool changed = true;
+  while (changed) {
+    changed = bta_->iterate();
+    ++iteration;
+    for (Stmt* stmt : program_->statements)
+      stmt->attrs->bt()->leaf()->set_annotation(
+          bta_->statement_bt(stmt->index));
+    if (hook) hook(iteration);
+  }
+  return iteration;
+}
+
+int AnalysisEngine::run_eval_time(const IterationHook& hook) {
+  if (bta_ == nullptr)
+    throw AnalysisError("run_eval_time requires run_binding_time first");
+  EvalTimeAnalysis eta(*program_, *bta_);
+  int iteration = 0;
+  bool changed = true;
+  while (changed) {
+    changed = eta.iterate();
+    ++iteration;
+    for (Stmt* stmt : program_->statements)
+      stmt->attrs->et()->leaf()->set_annotation(
+          eta.statement_et(stmt->index));
+    if (hook) hook(iteration);
+  }
+  return iteration;
+}
+
+}  // namespace ickpt::analysis

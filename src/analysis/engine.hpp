@@ -1,0 +1,63 @@
+// AnalysisEngine: attach an Attributes structure to every statement and run
+// the three analysis phases, invoking a hook after each fixpoint iteration —
+// "the end of an iteration is a natural time at which to take a checkpoint"
+// (paper §4.1). The hook is where callers checkpoint the Attributes roots.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "analysis/attributes.hpp"
+#include "analysis/binding_time.hpp"
+#include "analysis/eval_time.hpp"
+#include "analysis/side_effect.hpp"
+
+namespace ickpt::analysis {
+
+class AnalysisEngine {
+ public:
+  /// Allocates the per-statement Attributes trees into `heap`.
+  AnalysisEngine(Program& program, core::Heap& heap);
+
+  /// Called after each iteration's annotations have been written (iteration
+  /// numbers start at 1).
+  using IterationHook = std::function<void(int iteration)>;
+
+  /// Run a phase to its fixpoint; returns the number of iterations.
+  int run_side_effect(const IterationHook& hook = {});
+  int run_binding_time(const BtaConfig& config, const IterationHook& hook = {});
+  /// Requires run_binding_time() to have completed.
+  int run_eval_time(const IterationHook& hook = {});
+
+  [[nodiscard]] Program& program() noexcept { return *program_; }
+  [[nodiscard]] std::span<Attributes* const> attributes() const noexcept {
+    return attrs_;
+  }
+  /// The Attributes roots as Checkpointable pointers (generic driver input).
+  [[nodiscard]] std::span<core::Checkpointable* const> attr_bases()
+      const noexcept {
+    return attr_bases_;
+  }
+  /// The same roots as concrete void pointers (plan executor input).
+  [[nodiscard]] std::span<void* const> attr_ptrs() const noexcept {
+    return attr_ptrs_;
+  }
+
+  /// Clear every modified flag on the annotation graph (as a completed
+  /// checkpoint would).
+  void reset_flags() noexcept;
+
+  /// Snapshot / restore every modified flag on the annotation graph, for
+  /// equivalence tests that run several checkpointers on identical state.
+  [[nodiscard]] std::vector<bool> save_flags() const;
+  void restore_flags(const std::vector<bool>& flags);
+
+ private:
+  Program* program_;
+  std::vector<Attributes*> attrs_;
+  std::vector<core::Checkpointable*> attr_bases_;
+  std::vector<void*> attr_ptrs_;
+  std::unique_ptr<BindingTimeAnalysis> bta_;  // kept for the ETA phase
+};
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,128 @@
+#include "analysis/eval_time.hpp"
+
+#include "analysis/attributes.hpp"
+
+namespace ickpt::analysis {
+
+EvalTimeAnalysis::EvalTimeAnalysis(const Program& program,
+                                   const BindingTimeAnalysis& bta)
+    : program_(&program), bta_(&bta) {
+  var_et_.resize(static_cast<std::size_t>(program.symbols.size()));
+  for (int s = 0; s < program.symbols.size(); ++s)
+    var_et_[static_cast<std::size_t>(s)] =
+        bta.symbol_bt(s) == kStatic ? kEvaluable : kResidual;
+  ret_et_.resize(program.functions.size(), kEvaluable);
+  stmt_et_.resize(program.statements.size());
+  for (const Stmt* stmt : program.statements)
+    stmt_et_[static_cast<std::size_t>(stmt->index)] =
+        bta.statement_bt(stmt->index) == kStatic ? kEvaluable : kResidual;
+}
+
+void EvalTimeAnalysis::degrade_symbol(int symbol) {
+  auto& slot = var_et_[static_cast<std::size_t>(symbol)];
+  if (slot != kResidual) {
+    slot = kResidual;
+    changed_ = true;
+  }
+}
+
+bool EvalTimeAnalysis::expr_evaluable(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return true;
+    case ExprKind::kVar:
+      return var_et_[static_cast<std::size_t>(expr.symbol)] == kEvaluable;
+    case ExprKind::kIndex:
+      return var_et_[static_cast<std::size_t>(expr.symbol)] == kEvaluable &&
+             expr_evaluable(*expr.operands[0]);
+    case ExprKind::kUnary:
+      return expr_evaluable(*expr.operands[0]);
+    case ExprKind::kBinary:
+      return expr_evaluable(*expr.operands[0]) &&
+             expr_evaluable(*expr.operands[1]);
+    case ExprKind::kCall: {
+      const Function& callee =
+          program_->functions[static_cast<std::size_t>(expr.callee_index)];
+      bool ok = ret_et_[static_cast<std::size_t>(expr.callee_index)] ==
+                kEvaluable;
+      for (std::size_t i = 0; i < expr.operands.size(); ++i) {
+        bool arg_ok = expr_evaluable(*expr.operands[i]);
+        if (!arg_ok) degrade_symbol(callee.params[i]);
+        ok = ok && arg_ok;
+      }
+      return ok;
+    }
+  }
+  return false;
+}
+
+void EvalTimeAnalysis::visit_stmt(const Stmt& stmt) {
+  bool evaluable =
+      stmt_et_[static_cast<std::size_t>(stmt.index)] == kEvaluable;
+  switch (stmt.kind) {
+    case StmtKind::kDecl:
+    case StmtKind::kAssign: {
+      bool rhs_ok =
+          stmt.expr1 == nullptr || expr_evaluable(*stmt.expr1);
+      if (stmt.expr3 != nullptr) rhs_ok = rhs_ok && expr_evaluable(*stmt.expr3);
+      if (!rhs_ok || !evaluable) {
+        degrade_symbol(stmt.symbol);
+        evaluable = false;
+      }
+      break;
+    }
+    case StmtKind::kIf:
+    case StmtKind::kWhile: {
+      evaluable = evaluable && expr_evaluable(*stmt.expr1);
+      for (const auto& child : stmt.body) visit_stmt(*child);
+      for (const auto& child : stmt.else_body) visit_stmt(*child);
+      break;
+    }
+    case StmtKind::kFor: {
+      visit_stmt(*stmt.init_stmt);
+      evaluable = evaluable && expr_evaluable(*stmt.expr1);
+      visit_stmt(*stmt.step_stmt);
+      for (const auto& child : stmt.body) visit_stmt(*child);
+      break;
+    }
+    case StmtKind::kReturn:
+    case StmtKind::kExpr:
+      evaluable = evaluable && expr_evaluable(*stmt.expr1);
+      break;
+  }
+  auto& slot = stmt_et_[static_cast<std::size_t>(stmt.index)];
+  if (!evaluable && slot != kResidual) {
+    slot = kResidual;
+    changed_ = true;
+  }
+}
+
+void EvalTimeAnalysis::scan_returns(
+    const std::vector<std::unique_ptr<Stmt>>& body, bool& ok) const {
+  for (const auto& stmt : body) {
+    if (stmt->kind == StmtKind::kReturn &&
+        stmt_et_[static_cast<std::size_t>(stmt->index)] == kResidual)
+      ok = false;
+    scan_returns(stmt->body, ok);
+    scan_returns(stmt->else_body, ok);
+  }
+}
+
+bool EvalTimeAnalysis::iterate() {
+  changed_ = false;
+  for (std::size_t fn = 0; fn < program_->functions.size(); ++fn)
+    for (const auto& stmt : program_->functions[fn].body) visit_stmt(*stmt);
+  // A function whose return statements degraded poisons its callers on the
+  // next pass.
+  for (std::size_t fn = 0; fn < program_->functions.size(); ++fn) {
+    bool ok = true;
+    scan_returns(program_->functions[fn].body, ok);
+    if (!ok && ret_et_[fn] != kResidual) {
+      ret_et_[fn] = kResidual;
+      changed_ = true;
+    }
+  }
+  return changed_;
+}
+
+}  // namespace ickpt::analysis

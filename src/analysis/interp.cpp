@@ -1,0 +1,276 @@
+#include "analysis/interp.hpp"
+
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+constexpr int kMaxCallDepth = 512;
+
+std::int32_t wrap(std::int64_t v) {
+  return static_cast<std::int32_t>(static_cast<std::uint64_t>(v));
+}
+}  // namespace
+
+Interpreter::Interpreter(const Program& program, InterpOptions opts)
+    : program_(&program), opts_(opts) {
+  const int nsymbols = program.symbols.size();
+  global_scalars_.resize(static_cast<std::size_t>(nsymbols), 0);
+  global_arrays_.resize(static_cast<std::size_t>(nsymbols));
+  for (int id : program.globals) {
+    const Symbol& symbol = program.symbols.at(id);
+    if (symbol.is_array) {
+      global_arrays_[static_cast<std::size_t>(id)].assign(
+          static_cast<std::size_t>(symbol.array_size), 0);
+    } else {
+      global_scalars_[static_cast<std::size_t>(id)] = symbol.init_value;
+    }
+  }
+  if (opts_.track_effects) {
+    reads_.resize(program.statements.size());
+    writes_.resize(program.statements.size());
+  }
+}
+
+void Interpreter::set_global(const std::string& name, std::int32_t value) {
+  int id = program_->find_global(name);
+  if (id < 0 || program_->symbols.at(id).is_array)
+    throw AnalysisError("set_global: no scalar global '" + name + "'");
+  global_scalars_[static_cast<std::size_t>(id)] = value;
+}
+
+std::int32_t Interpreter::global_value(int symbol) const {
+  return global_scalars_.at(static_cast<std::size_t>(symbol));
+}
+
+const std::vector<std::int32_t>& Interpreter::global_array(int symbol) const {
+  return global_arrays_.at(static_cast<std::size_t>(symbol));
+}
+
+const VarSet& Interpreter::observed_reads(int stmt_index) const {
+  return reads_.at(static_cast<std::size_t>(stmt_index));
+}
+
+const VarSet& Interpreter::observed_writes(int stmt_index) const {
+  return writes_.at(static_cast<std::size_t>(stmt_index));
+}
+
+void Interpreter::tick() {
+  if (++steps_ > opts_.max_steps)
+    throw AnalysisError("interpreter exceeded its step budget");
+}
+
+void Interpreter::note_read(int symbol) {
+  if (!opts_.track_effects || !program_->symbols.is_global(symbol)) return;
+  for (int stmt : stmt_stack_)
+    varset_insert(reads_[static_cast<std::size_t>(stmt)], symbol);
+}
+
+void Interpreter::note_write(int symbol) {
+  if (!opts_.track_effects || !program_->symbols.is_global(symbol)) return;
+  for (int stmt : stmt_stack_)
+    varset_insert(writes_[static_cast<std::size_t>(stmt)], symbol);
+}
+
+std::int32_t& Interpreter::scalar_slot(int symbol, Frame& frame) {
+  if (program_->symbols.is_global(symbol))
+    return global_scalars_[static_cast<std::size_t>(symbol)];
+  return frame.locals[symbol];  // default-initialized to 0 on first touch
+}
+
+std::int32_t Interpreter::eval(const Expr& expr, Frame& frame) {
+  tick();
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return expr.value;
+    case ExprKind::kVar:
+      note_read(expr.symbol);
+      return scalar_slot(expr.symbol, frame);
+    case ExprKind::kIndex: {
+      std::int32_t index = eval(*expr.operands[0], frame);
+      note_read(expr.symbol);
+      auto& array = global_arrays_[static_cast<std::size_t>(expr.symbol)];
+      if (index < 0 || static_cast<std::size_t>(index) >= array.size())
+        throw AnalysisError(
+            "array index out of bounds at line " + std::to_string(expr.line) +
+            " (" + program_->symbols.at(expr.symbol).name + "[" +
+            std::to_string(index) + "])");
+      return array[static_cast<std::size_t>(index)];
+    }
+    case ExprKind::kUnary: {
+      std::int32_t v = eval(*expr.operands[0], frame);
+      return expr.un_op == UnOp::kNeg ? wrap(-static_cast<std::int64_t>(v))
+                                      : (v == 0 ? 1 : 0);
+    }
+    case ExprKind::kBinary: {
+      // && and || short-circuit, as in C.
+      if (expr.bin_op == BinOp::kAnd) {
+        return eval(*expr.operands[0], frame) != 0 &&
+                       eval(*expr.operands[1], frame) != 0
+                   ? 1
+                   : 0;
+      }
+      if (expr.bin_op == BinOp::kOr) {
+        return eval(*expr.operands[0], frame) != 0 ||
+                       eval(*expr.operands[1], frame) != 0
+                   ? 1
+                   : 0;
+      }
+      std::int64_t a = eval(*expr.operands[0], frame);
+      std::int64_t b = eval(*expr.operands[1], frame);
+      switch (expr.bin_op) {
+        case BinOp::kAdd: return wrap(a + b);
+        case BinOp::kSub: return wrap(a - b);
+        case BinOp::kMul: return wrap(a * b);
+        case BinOp::kDiv:
+          if (b == 0)
+            throw AnalysisError("division by zero at line " +
+                                std::to_string(expr.line));
+          return wrap(a / b);
+        case BinOp::kMod:
+          if (b == 0)
+            throw AnalysisError("modulo by zero at line " +
+                                std::to_string(expr.line));
+          return wrap(a % b);
+        case BinOp::kLt: return a < b ? 1 : 0;
+        case BinOp::kLe: return a <= b ? 1 : 0;
+        case BinOp::kGt: return a > b ? 1 : 0;
+        case BinOp::kGe: return a >= b ? 1 : 0;
+        case BinOp::kEq: return a == b ? 1 : 0;
+        case BinOp::kNe: return a != b ? 1 : 0;
+        default:
+          throw AnalysisError("unreachable binary operator");
+      }
+    }
+    case ExprKind::kCall: {
+      std::vector<std::int32_t> args;
+      args.reserve(expr.operands.size());
+      for (const auto& operand : expr.operands)
+        args.push_back(eval(*operand, frame));
+      return call(expr.callee_index, args);
+    }
+  }
+  throw AnalysisError("unreachable expression kind");
+}
+
+std::int32_t Interpreter::call(int function_index,
+                               const std::vector<std::int32_t>& args) {
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    throw AnalysisError("call depth exceeded (runaway recursion?)");
+  }
+  const Function& function =
+      program_->functions[static_cast<std::size_t>(function_index)];
+  Frame frame;
+  for (std::size_t i = 0; i < function.params.size(); ++i)
+    frame.locals[function.params[i]] = args[i];
+  ret_ = 0;
+  exec_body(function.body, frame);
+  --call_depth_;
+  return ret_;
+}
+
+bool Interpreter::exec_body(const std::vector<std::unique_ptr<Stmt>>& body,
+                            Frame& frame) {
+  for (const auto& stmt : body)
+    if (exec(*stmt, frame)) return true;
+  return false;
+}
+
+bool Interpreter::exec(const Stmt& stmt, Frame& frame) {
+  tick();
+  struct StackGuard {
+    std::vector<int>* stack;
+    explicit StackGuard(std::vector<int>* s) : stack(s) {}
+    ~StackGuard() {
+      if (stack != nullptr) stack->pop_back();
+    }
+  };
+  std::optional<StackGuard> guard;
+  if (opts_.track_effects) {
+    stmt_stack_.push_back(stmt.index);
+    guard.emplace(&stmt_stack_);
+  }
+
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      std::int32_t value =
+          stmt.expr1 != nullptr ? eval(*stmt.expr1, frame) : 0;
+      frame.locals[stmt.symbol] = value;
+      return false;
+    }
+    case StmtKind::kAssign: {
+      if (stmt.is_array_target) {
+        std::int32_t index = eval(*stmt.expr3, frame);
+        std::int32_t value = eval(*stmt.expr1, frame);
+        note_write(stmt.symbol);
+        auto& array = global_arrays_[static_cast<std::size_t>(stmt.symbol)];
+        if (index < 0 || static_cast<std::size_t>(index) >= array.size())
+          throw AnalysisError(
+              "array store out of bounds at line " +
+              std::to_string(stmt.line) + " (" +
+              program_->symbols.at(stmt.symbol).name + "[" +
+              std::to_string(index) + "])");
+        array[static_cast<std::size_t>(index)] = value;
+      } else {
+        std::int32_t value = eval(*stmt.expr1, frame);
+        note_write(stmt.symbol);
+        scalar_slot(stmt.symbol, frame) = value;
+      }
+      return false;
+    }
+    case StmtKind::kIf:
+      if (eval(*stmt.expr1, frame) != 0) return exec_body(stmt.body, frame);
+      return exec_body(stmt.else_body, frame);
+    case StmtKind::kWhile:
+      while (eval(*stmt.expr1, frame) != 0) {
+        if (exec_body(stmt.body, frame)) return true;
+        tick();
+      }
+      return false;
+    case StmtKind::kFor: {
+      if (exec(*stmt.init_stmt, frame)) return true;
+      while (eval(*stmt.expr1, frame) != 0) {
+        if (exec_body(stmt.body, frame)) return true;
+        if (exec(*stmt.step_stmt, frame)) return true;
+        tick();
+      }
+      return false;
+    }
+    case StmtKind::kReturn:
+      ret_ = eval(*stmt.expr1, frame);
+      return true;
+    case StmtKind::kExpr:
+      eval(*stmt.expr1, frame);
+      return false;
+  }
+  throw AnalysisError("unreachable statement kind");
+}
+
+std::int32_t Interpreter::call_function(int function_index,
+                                        const std::vector<std::int32_t>& args) {
+  const Function& function =
+      program_->functions.at(static_cast<std::size_t>(function_index));
+  if (function.params.size() != args.size())
+    throw AnalysisError("call_function: arity mismatch for '" +
+                        function.name + "'");
+  return call(function_index, args);
+}
+
+InterpResult Interpreter::run(const std::string& entry) {
+  if (ran_) throw AnalysisError("Interpreter::run called twice");
+  ran_ = true;
+  int index = program_->find_function(entry);
+  if (index < 0)
+    throw AnalysisError("no function '" + entry + "' to interpret");
+  if (!program_->functions[static_cast<std::size_t>(index)].params.empty())
+    throw AnalysisError("entry function must take no parameters");
+  InterpResult result;
+  result.exit_value = call(index, {});
+  result.steps = steps_;
+  return result;
+}
+
+}  // namespace ickpt::analysis

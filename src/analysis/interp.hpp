@@ -1,0 +1,89 @@
+// Reference interpreter for the simplified-C subset.
+//
+// Exists to validate the static analyses dynamically (tests only — nothing
+// in the checkpointing path depends on it):
+//   * every global read/write observed during execution must be contained
+//     in the side-effect analysis' per-statement sets (SEA is a sound
+//     may-analysis);
+//   * a global whose final value changes when a BTA-dynamic input changes
+//     must itself be classified dynamic by BTA.
+//
+// Semantics: 32-bit wrapping integer arithmetic; division/modulo by zero
+// and out-of-bounds indexing abort with AnalysisError; a step budget guards
+// against non-terminating inputs. Execution is deterministic.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/ast.hpp"
+#include "analysis/side_effect.hpp"
+
+namespace ickpt::analysis {
+
+struct InterpOptions {
+  std::uint64_t max_steps = 200'000'000;
+  /// Record per-statement global read/write sets (costs a stack walk per
+  /// global access; enable for analysis-validation tests).
+  bool track_effects = false;
+};
+
+struct InterpResult {
+  std::int32_t exit_value = 0;
+  std::uint64_t steps = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& program, InterpOptions opts = {});
+
+  /// Execute `entry` (default main, no arguments). Can be called once.
+  InterpResult run(const std::string& entry = "main");
+
+  /// Evaluate one function call against the current global state (used by
+  /// the residualizer to fold calls to pure-static functions). Unlike
+  /// run(), may be invoked repeatedly; the caller is responsible for only
+  /// folding calls whose effects are provably empty.
+  std::int32_t call_function(int function_index,
+                             const std::vector<std::int32_t>& args);
+
+  /// Override a global scalar's initial value before run() (e.g. vary the
+  /// dynamic `seed` input).
+  void set_global(const std::string& name, std::int32_t value);
+
+  [[nodiscard]] std::int32_t global_value(int symbol) const;
+  [[nodiscard]] const std::vector<std::int32_t>& global_array(int symbol) const;
+
+  /// Observed effects (valid after run() with track_effects).
+  [[nodiscard]] const VarSet& observed_reads(int stmt_index) const;
+  [[nodiscard]] const VarSet& observed_writes(int stmt_index) const;
+
+ private:
+  struct Frame {
+    std::unordered_map<int, std::int32_t> locals;  // symbol id -> value
+  };
+
+  std::int32_t eval(const Expr& expr, Frame& frame);
+  /// Returns true when a `return` has fired; the value lands in ret_.
+  bool exec(const Stmt& stmt, Frame& frame);
+  bool exec_body(const std::vector<std::unique_ptr<Stmt>>& body, Frame& frame);
+  std::int32_t call(int function_index, const std::vector<std::int32_t>& args);
+  void tick();
+  void note_read(int symbol);
+  void note_write(int symbol);
+  std::int32_t& scalar_slot(int symbol, Frame& frame);
+
+  const Program* program_;
+  InterpOptions opts_;
+  std::vector<std::int32_t> global_scalars_;          // by symbol id
+  std::vector<std::vector<std::int32_t>> global_arrays_;  // by symbol id
+  std::vector<VarSet> reads_;
+  std::vector<VarSet> writes_;
+  std::vector<int> stmt_stack_;  // active statement indices (incl. callers)
+  std::int32_t ret_ = 0;
+  std::uint64_t steps_ = 0;
+  int call_depth_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ickpt::analysis

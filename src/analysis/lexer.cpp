@@ -1,0 +1,213 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIntLit: return "integer";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+  }
+  return "<bad token kind>";
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek() const noexcept {
+  return pos_ < src_.size() ? src_[pos_] : '\0';
+}
+
+char Lexer::peek2() const noexcept {
+  return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek2() == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek2() == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek2() == '/')) {
+        if (peek() == '\0')
+          throw ParseError("unterminated comment at line " +
+                           std::to_string(line_));
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  Token token;
+  token.line = line_;
+  token.column = column_;
+  char c = peek();
+  if (c == '\0') {
+    token.kind = TokenKind::kEof;
+    return token;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    std::int64_t value = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      value = value * 10 + (advance() - '0');
+      if (value > INT32_MAX)
+        throw ParseError("integer literal overflows int32 at line " +
+                         std::to_string(token.line));
+    }
+    token.kind = TokenKind::kIntLit;
+    token.value = static_cast<std::int32_t>(value);
+    return token;
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    std::string ident;
+    while (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+           peek() == '_')
+      ident.push_back(advance());
+    if (ident == "int")
+      token.kind = TokenKind::kKwInt;
+    else if (ident == "if")
+      token.kind = TokenKind::kKwIf;
+    else if (ident == "else")
+      token.kind = TokenKind::kKwElse;
+    else if (ident == "while")
+      token.kind = TokenKind::kKwWhile;
+    else if (ident == "for")
+      token.kind = TokenKind::kKwFor;
+    else if (ident == "return")
+      token.kind = TokenKind::kKwReturn;
+    else {
+      token.kind = TokenKind::kIdent;
+      token.text = std::move(ident);
+    }
+    return token;
+  }
+  advance();
+  switch (c) {
+    case '(': token.kind = TokenKind::kLParen; return token;
+    case ')': token.kind = TokenKind::kRParen; return token;
+    case '{': token.kind = TokenKind::kLBrace; return token;
+    case '}': token.kind = TokenKind::kRBrace; return token;
+    case '[': token.kind = TokenKind::kLBracket; return token;
+    case ']': token.kind = TokenKind::kRBracket; return token;
+    case ';': token.kind = TokenKind::kSemi; return token;
+    case ',': token.kind = TokenKind::kComma; return token;
+    case '+': token.kind = TokenKind::kPlus; return token;
+    case '-': token.kind = TokenKind::kMinus; return token;
+    case '*': token.kind = TokenKind::kStar; return token;
+    case '/': token.kind = TokenKind::kSlash; return token;
+    case '%': token.kind = TokenKind::kPercent; return token;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        token.kind = TokenKind::kEq;
+      } else {
+        token.kind = TokenKind::kAssign;
+      }
+      return token;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        token.kind = TokenKind::kLe;
+      } else {
+        token.kind = TokenKind::kLt;
+      }
+      return token;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        token.kind = TokenKind::kGe;
+      } else {
+        token.kind = TokenKind::kGt;
+      }
+      return token;
+    case '!':
+      if (peek() == '=') {
+        advance();
+        token.kind = TokenKind::kNe;
+      } else {
+        token.kind = TokenKind::kNot;
+      }
+      return token;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        token.kind = TokenKind::kAndAnd;
+        return token;
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        token.kind = TokenKind::kOrOr;
+        return token;
+      }
+      break;
+    default:
+      break;
+  }
+  throw ParseError("unexpected character '" + std::string(1, c) +
+                   "' at line " + std::to_string(token.line));
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(next());
+    if (tokens.back().kind == TokenKind::kEof) return tokens;
+  }
+}
+
+}  // namespace ickpt::analysis

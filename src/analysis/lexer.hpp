@@ -1,0 +1,32 @@
+// Lexer for the simplified-C subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/token.hpp"
+
+namespace ickpt::analysis {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenize the whole input (terminated by an kEof token).
+  /// Throws ParseError on an unexpected character.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  char peek() const noexcept;
+  char peek2() const noexcept;
+  char advance() noexcept;
+  void skip_ws_and_comments();
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace ickpt::analysis

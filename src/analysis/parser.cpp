@@ -1,0 +1,490 @@
+#include "analysis/parser.hpp"
+
+#include <unordered_map>
+
+#include "analysis/lexer.hpp"
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::unique_ptr<Program> run() {
+    program_ = std::make_unique<Program>();
+    while (!at(TokenKind::kEof)) parse_item();
+    resolve_calls();
+    return std::move(program_);
+  }
+
+ private:
+  // -- token helpers --------------------------------------------------------
+
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return cur().kind == kind; }
+
+  [[nodiscard]] bool at2(TokenKind kind) const {
+    return pos_ + 1 < tokens_.size() && tokens_[pos_ + 1].kind == kind;
+  }
+
+  Token eat() { return tokens_[pos_++]; }
+
+  Token expect(TokenKind kind, const char* context) {
+    if (!at(kind))
+      throw ParseError(std::string("expected ") + token_kind_name(kind) +
+                       " in " + context + ", found " +
+                       token_kind_name(cur().kind) + " at line " +
+                       std::to_string(cur().line));
+    return eat();
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError(what + " at line " + std::to_string(cur().line));
+  }
+
+  // -- scopes ---------------------------------------------------------------
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  int declare(Symbol symbol) {
+    auto& scope = scopes_.back();
+    if (scope.count(symbol.name) != 0)
+      fail("redeclaration of '" + symbol.name + "'");
+    std::string name = symbol.name;
+    int id = program_->symbols.add(std::move(symbol));
+    scope.emplace(std::move(name), id);
+    return id;
+  }
+
+  [[nodiscard]] int lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return -1;
+  }
+
+  // -- items ----------------------------------------------------------------
+
+  void parse_item() {
+    expect(TokenKind::kKwInt, "top-level declaration");
+    Token name = expect(TokenKind::kIdent, "top-level declaration");
+    if (at(TokenKind::kLParen)) {
+      parse_function(name.text);
+    } else {
+      parse_global(name.text);
+    }
+  }
+
+  void parse_global(const std::string& name) {
+    Symbol symbol;
+    symbol.name = name;
+    symbol.scope = SymbolScope::kGlobal;
+    if (at(TokenKind::kLBracket)) {
+      eat();
+      Token size = expect(TokenKind::kIntLit, "array size");
+      expect(TokenKind::kRBracket, "array declaration");
+      symbol.is_array = true;
+      symbol.array_size = size.value;
+      if (size.value <= 0) fail("array '" + name + "' has non-positive size");
+    }
+    if (at(TokenKind::kAssign)) {
+      eat();
+      if (symbol.is_array) fail("array initializers are not supported");
+      bool negative = false;
+      if (at(TokenKind::kMinus)) {
+        eat();
+        negative = true;
+      }
+      Token init = expect(TokenKind::kIntLit, "global initializer");
+      symbol.init_value = negative ? -init.value : init.value;
+    }
+    expect(TokenKind::kSemi, "global declaration");
+    program_->globals.push_back(declare(std::move(symbol)));
+  }
+
+  void parse_function(const std::string& name) {
+    Function function;
+    function.name = name;
+    function.index = static_cast<int>(program_->functions.size());
+    if (function_names_.count(name) != 0)
+      fail("redefinition of function '" + name + "'");
+    function_names_.emplace(name, function.index);
+    current_function_ = function.index;
+
+    push_scope();
+    expect(TokenKind::kLParen, "function definition");
+    if (!at(TokenKind::kRParen)) {
+      for (;;) {
+        expect(TokenKind::kKwInt, "parameter");
+        Token param = expect(TokenKind::kIdent, "parameter");
+        Symbol symbol;
+        symbol.name = param.text;
+        symbol.scope = SymbolScope::kParam;
+        symbol.function_index = function.index;
+        function.params.push_back(declare(std::move(symbol)));
+        if (!at(TokenKind::kComma)) break;
+        eat();
+      }
+    }
+    expect(TokenKind::kRParen, "function definition");
+    function.body = parse_block();
+    pop_scope();
+    current_function_ = -1;
+    program_->functions.push_back(std::move(function));
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  std::vector<std::unique_ptr<Stmt>> parse_block() {
+    expect(TokenKind::kLBrace, "block");
+    push_scope();
+    std::vector<std::unique_ptr<Stmt>> stmts;
+    while (!at(TokenKind::kRBrace)) stmts.push_back(parse_stmt());
+    eat();  // '}'
+    pop_scope();
+    return stmts;
+  }
+
+  std::unique_ptr<Stmt> make_stmt(StmtKind kind, int line) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = line;
+    stmt->index = static_cast<int>(program_->statements.size());
+    program_->statements.push_back(stmt.get());
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> parse_stmt() {
+    const int line = cur().line;
+    if (at(TokenKind::kKwInt)) {
+      eat();
+      Token name = expect(TokenKind::kIdent, "local declaration");
+      auto stmt = make_stmt(StmtKind::kDecl, line);
+      Symbol symbol;
+      symbol.name = name.text;
+      symbol.scope = SymbolScope::kLocal;
+      symbol.function_index = current_function_;
+      if (at(TokenKind::kAssign)) {
+        eat();
+        stmt->expr1 = parse_expr();
+      }
+      // Declare after the initializer so `int x = x;` is rejected.
+      stmt->symbol = declare(std::move(symbol));
+      expect(TokenKind::kSemi, "local declaration");
+      return stmt;
+    }
+    if (at(TokenKind::kKwIf)) {
+      eat();
+      auto stmt = make_stmt(StmtKind::kIf, line);
+      expect(TokenKind::kLParen, "if statement");
+      stmt->expr1 = parse_expr();
+      expect(TokenKind::kRParen, "if statement");
+      stmt->body = parse_block();
+      if (at(TokenKind::kKwElse)) {
+        eat();
+        stmt->else_body = parse_block();
+      }
+      return stmt;
+    }
+    if (at(TokenKind::kKwWhile)) {
+      eat();
+      auto stmt = make_stmt(StmtKind::kWhile, line);
+      expect(TokenKind::kLParen, "while statement");
+      stmt->expr1 = parse_expr();
+      expect(TokenKind::kRParen, "while statement");
+      stmt->body = parse_block();
+      return stmt;
+    }
+    if (at(TokenKind::kKwFor)) {
+      eat();
+      auto stmt = make_stmt(StmtKind::kFor, line);
+      expect(TokenKind::kLParen, "for statement");
+      stmt->init_stmt = parse_assign_clause();
+      expect(TokenKind::kSemi, "for statement");
+      stmt->expr1 = parse_expr();
+      expect(TokenKind::kSemi, "for statement");
+      stmt->step_stmt = parse_assign_clause();
+      expect(TokenKind::kRParen, "for statement");
+      stmt->body = parse_block();
+      return stmt;
+    }
+    if (at(TokenKind::kKwReturn)) {
+      eat();
+      auto stmt = make_stmt(StmtKind::kReturn, line);
+      stmt->expr1 = parse_expr();
+      expect(TokenKind::kSemi, "return statement");
+      return stmt;
+    }
+    if (at(TokenKind::kIdent) &&
+        (at2(TokenKind::kAssign) || at2(TokenKind::kLBracket))) {
+      // Could be an assignment or an indexed read used as a statement; an
+      // indexed *assignment* has '=' after the ']' — disambiguate by trying
+      // the assignment forms first.
+      if (at2(TokenKind::kAssign)) return parse_scalar_assign(line);
+      std::size_t saved_pos = pos_;
+      std::size_t saved_calls = pending_calls_.size();
+      auto stmt = try_parse_array_assign(line);
+      if (stmt != nullptr) return stmt;
+      // Not an assignment after all: rewind the speculative parse (token
+      // position, the statement slot, and any calls seen inside the index).
+      pos_ = saved_pos;
+      pending_calls_.resize(saved_calls);
+      program_->statements.pop_back();
+    }
+    auto stmt = make_stmt(StmtKind::kExpr, line);
+    stmt->expr1 = parse_expr();
+    expect(TokenKind::kSemi, "expression statement");
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> parse_assign_clause() {
+    const int line = cur().line;
+    if (!at(TokenKind::kIdent) || !at2(TokenKind::kAssign))
+      fail("for-clause must be a scalar assignment");
+    return parse_scalar_assign(line, /*eat_semi=*/false);
+  }
+
+  std::unique_ptr<Stmt> parse_scalar_assign(int line, bool eat_semi = true) {
+    Token name = expect(TokenKind::kIdent, "assignment");
+    auto stmt = make_stmt(StmtKind::kAssign, line);
+    stmt->symbol = resolve(name);
+    if (program_->symbols.at(stmt->symbol).is_array)
+      fail("cannot assign whole array '" + name.text + "'");
+    expect(TokenKind::kAssign, "assignment");
+    stmt->expr1 = parse_expr();
+    if (eat_semi) expect(TokenKind::kSemi, "assignment");
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> try_parse_array_assign(int line) {
+    Token name = eat();  // ident
+    auto stmt = make_stmt(StmtKind::kAssign, line);
+    stmt->is_array_target = true;
+    stmt->symbol = resolve(name);
+    eat();  // '['
+    stmt->expr3 = parse_expr();
+    expect(TokenKind::kRBracket, "array assignment");
+    if (!at(TokenKind::kAssign)) return nullptr;  // it was a read
+    if (!program_->symbols.at(stmt->symbol).is_array)
+      fail("indexed assignment to non-array '" + name.text + "'");
+    eat();  // '='
+    stmt->expr1 = parse_expr();
+    expect(TokenKind::kSemi, "array assignment");
+    return stmt;
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  int resolve(const Token& name) {
+    int id = lookup(name.text);
+    if (id < 0)
+      throw ParseError("use of undeclared variable '" + name.text +
+                       "' at line " + std::to_string(name.line));
+    return id;
+  }
+
+  std::unique_ptr<Expr> make_expr(ExprKind kind, int line) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = line;
+    return expr;
+  }
+
+  std::unique_ptr<Expr> parse_expr() { return parse_or(); }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto lhs = parse_and();
+    while (at(TokenKind::kOrOr)) {
+      int line = eat().line;
+      auto node = make_expr(ExprKind::kBinary, line);
+      node->bin_op = BinOp::kOr;
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_and());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto lhs = parse_equality();
+    while (at(TokenKind::kAndAnd)) {
+      int line = eat().line;
+      auto node = make_expr(ExprKind::kBinary, line);
+      node->bin_op = BinOp::kAnd;
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_equality());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_equality() {
+    auto lhs = parse_relational();
+    while (at(TokenKind::kEq) || at(TokenKind::kNe)) {
+      Token op = eat();
+      auto node = make_expr(ExprKind::kBinary, op.line);
+      node->bin_op = op.kind == TokenKind::kEq ? BinOp::kEq : BinOp::kNe;
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_relational());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_relational() {
+    auto lhs = parse_additive();
+    while (at(TokenKind::kLt) || at(TokenKind::kLe) || at(TokenKind::kGt) ||
+           at(TokenKind::kGe)) {
+      Token op = eat();
+      auto node = make_expr(ExprKind::kBinary, op.line);
+      switch (op.kind) {
+        case TokenKind::kLt: node->bin_op = BinOp::kLt; break;
+        case TokenKind::kLe: node->bin_op = BinOp::kLe; break;
+        case TokenKind::kGt: node->bin_op = BinOp::kGt; break;
+        default: node->bin_op = BinOp::kGe; break;
+      }
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_additive());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      Token op = eat();
+      auto node = make_expr(ExprKind::kBinary, op.line);
+      node->bin_op =
+          op.kind == TokenKind::kPlus ? BinOp::kAdd : BinOp::kSub;
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_multiplicative());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      Token op = eat();
+      auto node = make_expr(ExprKind::kBinary, op.line);
+      switch (op.kind) {
+        case TokenKind::kStar: node->bin_op = BinOp::kMul; break;
+        case TokenKind::kSlash: node->bin_op = BinOp::kDiv; break;
+        default: node->bin_op = BinOp::kMod; break;
+      }
+      node->operands.push_back(std::move(lhs));
+      node->operands.push_back(parse_unary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (at(TokenKind::kMinus) || at(TokenKind::kNot)) {
+      Token op = eat();
+      auto node = make_expr(ExprKind::kUnary, op.line);
+      node->un_op = op.kind == TokenKind::kMinus ? UnOp::kNeg : UnOp::kNot;
+      node->operands.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    if (at(TokenKind::kIntLit)) {
+      Token lit = eat();
+      auto node = make_expr(ExprKind::kIntLit, lit.line);
+      node->value = lit.value;
+      return node;
+    }
+    if (at(TokenKind::kLParen)) {
+      eat();
+      auto inner = parse_expr();
+      expect(TokenKind::kRParen, "parenthesized expression");
+      return inner;
+    }
+    if (at(TokenKind::kIdent)) {
+      Token name = eat();
+      if (at(TokenKind::kLParen)) {
+        eat();
+        auto node = make_expr(ExprKind::kCall, name.line);
+        if (!at(TokenKind::kRParen)) {
+          for (;;) {
+            node->operands.push_back(parse_expr());
+            if (!at(TokenKind::kComma)) break;
+            eat();
+          }
+        }
+        expect(TokenKind::kRParen, "call");
+        pending_calls_.push_back({node.get(), name.text, name.line});
+        return node;
+      }
+      if (at(TokenKind::kLBracket)) {
+        eat();
+        auto node = make_expr(ExprKind::kIndex, name.line);
+        node->symbol = resolve(name);
+        if (!program_->symbols.at(node->symbol).is_array)
+          fail("indexing non-array '" + name.text + "'");
+        node->operands.push_back(parse_expr());
+        expect(TokenKind::kRBracket, "array index");
+        return node;
+      }
+      auto node = make_expr(ExprKind::kVar, name.line);
+      node->symbol = resolve(name);
+      if (program_->symbols.at(node->symbol).is_array)
+        fail("array '" + name.text + "' used as a scalar");
+      return node;
+    }
+    fail(std::string("unexpected ") + token_kind_name(cur().kind) +
+         " in expression");
+  }
+
+  void resolve_calls() {
+    for (const PendingCall& call : pending_calls_) {
+      auto it = function_names_.find(call.name);
+      if (it == function_names_.end())
+        throw ParseError("call to undefined function '" + call.name +
+                         "' at line " + std::to_string(call.line));
+      const Function& callee = program_->functions[static_cast<std::size_t>(it->second)];
+      if (callee.params.size() != call.expr->operands.size())
+        throw ParseError("call to '" + call.name + "' with " +
+                         std::to_string(call.expr->operands.size()) +
+                         " args (expects " +
+                         std::to_string(callee.params.size()) + ") at line " +
+                         std::to_string(call.line));
+      call.expr->callee_index = it->second;
+    }
+  }
+
+  struct PendingCall {
+    Expr* expr;
+    std::string name;
+    int line;
+  };
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<Program> program_;
+  std::vector<std::unordered_map<std::string, int>> scopes_{1};
+  std::unordered_map<std::string, int> function_names_;
+  std::vector<PendingCall> pending_calls_;
+  int current_function_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parse_program(std::string_view source) {
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  return parser.run();
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,32 @@
+// Recursive-descent parser for the simplified-C subset.
+//
+// Grammar (see tests/analysis_parser_test.cpp for examples):
+//
+//   program     := (global_decl | function)*
+//   global_decl := 'int' ident ('[' intlit ']')? ('=' intlit)? ';'
+//   function    := 'int' ident '(' ('int' ident (',' 'int' ident)*)? ')' block
+//   block       := '{' stmt* '}'
+//   stmt        := 'int' ident ('=' expr)? ';'
+//               | ident '=' expr ';' | ident '[' expr ']' '=' expr ';'
+//               | 'if' '(' expr ')' block ('else' block)?
+//               | 'while' '(' expr ')' block
+//               | 'for' '(' assign ';' expr ';' assign ')' block
+//               | 'return' expr ';' | expr ';'
+//   expr        := C-style precedence over || && == != < <= > >= + - * / % ! -
+//   primary     := intlit | ident | ident '[' expr ']' | ident '(' args ')'
+//               | '(' expr ')'
+//
+// Name resolution happens during the parse (block-scoped, shadowing allowed);
+// calls to functions defined later are patched in a final pass.
+#pragma once
+
+#include <memory>
+
+#include "analysis/ast.hpp"
+
+namespace ickpt::analysis {
+
+/// Parse a whole program. Throws ParseError with a line number on rejection.
+std::unique_ptr<Program> parse_program(std::string_view source);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,233 @@
+#include "analysis/printer.hpp"
+
+#include <sstream>
+
+#include "analysis/attributes.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+
+const char* bin_op_text(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  Printer(const Program& program, const PrintOptions& opts)
+      : program_(&program), opts_(&opts) {}
+
+  std::string run() {
+    for (int id : program_->globals) {
+      const Symbol& symbol = program_->symbols.at(id);
+      out_ << "int " << symbol.name;
+      if (symbol.is_array) out_ << "[" << symbol.array_size << "]";
+      if (!symbol.is_array && symbol.init_value != 0)
+        out_ << " = " << symbol.init_value;
+      out_ << ";\n";
+    }
+    if (!program_->globals.empty()) out_ << "\n";
+    for (const Function& function : program_->functions) {
+      out_ << "int " << function.name << "(";
+      for (std::size_t i = 0; i < function.params.size(); ++i) {
+        if (i != 0) out_ << ", ";
+        out_ << "int " << program_->symbols.at(function.params[i]).name;
+      }
+      out_ << ") {\n";
+      print_body(function.body, 1);
+      out_ << "}\n\n";
+    }
+    return out_.str();
+  }
+
+  [[nodiscard]] std::string take() { return out_.str(); }
+
+  void expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        // Negative literals only arise from global initializers, which are
+        // printed separately; expression literals are non-negative.
+        out_ << e.value;
+        break;
+      case ExprKind::kVar:
+        out_ << program_->symbols.at(e.symbol).name;
+        break;
+      case ExprKind::kIndex:
+        out_ << program_->symbols.at(e.symbol).name << "[";
+        expr(*e.operands[0]);
+        out_ << "]";
+        break;
+      case ExprKind::kUnary:
+        out_ << (e.un_op == UnOp::kNeg ? "-" : "!") << "(";
+        expr(*e.operands[0]);
+        out_ << ")";
+        break;
+      case ExprKind::kBinary:
+        out_ << "(";
+        expr(*e.operands[0]);
+        out_ << " " << bin_op_text(e.bin_op) << " ";
+        expr(*e.operands[1]);
+        out_ << ")";
+        break;
+      case ExprKind::kCall: {
+        const Function& callee =
+            program_->functions[static_cast<std::size_t>(e.callee_index)];
+        out_ << callee.name << "(";
+        for (std::size_t i = 0; i < e.operands.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          expr(*e.operands[i]);
+        }
+        out_ << ")";
+        break;
+      }
+    }
+  }
+
+ private:
+  void indent(int level) {
+    for (int i = 0; i < level; ++i) out_ << "  ";
+  }
+
+  void annotation(const Stmt& stmt) {
+    if (!opts_->annotate || stmt.attrs == nullptr) {
+      out_ << "\n";
+      return;
+    }
+    const Attributes& attrs = *stmt.attrs;
+    out_ << "  // bt:"
+         << (attrs.bt()->leaf()->annotation() == kStatic ? 'S' : 'D')
+         << " et:"
+         << (attrs.et()->leaf()->annotation() == kEvaluable ? 'E' : 'R');
+    if (!attrs.se()->writes().empty()) {
+      out_ << " writes:{";
+      bool first = true;
+      for (std::int32_t id : attrs.se()->writes()) {
+        if (!first) out_ << ",";
+        first = false;
+        out_ << program_->symbols.at(id).name;
+      }
+      out_ << "}";
+    }
+    out_ << "\n";
+  }
+
+  /// Print an assignment without its terminating newline/semicolon context
+  /// (shared by plain statements and for-clauses).
+  void assign_clause(const Stmt& stmt) {
+    out_ << program_->symbols.at(stmt.symbol).name;
+    if (stmt.is_array_target) {
+      out_ << "[";
+      expr(*stmt.expr3);
+      out_ << "]";
+    }
+    out_ << " = ";
+    expr(*stmt.expr1);
+  }
+
+  void print_stmt(const Stmt& stmt, int level) {
+    indent(level);
+    switch (stmt.kind) {
+      case StmtKind::kDecl:
+        out_ << "int " << program_->symbols.at(stmt.symbol).name;
+        if (stmt.expr1 != nullptr) {
+          out_ << " = ";
+          expr(*stmt.expr1);
+        }
+        out_ << ";";
+        annotation(stmt);
+        break;
+      case StmtKind::kAssign:
+        assign_clause(stmt);
+        out_ << ";";
+        annotation(stmt);
+        break;
+      case StmtKind::kIf:
+        out_ << "if (";
+        expr(*stmt.expr1);
+        out_ << ") {";
+        annotation(stmt);
+        print_body(stmt.body, level + 1);
+        indent(level);
+        if (stmt.else_body.empty()) {
+          out_ << "}\n";
+        } else {
+          out_ << "} else {\n";
+          print_body(stmt.else_body, level + 1);
+          indent(level);
+          out_ << "}\n";
+        }
+        break;
+      case StmtKind::kWhile:
+        out_ << "while (";
+        expr(*stmt.expr1);
+        out_ << ") {";
+        annotation(stmt);
+        print_body(stmt.body, level + 1);
+        indent(level);
+        out_ << "}\n";
+        break;
+      case StmtKind::kFor:
+        out_ << "for (";
+        assign_clause(*stmt.init_stmt);
+        out_ << "; ";
+        expr(*stmt.expr1);
+        out_ << "; ";
+        assign_clause(*stmt.step_stmt);
+        out_ << ") {";
+        annotation(stmt);
+        print_body(stmt.body, level + 1);
+        indent(level);
+        out_ << "}\n";
+        break;
+      case StmtKind::kReturn:
+        out_ << "return ";
+        expr(*stmt.expr1);
+        out_ << ";";
+        annotation(stmt);
+        break;
+      case StmtKind::kExpr:
+        expr(*stmt.expr1);
+        out_ << ";";
+        annotation(stmt);
+        break;
+    }
+  }
+
+  void print_body(const std::vector<std::unique_ptr<Stmt>>& body, int level) {
+    for (const auto& stmt : body) print_stmt(*stmt, level);
+  }
+
+  const Program* program_;
+  const PrintOptions* opts_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string print_program(const Program& program, PrintOptions opts) {
+  return Printer(program, opts).run();
+}
+
+std::string print_expr(const Expr& e, const Program& program) {
+  PrintOptions opts;
+  Printer printer(program, opts);
+  printer.expr(e);
+  return printer.take();
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,27 @@
+// Pretty printer for the simplified-C AST.
+//
+// Prints a Program back to parsable source; optionally annotates each
+// statement with the binding-time / evaluation-time classifications from
+// its Attributes record (the classic specializer view of an analyzed
+// program). Round-trip property: parse(print(p)) is structurally identical
+// to p — tested in analysis_interp_test.cpp.
+#pragma once
+
+#include <string>
+
+#include "analysis/ast.hpp"
+
+namespace ickpt::analysis {
+
+struct PrintOptions {
+  /// Append "// bt:S et:E"-style comments from each statement's Attributes
+  /// (statements without attached Attributes print unannotated).
+  bool annotate = false;
+};
+
+std::string print_program(const Program& program, PrintOptions opts = {});
+
+/// Print one expression (useful in diagnostics and tests).
+std::string print_expr(const Expr& expr, const Program& program);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,481 @@
+#include "analysis/program_gen.hpp"
+
+#include <sstream>
+
+namespace ickpt::analysis {
+
+namespace {
+
+/// Point-wise filter over img -> tmp -> img. `body` is an expression over
+/// the pixel value `v` (and any globals).
+void pointwise(std::ostream& out, const std::string& name,
+               const std::string& body) {
+  out << "int " << name << "() {\n"
+      << "  int x;\n"
+      << "  int v;\n"
+      << "  for (x = 0; x < npixels; x = x + 1) {\n"
+      << "    v = img[x];\n"
+      << "    tmp[x] = " << body << ";\n"
+      << "  }\n"
+      << "  for (x = 0; x < npixels; x = x + 1) {\n"
+      << "    img[x] = clamp(tmp[x], 0, maxval);\n"
+      << "  }\n"
+      << "  return 0;\n"
+      << "}\n\n";
+}
+
+/// 3x3 convolution with integer kernel weights (row-major) and divisor.
+void convolution(std::ostream& out, const std::string& name, const int k[9],
+                 int divisor) {
+  out << "int " << name << "() {\n"
+      << "  int x;\n"
+      << "  int y;\n"
+      << "  int acc;\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      acc = 0;\n";
+  const int dx[3] = {-1, 0, 1};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      int w = k[r * 3 + c];
+      if (w == 0) continue;
+      out << "      acc = acc + " << w << " * img[idx(x + " << dx[c]
+          << ", y + " << dx[r] << ")];\n";
+    }
+  }
+  out << "      tmp[idx(x, y)] = acc / " << divisor << ";\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n"
+      << "}\n\n";
+}
+
+}  // namespace
+
+std::string generate_image_program(int stages, int dim) {
+  if (stages < 1) stages = 1;
+  if (dim < 4) dim = 4;
+  const int npixels = dim * dim;
+  std::ostringstream out;
+
+  out << "// Synthetic image-manipulation program (simplified-C subset).\n"
+      << "// Generated input for the analysis engine; see program_gen.cpp.\n\n";
+
+  // --- globals -------------------------------------------------------------
+  out << "int width = " << dim << ";\n"
+      << "int height = " << dim << ";\n"
+      << "int npixels = " << npixels << ";\n"
+      << "int maxval = 255;\n"
+      << "int gain = 3;\n"
+      << "int bias = 7;\n"
+      << "int threshold = 128;\n"
+      << "int levels = 4;\n"
+      << "int edge_lo = 32;\n"
+      << "int edge_hi = 224;\n"
+      << "int img[" << npixels << "];\n"
+      << "int tmp[" << npixels << "];\n"
+      << "int out_img[" << npixels << "];\n"
+      << "int hist[256];\n"
+      << "int lut[256];\n"
+      << "int seed = 12345;\n"
+      << "int checksum = 0;\n\n";
+
+  // --- arithmetic helpers (a call chain several levels deep, so BTA takes
+  // --- multiple passes to converge) ----------------------------------------
+  out << "int mini(int a, int b) {\n"
+      << "  if (a < b) {\n    return a;\n  }\n  return b;\n}\n\n"
+      << "int maxi(int a, int b) {\n"
+      << "  if (a > b) {\n    return a;\n  }\n  return b;\n}\n\n"
+      << "int clamp(int v, int lo, int hi) {\n"
+      << "  return maxi(lo, mini(v, hi));\n}\n\n"
+      << "int absi(int v) {\n"
+      << "  if (v < 0) {\n    return 0 - v;\n  }\n  return v;\n}\n\n"
+      << "int idx(int x, int y) {\n"
+      << "  return y * width + x;\n}\n\n"
+      << "int get_pixel(int x, int y) {\n"
+      << "  return img[idx(clamp(x, 0, width - 1), clamp(y, 0, height - 1))];"
+      << "\n}\n\n"
+      << "int put_tmp(int x, int y, int v) {\n"
+      << "  tmp[idx(x, y)] = v;\n  return v;\n}\n\n"
+      << "int rand_next() {\n"
+      << "  seed = seed * 1103 + 12345;\n"
+      << "  seed = seed % 65536;\n"
+      << "  if (seed < 0) {\n    seed = seed + 65536;\n  }\n"
+      << "  return seed % 256;\n}\n\n"
+      << "int lerp(int a, int b, int t) {\n"
+      << "  return a + ((b - a) * t) / 256;\n}\n\n";
+
+  // --- point-wise filters ----------------------------------------------------
+  pointwise(out, "brightness", "v + bias");
+  pointwise(out, "darken", "v - bias");
+  pointwise(out, "contrast_scale", "((v - 128) * gain) / 2 + 128");
+  pointwise(out, "invert", "maxval - v");
+  pointwise(out, "threshold_filter",
+            "(v >= threshold) * maxval");
+  pointwise(out, "quantize", "(v / (256 / levels)) * (256 / levels)");
+  pointwise(out, "gamma_approx", "(v * v) / maxval");
+  pointwise(out, "soft_clip", "mini(maxval, (v * 3) / 2)");
+
+  // --- 3x3 convolutions ------------------------------------------------------
+  {
+    const int blur[9] = {1, 1, 1, 1, 1, 1, 1, 1, 1};
+    convolution(out, "blur3", blur, 9);
+    const int sharpen[9] = {0, -1, 0, -1, 8, -1, 0, -1, 0};
+    convolution(out, "sharpen3", sharpen, 4);
+    const int sobelx[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+    convolution(out, "sobel_x", sobelx, 1);
+    const int sobely[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+    convolution(out, "sobel_y", sobely, 1);
+    const int emboss[9] = {-2, -1, 0, -1, 1, 1, 0, 1, 2};
+    convolution(out, "emboss", emboss, 1);
+  }
+
+  pointwise(out, "posterize2", "(v / 64) * 64");
+  pointwise(out, "gain_up", "(v * (gain + 1)) / gain");
+  pointwise(out, "gain_down", "(v * gain) / (gain + 1)");
+  pointwise(out, "bias_shift", "v + bias - 3");
+  pointwise(out, "clip_low", "maxi(v, edge_lo)");
+  pointwise(out, "clip_high", "mini(v, edge_hi)");
+  pointwise(out, "stretch", "((v - edge_lo) * maxval) / maxi(1, edge_hi - edge_lo)");
+  pointwise(out, "fold_mid", "absi(v - 128) * 2");
+
+  {
+    const int laplacian[9] = {0, 1, 0, 1, -4, 1, 0, 1, 0};
+    convolution(out, "laplacian", laplacian, 1);
+    const int motion[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    convolution(out, "motion_blur", motion, 3);
+    const int box_top[9] = {1, 1, 1, 1, 1, 1, 0, 0, 0};
+    convolution(out, "box_top", box_top, 6);
+    const int box_bottom[9] = {0, 0, 0, 1, 1, 1, 1, 1, 1};
+    convolution(out, "box_bottom", box_bottom, 6);
+    const int cross[9] = {0, 1, 0, 1, 1, 1, 0, 1, 0};
+    convolution(out, "cross_blur", cross, 5);
+  }
+
+  // --- neighborhood min/max (rank filters) -----------------------------------
+  out << "int min_filter() {\n"
+      << "  int x;\n  int y;\n  int m;\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      m = get_pixel(x, y);\n"
+      << "      m = mini(m, get_pixel(x - 1, y));\n"
+      << "      m = mini(m, get_pixel(x + 1, y));\n"
+      << "      m = mini(m, get_pixel(x, y - 1));\n"
+      << "      m = mini(m, get_pixel(x, y + 1));\n"
+      << "      put_tmp(x, y, m);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      img[idx(x, y)] = tmp[idx(x, y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int max_filter() {\n"
+      << "  int x;\n  int y;\n  int m;\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      m = get_pixel(x, y);\n"
+      << "      m = maxi(m, get_pixel(x - 1, y));\n"
+      << "      m = maxi(m, get_pixel(x + 1, y));\n"
+      << "      m = maxi(m, get_pixel(x, y - 1));\n"
+      << "      m = maxi(m, get_pixel(x, y + 1));\n"
+      << "      put_tmp(x, y, m);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      img[idx(x, y)] = tmp[idx(x, y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int gradient_magnitude() {\n"
+      << "  int x;\n  int y;\n  int gx;\n  int gy;\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      gx = get_pixel(x + 1, y) - get_pixel(x - 1, y);\n"
+      << "      gy = get_pixel(x, y + 1) - get_pixel(x, y - 1);\n"
+      << "      tmp[idx(x, y)] = absi(gx) + absi(gy);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 1; y < height - 1; y = y + 1) {\n"
+      << "    for (x = 1; x < width - 1; x = x + 1) {\n"
+      << "      out_img[idx(x, y)] = clamp(tmp[idx(x, y)], 0, maxval);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int row_normalize() {\n"
+      << "  int x;\n  int y;\n  int lo;\n  int hi;\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    lo = maxval;\n"
+      << "    hi = 0;\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      lo = mini(lo, img[idx(x, y)]);\n"
+      << "      hi = maxi(hi, img[idx(x, y)]);\n"
+      << "    }\n"
+      << "    if (hi > lo) {\n"
+      << "      for (x = 0; x < width; x = x + 1) {\n"
+      << "        img[idx(x, y)] = ((img[idx(x, y)] - lo) * maxval) / (hi - lo);\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int column_sum_profile() {\n"
+      << "  int x;\n  int y;\n  int acc;\n"
+      << "  for (x = 0; x < width; x = x + 1) {\n"
+      << "    acc = 0;\n"
+      << "    for (y = 0; y < height; y = y + 1) {\n"
+      << "      acc = acc + img[idx(x, y)];\n"
+      << "    }\n"
+      << "    hist[x % 256] = acc / height;\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int dither_ordered() {\n"
+      << "  int x;\n  int y;\n  int t;\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      t = ((x % 2) * 2 + (y % 2)) * 64;\n"
+      << "      if (img[idx(x, y)] > t) {\n"
+      << "        img[idx(x, y)] = maxval;\n"
+      << "      } else {\n"
+      << "        img[idx(x, y)] = 0;\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  // --- histogram and LUT passes ----------------------------------------------
+  out << "int histogram_build() {\n"
+      << "  int i;\n"
+      << "  for (i = 0; i < 256; i = i + 1) {\n"
+      << "    hist[i] = 0;\n"
+      << "  }\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    hist[clamp(img[i], 0, maxval)] = hist[clamp(img[i], 0, maxval)] + 1;\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int histogram_equalize_lut() {\n"
+      << "  int i;\n"
+      << "  int cum;\n"
+      << "  cum = 0;\n"
+      << "  for (i = 0; i < 256; i = i + 1) {\n"
+      << "    cum = cum + hist[i];\n"
+      << "    lut[i] = clamp((cum * maxval) / npixels, 0, maxval);\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int apply_lut() {\n"
+      << "  int i;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    img[i] = lut[clamp(img[i], 0, maxval)];\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  // --- geometric transforms ----------------------------------------------------
+  out << "int mirror_horizontal() {\n"
+      << "  int x;\n  int y;\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      tmp[idx(x, y)] = img[idx(width - 1 - x, y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      img[idx(x, y)] = tmp[idx(x, y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int mirror_vertical() {\n"
+      << "  int x;\n  int y;\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      tmp[idx(x, y)] = img[idx(x, height - 1 - y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      img[idx(x, y)] = tmp[idx(x, y)];\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int rotate180() {\n"
+      << "  int i;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    tmp[i] = img[npixels - 1 - i];\n"
+      << "  }\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    img[i] = tmp[i];\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int downscale_half() {\n"
+      << "  int x;\n  int y;\n  int acc;\n"
+      << "  for (y = 0; y < height / 2; y = y + 1) {\n"
+      << "    for (x = 0; x < width / 2; x = x + 1) {\n"
+      << "      acc = get_pixel(2 * x, 2 * y) + get_pixel(2 * x + 1, 2 * y)\n"
+      << "          + get_pixel(2 * x, 2 * y + 1)"
+      << " + get_pixel(2 * x + 1, 2 * y + 1);\n"
+      << "      out_img[idx(x, y)] = acc / 4;\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int add_noise() {\n"
+      << "  int i;\n  int n;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    n = rand_next() / 16;\n"
+      << "    img[i] = clamp(img[i] + n - 8, 0, maxval);\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int edge_mask() {\n"
+      << "  int i;\n  int v;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    v = img[i];\n"
+      << "    if (v < edge_lo) {\n"
+      << "      out_img[i] = 0;\n"
+      << "    } else {\n"
+      << "      if (v > edge_hi) {\n"
+      << "        out_img[i] = maxval;\n"
+      << "      } else {\n"
+      << "        out_img[i] = v;\n"
+      << "      }\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int blend_with_out(int t) {\n"
+      << "  int i;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    img[i] = lerp(img[i], out_img[i], t);\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  out << "int image_checksum() {\n"
+      << "  int i;\n  int sum;\n"
+      << "  sum = 0;\n"
+      << "  for (i = 0; i < npixels; i = i + 1) {\n"
+      << "    sum = (sum + img[i]) % 1000000007;\n"
+      << "  }\n"
+      << "  checksum = sum;\n"
+      << "  return sum;\n}\n\n";
+
+  out << "int init_image() {\n"
+      << "  int x;\n  int y;\n"
+      << "  for (y = 0; y < height; y = y + 1) {\n"
+      << "    for (x = 0; x < width; x = x + 1) {\n"
+      << "      img[idx(x, y)] = (x * 255) / maxi(1, width - 1);\n"
+      << "    }\n"
+      << "  }\n"
+      << "  return 0;\n}\n\n";
+
+  // --- per-stage filter variants (scale the program with `stages`) -----------
+  for (int s = 2; s <= stages; ++s) {
+    const std::string suffix = "_v" + std::to_string(s);
+    pointwise(out, "brightness" + suffix,
+              "v + bias + " + std::to_string(s));
+    pointwise(out, "contrast" + suffix,
+              "((v - 128) * (gain + " + std::to_string(s) + ")) / 2 + 128");
+    pointwise(out, "quantize" + suffix,
+              "(v / " + std::to_string(8 * s) + ") * " +
+                  std::to_string(8 * s));
+    pointwise(out, "blend_const" + suffix,
+              "lerp(v, " + std::to_string((s * 37) % 256) + ", 128)");
+    const int ring[9] = {1, 1, 1, 1, s, 1, 1, 1, 1};
+    convolution(out, "ring_blur" + suffix, ring, 8 + s);
+    const int diag[9] = {s, 0, 0, 0, 1, 0, 0, 0, -s};
+    convolution(out, "diag_grad" + suffix, diag, 1);
+  }
+
+  // --- driver ------------------------------------------------------------------
+  out << "int pipeline_stage(int strength) {\n"
+      << "  brightness();\n"
+      << "  blur3();\n"
+      << "  contrast_scale();\n"
+      << "  sharpen3();\n"
+      << "  if (strength > 1) {\n"
+      << "    sobel_x();\n"
+      << "    sobel_y();\n"
+      << "    emboss();\n"
+      << "  }\n"
+      << "  histogram_build();\n"
+      << "  histogram_equalize_lut();\n"
+      << "  apply_lut();\n"
+      << "  return image_checksum();\n}\n\n";
+
+  out << "int main() {\n"
+      << "  int stage;\n"
+      << "  int total;\n"
+      << "  total = 0;\n"
+      << "  init_image();\n"
+      << "  add_noise();\n";
+  for (int s = 0; s < stages; ++s) {
+    if (s >= 1) {
+      const std::string suffix = "_v" + std::to_string(s + 1);
+      out << "  brightness" << suffix << "();\n"
+          << "  ring_blur" << suffix << "();\n"
+          << "  contrast" << suffix << "();\n"
+          << "  diag_grad" << suffix << "();\n"
+          << "  quantize" << suffix << "();\n"
+          << "  blend_const" << suffix << "();\n";
+    }
+    out << "  for (stage = 0; stage < 3; stage = stage + 1) {\n"
+        << "    total = total + pipeline_stage(stage);\n"
+        << "  }\n"
+        << "  laplacian();\n"
+        << "  motion_blur();\n"
+        << "  box_top();\n"
+        << "  box_bottom();\n"
+        << "  cross_blur();\n"
+        << "  min_filter();\n"
+        << "  max_filter();\n"
+        << "  gradient_magnitude();\n"
+        << "  row_normalize();\n"
+        << "  column_sum_profile();\n"
+        << "  dither_ordered();\n"
+        << "  posterize2();\n"
+        << "  gain_up();\n"
+        << "  gain_down();\n"
+        << "  bias_shift();\n"
+        << "  clip_low();\n"
+        << "  clip_high();\n"
+        << "  stretch();\n"
+        << "  fold_mid();\n"
+        << "  mirror_horizontal();\n"
+        << "  quantize();\n"
+        << "  gamma_approx();\n"
+        << "  mirror_vertical();\n"
+        << "  rotate180();\n"
+        << "  threshold_filter();\n"
+        << "  invert();\n"
+        << "  soft_clip();\n"
+        << "  darken();\n"
+        << "  edge_mask();\n"
+        << "  blend_with_out(128);\n"
+        << "  downscale_half();\n";
+  }
+  out << "  return total + image_checksum();\n}\n";
+
+  return out.str();
+}
+
+BtaConfig default_bta_config() {
+  BtaConfig config;
+  config.dynamic_globals = {"img", "seed"};
+  return config;
+}
+
+}  // namespace ickpt::analysis

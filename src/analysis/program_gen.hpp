@@ -1,0 +1,28 @@
+// Generator for the analysis engine's input: a ~750-line image-manipulation
+// program in the simplified-C subset, standing in for the one the paper
+// analyzes ("We have analyzed a 750-line image manipulation program").
+//
+// The program is deterministic and self-contained: global pixel buffers,
+// arithmetic helpers, a family of point-wise filters, 3x3 convolutions,
+// histogram/LUT passes, and geometric transforms, sequenced by main().
+// Pixel data (img/tmp/out_img/seed) is dynamic at specialization time; the
+// geometry and filter parameters are static — see default_bta_config().
+#pragma once
+
+#include <string>
+
+#include "analysis/binding_time.hpp"
+
+namespace ickpt::analysis {
+
+/// Source text of the image program. `stages` repeats the filter pipeline in
+/// main() and adds variant filters; 1 yields ~750 lines. `dim` is the image
+/// side length (pixel buffers are dim*dim ints) — interpretation cost scales
+/// with it, the analyses do not.
+std::string generate_image_program(int stages = 1, int dim = 64);
+
+/// The binding-time division the paper's scenario implies: pixel data is
+/// unknown at specialization time, geometry and parameters are known.
+BtaConfig default_bta_config();
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,344 @@
+#include "analysis/residualize.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/interp.hpp"
+#include "analysis/side_effect.hpp"
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+
+class Residualizer {
+ public:
+  Residualizer(const Program& program, const ResidualizeOptions& opts)
+      : source_(&program), opts_(opts), sea_(program) {
+    while (sea_.iterate()) {
+    }
+    collect_written();
+    collect_const_globals();
+  }
+
+  ResidualProgram run() {
+    ResidualProgram result;
+    result.program = std::make_unique<Program>();
+    out_ = result.program.get();
+    out_->symbols = source_->symbols;  // ids stay valid across the rewrite
+    out_->globals = source_->globals;
+    stats_.statements_in = source_->statements.size();
+
+    for (const Function& function : source_->functions) {
+      Function residual;
+      residual.name = function.name;
+      residual.params = function.params;
+      residual.index = function.index;
+      env_.clear();
+      collect_local_constants(function);
+      emit_body(function.body, residual.body);
+      out_->functions.push_back(std::move(residual));
+    }
+    stats_.statements_out = out_->statements.size();
+    result.stats = stats_;
+    out_ = nullptr;
+    return result;
+  }
+
+ private:
+  // --- constancy ------------------------------------------------------------
+
+  void note_writes(const Stmt& stmt) {
+    if (stmt.kind == StmtKind::kAssign) written_.insert(stmt.symbol);
+    if (stmt.init_stmt != nullptr) note_writes(*stmt.init_stmt);
+    if (stmt.step_stmt != nullptr) note_writes(*stmt.step_stmt);
+    for (const auto& child : stmt.body) note_writes(*child);
+    for (const auto& child : stmt.else_body) note_writes(*child);
+  }
+
+  void collect_written() {
+    for (const Function& function : source_->functions) {
+      for (const auto& stmt : function.body) note_writes(*stmt);
+      // Parameters receive fresh values per call: never constant.
+      for (int param : function.params) written_.insert(param);
+    }
+  }
+
+  void collect_const_globals() {
+    std::unordered_set<int> dynamic;
+    for (const std::string& name : opts_.dynamic_globals) {
+      int id = source_->find_global(name);
+      if (id < 0)
+        throw AnalysisError("ResidualizeOptions names unknown global '" +
+                            name + "'");
+      dynamic.insert(id);
+    }
+    for (int id : source_->globals) {
+      if (written_.count(id) != 0 || dynamic.count(id) != 0) continue;
+      const Symbol& symbol = source_->symbols.at(id);
+      if (symbol.is_array) {
+        const_zero_arrays_.insert(id);  // never written -> all zeros
+      } else {
+        env_globals_[id] = symbol.init_value;
+      }
+    }
+  }
+
+  /// One forward pass: a local declared with a foldable initializer and
+  /// never assigned afterwards is a constant for the whole function.
+  void collect_local_constants(const Function& function) {
+    for (const auto& stmt : function.body) scan_decls(*stmt);
+  }
+
+  void scan_decls(const Stmt& stmt) {
+    if (stmt.kind == StmtKind::kDecl && written_.count(stmt.symbol) == 0 &&
+        stmt.expr1 != nullptr) {
+      if (auto value = fold(*stmt.expr1)) env_[stmt.symbol] = *value;
+    }
+    for (const auto& child : stmt.body) scan_decls(*child);
+    for (const auto& child : stmt.else_body) scan_decls(*child);
+  }
+
+  // --- expression folding -----------------------------------------------------
+
+  std::optional<std::int32_t> lookup(int symbol) const {
+    if (auto it = env_.find(symbol); it != env_.end()) return it->second;
+    if (auto it = env_globals_.find(symbol); it != env_globals_.end())
+      return it->second;
+    return std::nullopt;
+  }
+
+  std::optional<std::int32_t> fold(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return expr.value;
+      case ExprKind::kVar:
+        return lookup(expr.symbol);
+      case ExprKind::kIndex:
+        if (const_zero_arrays_.count(expr.symbol) != 0 &&
+            fold(*expr.operands[0]).has_value())
+          return 0;
+        return std::nullopt;
+      case ExprKind::kUnary: {
+        auto v = fold(*expr.operands[0]);
+        if (!v) return std::nullopt;
+        return expr.un_op == UnOp::kNeg
+                   ? static_cast<std::int32_t>(
+                         -static_cast<std::int64_t>(*v))
+                   : (*v == 0 ? 1 : 0);
+      }
+      case ExprKind::kBinary:
+        return fold_binary(expr);
+      case ExprKind::kCall:
+        return fold_call(expr);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::int32_t> fold_binary(const Expr& expr) {
+    auto a = fold(*expr.operands[0]);
+    // Short-circuit folds even with an unfoldable right side.
+    if (expr.bin_op == BinOp::kAnd && a.has_value() && *a == 0) return 0;
+    if (expr.bin_op == BinOp::kOr && a.has_value() && *a != 0) return 1;
+    auto b = fold(*expr.operands[1]);
+    if (!a || !b) return std::nullopt;
+    std::int64_t x = *a;
+    std::int64_t y = *b;
+    switch (expr.bin_op) {
+      case BinOp::kAdd: return static_cast<std::int32_t>(x + y);
+      case BinOp::kSub: return static_cast<std::int32_t>(x - y);
+      case BinOp::kMul: return static_cast<std::int32_t>(x * y);
+      case BinOp::kDiv:
+        if (y == 0) return std::nullopt;  // leave the fault to run time
+        return static_cast<std::int32_t>(x / y);
+      case BinOp::kMod:
+        if (y == 0) return std::nullopt;
+        return static_cast<std::int32_t>(x % y);
+      case BinOp::kLt: return x < y ? 1 : 0;
+      case BinOp::kLe: return x <= y ? 1 : 0;
+      case BinOp::kGt: return x > y ? 1 : 0;
+      case BinOp::kGe: return x >= y ? 1 : 0;
+      case BinOp::kEq: return x == y ? 1 : 0;
+      case BinOp::kNe: return x != y ? 1 : 0;
+      case BinOp::kAnd: return (x != 0 && y != 0) ? 1 : 0;
+      case BinOp::kOr: return (x != 0 || y != 0) ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+
+  /// A call folds when every argument folds and the callee provably has no
+  /// side effects and reads only constant globals — then evaluating it now
+  /// (in the reference interpreter) equals evaluating it at run time.
+  std::optional<std::int32_t> fold_call(const Expr& expr) {
+    const FnSummary& summary = sea_.summary(expr.callee_index);
+    if (!summary.writes.empty()) return std::nullopt;
+    for (std::int32_t read : summary.reads) {
+      if (env_globals_.count(read) == 0 &&
+          const_zero_arrays_.count(read) == 0)
+        return std::nullopt;
+    }
+    std::vector<std::int32_t> args;
+    args.reserve(expr.operands.size());
+    for (const auto& operand : expr.operands) {
+      auto v = fold(*operand);
+      if (!v) return std::nullopt;
+      args.push_back(*v);
+    }
+    if (interp_ == nullptr) {
+      InterpOptions iopts;
+      iopts.max_steps = opts_.max_fold_steps;
+      interp_ = std::make_unique<Interpreter>(*source_, iopts);
+    }
+    try {
+      return interp_->call_function(expr.callee_index, args);
+    } catch (const AnalysisError&) {
+      return std::nullopt;  // budget or fault: leave the call residual
+    }
+  }
+
+  // --- AST rebuilding -----------------------------------------------------------
+
+  std::unique_ptr<Expr> literal(std::int32_t value, int line) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kIntLit;
+    expr->value = value;
+    expr->line = line;
+    return expr;
+  }
+
+  /// Clone with constant subexpressions replaced by literals.
+  std::unique_ptr<Expr> rebuild(const Expr& expr) {
+    if (expr.kind != ExprKind::kIntLit) {
+      if (auto value = fold(expr)) {
+        ++stats_.expressions_folded;
+        if (expr.kind == ExprKind::kCall) ++stats_.calls_folded;
+        return literal(*value, expr.line);
+      }
+    }
+    auto clone = std::make_unique<Expr>();
+    clone->kind = expr.kind;
+    clone->value = expr.value;
+    clone->symbol = expr.symbol;
+    clone->callee_index = expr.callee_index;
+    clone->bin_op = expr.bin_op;
+    clone->un_op = expr.un_op;
+    clone->line = expr.line;
+    for (const auto& operand : expr.operands)
+      clone->operands.push_back(rebuild(*operand));
+    return clone;
+  }
+
+  std::unique_ptr<Stmt> fresh_stmt(const Stmt& original) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = original.kind;
+    stmt->symbol = original.symbol;
+    stmt->is_array_target = original.is_array_target;
+    stmt->line = original.line;
+    stmt->index = static_cast<int>(out_->statements.size());
+    out_->statements.push_back(stmt.get());
+    return stmt;
+  }
+
+  static bool declares_locals(const std::vector<std::unique_ptr<Stmt>>& body) {
+    for (const auto& stmt : body) {
+      if (stmt->kind == StmtKind::kDecl) return true;
+      if (declares_locals(stmt->body) || declares_locals(stmt->else_body))
+        return true;
+    }
+    return false;
+  }
+
+  void emit_body(const std::vector<std::unique_ptr<Stmt>>& body,
+                 std::vector<std::unique_ptr<Stmt>>& out) {
+    for (const auto& stmt : body) emit_stmt(*stmt, out);
+  }
+
+  void emit_stmt(const Stmt& stmt, std::vector<std::unique_ptr<Stmt>>& out) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl: {
+        auto clone = fresh_stmt(stmt);
+        if (stmt.expr1 != nullptr) clone->expr1 = rebuild(*stmt.expr1);
+        out.push_back(std::move(clone));
+        return;
+      }
+      case StmtKind::kAssign: {
+        auto clone = fresh_stmt(stmt);
+        clone->expr1 = rebuild(*stmt.expr1);
+        if (stmt.expr3 != nullptr) clone->expr3 = rebuild(*stmt.expr3);
+        out.push_back(std::move(clone));
+        return;
+      }
+      case StmtKind::kIf: {
+        if (auto cond = fold(*stmt.expr1)) {
+          const auto& taken = *cond != 0 ? stmt.body : stmt.else_body;
+          // Splicing hoists the branch's declarations into the enclosing
+          // scope; skip the splice when that could collide.
+          if (!declares_locals(taken)) {
+            ++stats_.branches_resolved;
+            emit_body(taken, out);
+            return;
+          }
+        }
+        auto clone = fresh_stmt(stmt);
+        clone->expr1 = rebuild(*stmt.expr1);
+        emit_body(stmt.body, clone->body);
+        emit_body(stmt.else_body, clone->else_body);
+        out.push_back(std::move(clone));
+        return;
+      }
+      case StmtKind::kWhile: {
+        if (auto cond = fold(*stmt.expr1); cond.has_value() && *cond == 0) {
+          ++stats_.loops_removed;
+          return;
+        }
+        auto clone = fresh_stmt(stmt);
+        clone->expr1 = rebuild(*stmt.expr1);
+        emit_body(stmt.body, clone->body);
+        out.push_back(std::move(clone));
+        return;
+      }
+      case StmtKind::kFor: {
+        auto clone = fresh_stmt(stmt);
+        std::vector<std::unique_ptr<Stmt>> clause;
+        emit_stmt(*stmt.init_stmt, clause);
+        clone->init_stmt = std::move(clause.front());
+        clause.clear();
+        clone->expr1 = rebuild(*stmt.expr1);
+        emit_stmt(*stmt.step_stmt, clause);
+        clone->step_stmt = std::move(clause.front());
+        emit_body(stmt.body, clone->body);
+        out.push_back(std::move(clone));
+        return;
+      }
+      case StmtKind::kReturn:
+      case StmtKind::kExpr: {
+        auto clone = fresh_stmt(stmt);
+        clone->expr1 = rebuild(*stmt.expr1);
+        out.push_back(std::move(clone));
+        return;
+      }
+    }
+  }
+
+  const Program* source_;
+  ResidualizeOptions opts_;
+  SideEffectAnalysis sea_;
+  Program* out_ = nullptr;
+  ResidualizeStats stats_;
+  std::unordered_set<int> written_;
+  std::unordered_set<int> const_zero_arrays_;
+  std::unordered_map<int, std::int32_t> env_globals_;
+  std::unordered_map<int, std::int32_t> env_;  // per-function local constants
+  std::unique_ptr<Interpreter> interp_;
+};
+
+}  // namespace
+
+ResidualProgram residualize(const Program& program,
+                            const ResidualizeOptions& opts) {
+  Residualizer residualizer(program, opts);
+  return residualizer.run();
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,53 @@
+// Residualizer: the specialization step the engine's analyses drive
+// (paper §4: the analyses are "the kinds of analyses that are used in
+// compilation or automatic program specialization").
+//
+// Given the side-effect, binding-time, and evaluation-time results, produce
+// a *residual program*:
+//   * expressions whose inputs are compile-time constants fold to literals
+//     (constants = never-written static globals, including their zero-filled
+//     arrays; single-assignment locals with foldable initializers; calls to
+//     effect-free functions over constant arguments, folded by actually
+//     executing them in the reference interpreter);
+//   * `if` statements with folded conditions splice in the taken branch;
+//   * `while` loops with a folded-false condition disappear.
+//
+// Conservative by construction: anything not provably constant is emitted
+// unchanged, so interp(residual, inputs) == interp(original, inputs) for
+// every dynamic input — property-tested in analysis_residualize_test.cpp.
+#pragma once
+
+#include <memory>
+
+#include "analysis/ast.hpp"
+
+namespace ickpt::analysis {
+
+struct ResidualizeStats {
+  std::size_t expressions_folded = 0;
+  std::size_t branches_resolved = 0;
+  std::size_t loops_removed = 0;
+  std::size_t calls_folded = 0;
+  std::size_t statements_in = 0;
+  std::size_t statements_out = 0;
+};
+
+struct ResidualizeOptions {
+  /// The dynamic division (same meaning as BtaConfig::dynamic_globals):
+  /// these globals' values are unknown at specialization time and never
+  /// fold, even when nothing in the program writes them.
+  std::vector<std::string> dynamic_globals;
+  /// Step budget for folding calls via the interpreter.
+  std::uint64_t max_fold_steps = 1'000'000;
+};
+
+struct ResidualProgram {
+  std::unique_ptr<Program> program;
+  ResidualizeStats stats;
+};
+
+/// Specialize `program` with respect to its compile-time constants.
+ResidualProgram residualize(const Program& program,
+                            const ResidualizeOptions& opts = {});
+
+}  // namespace ickpt::analysis

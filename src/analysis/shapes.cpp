@@ -1,0 +1,93 @@
+#include "analysis/shapes.hpp"
+
+namespace ickpt::analysis {
+
+AnalysisShapes AnalysisShapes::make() {
+  AnalysisShapes shapes;
+
+  {
+    SEEntry sample;
+    spec::ShapeBuilder<SEEntry> b("analysis.SEEntry", sample);
+    // Mirrors SEEntry::record(): nreads, reads[], nwrites, writes[].
+    b.i32(&SEEntry::nreads_);
+    b.i32_array(&SEEntry::reads_, &SEEntry::nreads_);
+    b.i32(&SEEntry::nwrites_);
+    b.i32_array(&SEEntry::writes_, &SEEntry::nwrites_);
+    shapes.se = b.build();
+  }
+  {
+    BT sample;
+    spec::ShapeBuilder<BT> b("analysis.BT", sample);
+    b.u8(&BT::value_);
+    shapes.bt_leaf = b.build();
+  }
+  {
+    ET sample;
+    spec::ShapeBuilder<ET> b("analysis.ET", sample);
+    b.u8(&ET::value_);
+    shapes.et_leaf = b.build();
+  }
+  {
+    BTEntry sample;
+    spec::ShapeBuilder<BTEntry> b("analysis.BTEntry", sample);
+    b.child(&BTEntry::leaf_, *shapes.bt_leaf);
+    shapes.bt_entry = b.build();
+  }
+  {
+    ETEntry sample;
+    spec::ShapeBuilder<ETEntry> b("analysis.ETEntry", sample);
+    b.child(&ETEntry::leaf_, *shapes.et_leaf);
+    shapes.et_entry = b.build();
+  }
+  {
+    Attributes sample;
+    spec::ShapeBuilder<Attributes> b("analysis.Attributes", sample);
+    // Mirrors Attributes::record()/fold(): se, bt, et.
+    b.child(&Attributes::se_, *shapes.se);
+    b.child(&Attributes::bt_, *shapes.bt_entry);
+    b.child(&Attributes::et_, *shapes.et_entry);
+    shapes.attributes = b.build();
+  }
+
+  return shapes;
+}
+
+spec::PatternNode make_phase_pattern(Phase phase) {
+  using spec::ModStatus;
+  using spec::PatternNode;
+
+  auto entry_with_leaf = [](bool active) {
+    if (!active) return PatternNode::skipped();
+    PatternNode entry = PatternNode::leaf(ModStatus::kMaybeModified);
+    entry.children.push_back(PatternNode::leaf(ModStatus::kMaybeModified));
+    return entry;
+  };
+
+  PatternNode root = PatternNode::leaf(ModStatus::kMaybeModified);
+  switch (phase) {
+    case Phase::kStructureOnly:
+      root.children.push_back(PatternNode::leaf(ModStatus::kMaybeModified));
+      root.children.push_back(entry_with_leaf(true));
+      root.children.push_back(entry_with_leaf(true));
+      break;
+    case Phase::kSideEffect:
+      root.children.push_back(PatternNode::leaf(ModStatus::kMaybeModified));
+      root.children.push_back(entry_with_leaf(false));
+      root.children.push_back(entry_with_leaf(false));
+      break;
+    case Phase::kBindingTime:
+      // Paper Fig. 6: attr, btEntry, bt keep their tests; se and et vanish.
+      root.children.push_back(PatternNode::skipped());
+      root.children.push_back(entry_with_leaf(true));
+      root.children.push_back(entry_with_leaf(false));
+      break;
+    case Phase::kEvalTime:
+      root.children.push_back(PatternNode::skipped());
+      root.children.push_back(entry_with_leaf(false));
+      root.children.push_back(entry_with_leaf(true));
+      break;
+  }
+  return root;
+}
+
+}  // namespace ickpt::analysis

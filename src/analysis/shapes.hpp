@@ -1,0 +1,41 @@
+// Shape descriptors and phase patterns for the Attributes structure
+// (paper Fig. 4 and §4.2).
+#pragma once
+
+#include <memory>
+
+#include "analysis/attributes.hpp"
+#include "spec/pattern.hpp"
+#include "spec/shape.hpp"
+
+namespace ickpt::analysis {
+
+struct AnalysisShapes {
+  std::unique_ptr<spec::ShapeDescriptor> se;
+  std::unique_ptr<spec::ShapeDescriptor> bt_leaf;
+  std::unique_ptr<spec::ShapeDescriptor> bt_entry;
+  std::unique_ptr<spec::ShapeDescriptor> et_leaf;
+  std::unique_ptr<spec::ShapeDescriptor> et_entry;
+  std::unique_ptr<spec::ShapeDescriptor> attributes;
+
+  static AnalysisShapes make();
+};
+
+/// Which phase a checkpoint plan is specialized for.
+enum class Phase {
+  /// Structure-only: traversal inlined, everything tested (paper Fig. 5).
+  kStructureOnly,
+  /// Side-effect phase: only the SE entries may change.
+  kSideEffect,
+  /// Binding-time phase: only the BT entry/leaf may change (paper Fig. 6).
+  kBindingTime,
+  /// Evaluation-time phase: only the ET entry/leaf may change.
+  kEvalTime,
+};
+
+/// The modification pattern of an Attributes tree during `phase`
+/// ("each phase only modifies its corresponding field of the Attributes
+/// structure", paper §4.2).
+spec::PatternNode make_phase_pattern(Phase phase);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,86 @@
+#include "analysis/side_effect.hpp"
+
+#include <algorithm>
+
+namespace ickpt::analysis {
+
+VarSet varset_union(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void varset_insert(VarSet& set, std::int32_t id) {
+  auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it == set.end() || *it != id) set.insert(it, id);
+}
+
+SideEffectAnalysis::SideEffectAnalysis(const Program& program)
+    : program_(&program), summaries_(program.functions.size()) {}
+
+void SideEffectAnalysis::collect_expr(const Expr& expr, VarSet& reads,
+                                      VarSet& writes) const {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      break;
+    case ExprKind::kVar:
+    case ExprKind::kIndex:
+      if (program_->symbols.is_global(expr.symbol))
+        varset_insert(reads, expr.symbol);
+      break;
+    case ExprKind::kCall: {
+      const FnSummary& callee =
+          summaries_[static_cast<std::size_t>(expr.callee_index)];
+      reads = varset_union(reads, callee.reads);
+      writes = varset_union(writes, callee.writes);
+      break;
+    }
+    case ExprKind::kUnary:
+    case ExprKind::kBinary:
+      break;
+  }
+  for (const auto& operand : expr.operands)
+    collect_expr(*operand, reads, writes);
+}
+
+void SideEffectAnalysis::collect_stmt(const Stmt& stmt, VarSet& reads,
+                                      VarSet& writes) const {
+  if (stmt.expr1 != nullptr) collect_expr(*stmt.expr1, reads, writes);
+  if (stmt.expr3 != nullptr) collect_expr(*stmt.expr3, reads, writes);
+  if (stmt.kind == StmtKind::kAssign &&
+      program_->symbols.is_global(stmt.symbol))
+    varset_insert(writes, stmt.symbol);
+  if (stmt.init_stmt != nullptr) collect_stmt(*stmt.init_stmt, reads, writes);
+  if (stmt.step_stmt != nullptr) collect_stmt(*stmt.step_stmt, reads, writes);
+  for (const auto& child : stmt.body) collect_stmt(*child, reads, writes);
+  for (const auto& child : stmt.else_body)
+    collect_stmt(*child, reads, writes);
+}
+
+bool SideEffectAnalysis::iterate() {
+  bool changed = false;
+  for (std::size_t fn = 0; fn < program_->functions.size(); ++fn) {
+    VarSet reads;
+    VarSet writes;
+    for (const auto& stmt : program_->functions[fn].body)
+      collect_stmt(*stmt, reads, writes);
+    FnSummary& summary = summaries_[fn];
+    if (reads != summary.reads || writes != summary.writes) {
+      summary.reads = std::move(reads);
+      summary.writes = std::move(writes);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void SideEffectAnalysis::statement_effect(const Stmt& stmt, VarSet& reads,
+                                          VarSet& writes) const {
+  reads.clear();
+  writes.clear();
+  collect_stmt(stmt, reads, writes);
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,48 @@
+// Side-effect analysis: per-statement sets of global variables read and
+// written, computed interprocedurally to a fixpoint over function summaries
+// (paper §4.1: "Side-effect analysis determines the set of global variables
+// read and written by each program statement").
+#pragma once
+
+#include <vector>
+
+#include "analysis/ast.hpp"
+
+namespace ickpt::analysis {
+
+/// Sorted, duplicate-free set of global symbol ids.
+using VarSet = std::vector<std::int32_t>;
+
+VarSet varset_union(const VarSet& a, const VarSet& b);
+void varset_insert(VarSet& set, std::int32_t id);
+
+struct FnSummary {
+  VarSet reads;
+  VarSet writes;
+};
+
+class SideEffectAnalysis {
+ public:
+  explicit SideEffectAnalysis(const Program& program);
+
+  /// One pass: recompute every function summary from the current summaries.
+  /// Returns true when any summary changed (fixpoint not yet reached).
+  bool iterate();
+
+  /// Per-statement effect under the current summaries. Valid between
+  /// iterations; transitively includes nested statements and callees.
+  void statement_effect(const Stmt& stmt, VarSet& reads, VarSet& writes) const;
+
+  [[nodiscard]] const FnSummary& summary(int fn) const {
+    return summaries_.at(static_cast<std::size_t>(fn));
+  }
+
+ private:
+  void collect_expr(const Expr& expr, VarSet& reads, VarSet& writes) const;
+  void collect_stmt(const Stmt& stmt, VarSet& reads, VarSet& writes) const;
+
+  const Program* program_;
+  std::vector<FnSummary> summaries_;
+};
+
+}  // namespace ickpt::analysis

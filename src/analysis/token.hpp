@@ -1,0 +1,55 @@
+// Tokens of the simplified-C subset analyzed by the engine (paper §4.1:
+// "our prototype implementation ... treats a simplified version of C").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ickpt::analysis {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIntLit,
+  kIdent,
+  kKwInt,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,   // ==
+  kNe,   // !=
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;         // identifier spelling
+  std::int32_t value = 0;   // integer literal value
+  int line = 0;
+  int column = 0;
+};
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,58 @@
+// Error hierarchy for the ickpt libraries.
+//
+// All ickpt errors derive from ickpt::Error so callers can catch the whole
+// family; the concrete subclasses distinguish the failing subsystem.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ickpt {
+
+/// Root of the ickpt exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failure of an underlying byte sink/source (file open, short read, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// A checkpoint stream or stable-storage frame failed validation
+/// (bad magic, CRC mismatch, truncated payload, impossible lengths).
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : Error("corrupt checkpoint: " + what) {}
+};
+
+/// Recovery met an object whose recorded type contradicts the type expected
+/// by a parent link, or an unregistered TypeId.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type: " + what) {}
+};
+
+/// The specializer was given an inconsistent shape or modification pattern.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec: " + what) {}
+};
+
+/// The simplified-C front end rejected its input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// A program analysis met an internal inconsistency (missing symbol, ...).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what)
+      : Error("analysis: " + what) {}
+};
+
+}  // namespace ickpt

@@ -1,0 +1,24 @@
+// Fundamental identifier types shared by every ickpt library.
+#pragma once
+
+#include <cstdint>
+
+namespace ickpt {
+
+/// Unique identifier of a checkpointable object, stable across checkpoints.
+/// Mirrors the paper's CheckpointInfo.id (allocated by newId()).
+using ObjectId = std::uint64_t;
+
+/// Identifier of a registered checkpointable class; written in every object
+/// record so that recovery (which has no reflection) can pick a factory.
+using TypeId = std::uint32_t;
+
+/// Monotonically increasing checkpoint sequence number. Epoch 0 is the first
+/// checkpoint taken; an incremental checkpoint at epoch e contains exactly
+/// the objects modified since epoch e-1.
+using Epoch = std::uint64_t;
+
+/// Reserved: never assigned to a live object; encodes a null child pointer.
+inline constexpr ObjectId kNullObjectId = 0;
+
+}  // namespace ickpt

@@ -1,0 +1,77 @@
+#include "core/async_log.hpp"
+
+namespace ickpt::core {
+
+AsyncLog::AsyncLog(io::StableStorage& storage) : storage_(storage) {
+  thread_ = std::thread([this] { worker(); });
+}
+
+AsyncLog::~AsyncLog() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AsyncLog::rethrow_locked(std::unique_lock<std::mutex>&) {
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void AsyncLog::submit(std::vector<std::uint8_t> payload) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    rethrow_locked(lock);
+    queue_.push_back(std::move(payload));
+  }
+  work_cv_.notify_one();
+}
+
+void AsyncLog::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && !in_flight_) || error_ != nullptr;
+  });
+  rethrow_locked(lock);
+}
+
+std::size_t AsyncLog::pending() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size() + (in_flight_ ? 1 : 0);
+}
+
+void AsyncLog::worker() {
+  for (;;) {
+    std::vector<std::uint8_t> payload;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      payload = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+    std::exception_ptr error;
+    try {
+      storage_.append(payload);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      in_flight_ = false;
+      if (error != nullptr && error_ == nullptr) error_ = error;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ickpt::core

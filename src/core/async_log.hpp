@@ -1,0 +1,63 @@
+// AsyncLog: non-blocking stable-storage appends.
+//
+// The paper notes that with a mechanism like copy-on-write "the application
+// need not be blocked, at the expense of deferring the copy task to the
+// system". The language-level analog: checkpoint construction snapshots the
+// state into an in-memory buffer (fast, still blocking — it must be
+// consistent), and the *disk append* is deferred to a background thread.
+// Appends happen strictly in submission order, so the on-disk log is
+// identical to what synchronous operation would produce.
+//
+// Errors from the background append are sticky: they re-throw on the next
+// drain()/submit() so a failed write cannot be silently lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/stable_storage.hpp"
+
+namespace ickpt::core {
+
+class AsyncLog {
+ public:
+  explicit AsyncLog(io::StableStorage& storage);
+
+  AsyncLog(const AsyncLog&) = delete;
+  AsyncLog& operator=(const AsyncLog&) = delete;
+
+  /// Drains outstanding appends, then stops the worker. Errors discovered
+  /// during the final drain are swallowed here (call drain() beforehand to
+  /// observe them).
+  ~AsyncLog();
+
+  /// Enqueue one checkpoint payload for appending. Returns immediately.
+  /// Throws a previously deferred append error, if any.
+  void submit(std::vector<std::uint8_t> payload);
+
+  /// Block until every submitted payload is durably appended; rethrows the
+  /// first deferred append error.
+  void drain();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker();
+  void rethrow_locked(std::unique_lock<std::mutex>& lock);
+
+  io::StableStorage& storage_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::exception_ptr error_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ickpt::core

@@ -1,0 +1,37 @@
+#include "core/checkpoint.hpp"
+
+#include "common/error.hpp"
+
+namespace ickpt::core {
+
+Checkpoint::Checkpoint(io::DataWriter& d, Epoch epoch,
+                       std::span<Checkpointable* const> roots,
+                       CheckpointOptions opts)
+    : d_(d), mode_(opts.mode), dry_(opts.dry_run), guard_(opts.cycle_guard) {
+  if (dry_) return;
+  d_.write_u8(kStreamMagic);
+  d_.write_u8(kFormatVersion);
+  d_.write_u8(static_cast<std::uint8_t>(mode_));
+  d_.write_u64(epoch);
+  d_.write_varint(roots.size());
+  for (const Checkpointable* root : roots)
+    d_.write_varint(root != nullptr ? root->info().id() : kNullObjectId);
+}
+
+void Checkpoint::end() {
+  if (ended_) throw Error("Checkpoint::end() called twice");
+  ended_ = true;
+  if (!dry_) d_.write_u8(kEndTag);
+}
+
+CheckpointStats Checkpoint::run(io::DataWriter& d, Epoch epoch,
+                                std::span<Checkpointable* const> roots,
+                                CheckpointOptions opts) {
+  Checkpoint c(d, epoch, roots, opts);
+  for (Checkpointable* root : roots)
+    if (root != nullptr) c.checkpoint(*root);
+  c.end();
+  return c.stats();
+}
+
+}  // namespace ickpt::core

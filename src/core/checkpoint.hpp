@@ -1,0 +1,92 @@
+// The generic checkpoint driver (paper Fig. 1, class Checkpoint).
+//
+// This is the unspecialized implementation whose costs the paper's
+// specialization removes: per object it performs virtual calls (info, record,
+// fold), tests the modified flag, and traverses children even when the whole
+// subtree is unmodified. Keep it this way — the benchmarks measure exactly
+// this code against the specialized executors.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+
+#include "core/checkpoint_format.hpp"
+#include "core/checkpointable.hpp"
+#include "io/data_writer.hpp"
+
+namespace ickpt::core {
+
+struct CheckpointStats {
+  std::uint64_t objects_visited = 0;
+  std::uint64_t objects_recorded = 0;
+};
+
+struct CheckpointOptions {
+  Mode mode = Mode::kIncremental;
+  /// Traverse and test but write nothing and reset no flags. Used to measure
+  /// pure traversal time (paper Table 1, last row).
+  bool dry_run = false;
+  /// Track visited ids and skip re-entry. The paper assumes acyclic,
+  /// unshared structures; enable this when that is not guaranteed. Off by
+  /// default because the set insertion would distort the benchmarks.
+  bool cycle_guard = false;
+};
+
+class Checkpoint {
+ public:
+  /// Writes the stream header for a checkpoint of `roots` at `epoch`.
+  /// The caller must then invoke checkpoint() on each root, in order,
+  /// and finally end().
+  Checkpoint(io::DataWriter& d, Epoch epoch,
+             std::span<Checkpointable* const> roots, CheckpointOptions opts);
+
+  Checkpoint(const Checkpoint&) = delete;
+  Checkpoint& operator=(const Checkpoint&) = delete;
+
+  /// Paper Fig. 1: test, record, reset, fold.
+  void checkpoint(Checkpointable& o) {
+    if (guard_ && !visited_.insert(o.info().id()).second) return;
+    ++stats_.objects_visited;
+    CheckpointInfo& info = o.info();
+    if (mode_ == Mode::kFull || info.modified()) {
+      ++stats_.objects_recorded;
+      if (!dry_) {
+        d_.write_u8(kRecordTag);
+        d_.write_varint(o.type_id());
+        d_.write_varint(info.id());
+        o.record(d_);
+        info.reset_modified();
+      }
+    }
+    o.fold(*this);
+  }
+
+  /// Terminate the record stream. Must be called exactly once.
+  void end();
+
+  [[nodiscard]] const CheckpointStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Ids seen so far; populated only when cycle_guard is enabled. Used by
+  /// reachability queries (RecoveredState::prune_unreachable).
+  [[nodiscard]] const std::unordered_set<ObjectId>& visited_ids()
+      const noexcept {
+    return visited_;
+  }
+
+  /// Convenience: header + every root + end, in one call.
+  static CheckpointStats run(io::DataWriter& d, Epoch epoch,
+                             std::span<Checkpointable* const> roots,
+                             CheckpointOptions opts);
+
+ private:
+  io::DataWriter& d_;
+  Mode mode_;
+  bool dry_;
+  bool guard_;
+  bool ended_ = false;
+  CheckpointStats stats_;
+  std::unordered_set<ObjectId> visited_;
+};
+
+}  // namespace ickpt::core

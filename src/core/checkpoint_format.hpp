@@ -1,0 +1,32 @@
+// On-the-wire layout of one checkpoint payload (the bytes inside one
+// stable-storage frame). Shared by the generic driver (core/checkpoint.hpp),
+// recovery (core/recovery.hpp), and both specialized executors (src/spec/),
+// which must emit byte-identical streams for the same state.
+//
+//   header:  [u8 kStreamMagic][u8 version][u8 mode][u64 epoch]
+//            [varint nroots][varint root id]*
+//   records: ([u8 kRecordTag][varint type_id][varint object_id]
+//             <record() payload, format defined by the class>)*
+//   end:     [u8 kEndTag]
+//
+// Record payloads carry no length prefix: restore_record() mirrors record()
+// exactly, and the frame CRC already guards integrity. This matches the
+// paper's raw DataOutputStream encoding.
+#pragma once
+
+#include <cstdint>
+
+namespace ickpt::core {
+
+inline constexpr std::uint8_t kStreamMagic = 0xC5;
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+enum class Mode : std::uint8_t {
+  kFull = 0,         // record every object (paper: "full checkpointing")
+  kIncremental = 1,  // record only objects whose modified flag is set
+};
+
+inline constexpr std::uint8_t kRecordTag = 0x01;
+inline constexpr std::uint8_t kEndTag = 0x00;
+
+}  // namespace ickpt::core

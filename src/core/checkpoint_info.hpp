@@ -1,0 +1,68 @@
+// CheckpointInfo: per-object checkpoint bookkeeping (paper Fig. 1).
+//
+// Every checkpointable object owns one CheckpointInfo holding a process-wide
+// unique identifier and the `modified` flag used by incremental
+// checkpointing. As in the paper, a freshly constructed object is marked
+// modified so the next incremental checkpoint records it.
+//
+// The paper relies on the JVM for id allocation; here IdAllocator is a
+// lock-free global counter that recovery bumps past every id it re-creates,
+// so post-recovery allocations never collide with restored objects.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace ickpt::core {
+
+class IdAllocator {
+ public:
+  /// Next unused id. Never returns kNullObjectId.
+  static ObjectId next() noexcept {
+    return counter().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Ensure future next() calls return ids strictly greater than `id`.
+  static void bump_past(ObjectId id) noexcept {
+    auto& c = counter();
+    ObjectId cur = c.load(std::memory_order_relaxed);
+    while (cur <= id &&
+           !c.compare_exchange_weak(cur, id + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  static std::atomic<ObjectId>& counter() noexcept {
+    static std::atomic<ObjectId> counter{1};
+    return counter;
+  }
+};
+
+class CheckpointInfo {
+ public:
+  /// Live construction: allocate a fresh id; object starts modified so the
+  /// next incremental checkpoint picks it up (paper Fig. 1 constructor).
+  CheckpointInfo() noexcept : id_(IdAllocator::next()) {}
+
+  /// Recovery construction: reuse the recorded id.
+  explicit CheckpointInfo(ObjectId id) noexcept : id_(id) {
+    IdAllocator::bump_past(id);
+  }
+
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] bool modified() const noexcept { return modified_; }
+
+  /// Called by every mutator of the owning object (intrusive tracking; this
+  /// is the paper's "flag updated on assignment").
+  void set_modified() noexcept { modified_ = true; }
+
+  /// Called by the checkpointer after recording the object.
+  void reset_modified() noexcept { modified_ = false; }
+
+ private:
+  ObjectId id_;
+  bool modified_ = true;
+};
+
+}  // namespace ickpt::core

@@ -1,0 +1,62 @@
+#include "core/inspect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/stable_storage.hpp"
+
+namespace ickpt::core {
+
+LogReport inspect_log(const std::string& path, const TypeRegistry& registry) {
+  io::ScanResult scan = io::StableStorage::scan(path);
+  LogReport report;
+  report.clean = scan.clean;
+  report.note = scan.stop_reason;
+
+  // One Recovery accumulates objects across frames so incremental records
+  // type-check against their earlier definitions, exactly as real recovery
+  // would; finish() is never called.
+  Recovery recovery(registry);
+  for (const io::Frame& frame : scan.frames) {
+    ApplyStats stats;
+    io::DataReader reader(frame.payload);
+    StreamHeader header = recovery.apply(reader, &stats);
+    FrameInfo info;
+    info.seq = frame.seq;
+    info.epoch = header.epoch;
+    info.mode = header.mode;
+    info.bytes = frame.payload.size();
+    info.records = stats.records;
+    for (const auto& [type, count] : stats.records_by_type)
+      info.records_by_type.emplace_back(registry.lookup(type).name, count);
+    std::sort(info.records_by_type.begin(), info.records_by_type.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    report.total_bytes += info.bytes;
+    report.frames.push_back(std::move(info));
+  }
+  return report;
+}
+
+std::string LogReport::to_string() const {
+  std::ostringstream out;
+  out << frames.size() << " checkpoint(s), " << total_bytes << " bytes"
+      << (clean ? "" : " (log tail dropped: " + note + ")") << "\n";
+  for (const FrameInfo& frame : frames) {
+    out << "  seq " << frame.seq << " epoch " << frame.epoch << " "
+        << (frame.mode == Mode::kFull ? "full" : "incr") << " "
+        << frame.bytes << "B " << frame.records << " records";
+    if (!frame.records_by_type.empty()) {
+      out << " [";
+      for (std::size_t i = 0; i < frame.records_by_type.size(); ++i) {
+        if (i != 0) out << ", ";
+        out << frame.records_by_type[i].first << ":"
+            << frame.records_by_type[i].second;
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ickpt::core

@@ -1,0 +1,38 @@
+// Checkpoint-log inspection: decode a log into per-frame summaries (mode,
+// epoch, bytes, record counts by class). Operational tooling — answers
+// "why is my log this big" and "which classes dominate my incremental
+// checkpoints" without recovering into live objects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/recovery.hpp"
+
+namespace ickpt::core {
+
+struct FrameInfo {
+  std::uint64_t seq = 0;
+  Epoch epoch = 0;
+  Mode mode = Mode::kFull;
+  std::size_t bytes = 0;
+  std::size_t records = 0;
+  /// Class name -> record count (names from the registry).
+  std::vector<std::pair<std::string, std::size_t>> records_by_type;
+};
+
+struct LogReport {
+  std::vector<FrameInfo> frames;
+  bool clean = true;
+  std::string note;
+  std::size_t total_bytes = 0;
+
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Decode every valid frame of the log at `path`. Frames must decode
+/// against `registry` (TypeError propagates for unregistered classes).
+LogReport inspect_log(const std::string& path, const TypeRegistry& registry);
+
+}  // namespace ickpt::core

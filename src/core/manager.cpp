@@ -1,0 +1,142 @@
+#include "core/manager.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "io/byte_sink.hpp"
+#include "io/file_io.hpp"
+#include "io/data_writer.hpp"
+
+namespace ickpt::core {
+
+CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
+    : opts_(opts), storage_(std::move(path), opts.durable) {
+  if (opts_.full_interval == 0)
+    throw Error("ManagerOptions.full_interval must be >= 1");
+  // Resume epoch numbering after a restart: frames and epochs are appended
+  // 1:1, so the next epoch is the next storage sequence number.
+  epoch_ = storage_.next_seq();
+  if (opts_.async_io) async_ = std::make_unique<AsyncLog>(storage_);
+}
+
+void CheckpointManager::flush() {
+  if (async_ != nullptr) async_->drain();
+}
+
+TakeResult CheckpointManager::take(std::span<Checkpointable* const> roots) {
+  Mode mode = (epoch_ % opts_.full_interval == 0) ? Mode::kFull
+                                                  : Mode::kIncremental;
+  return take_with_mode(roots, mode);
+}
+
+TakeResult CheckpointManager::take(Checkpointable& root) {
+  Checkpointable* roots[] = {&root};
+  return take(std::span<Checkpointable* const>(roots));
+}
+
+TakeResult CheckpointManager::take_with_mode(
+    std::span<Checkpointable* const> roots, Mode mode) {
+  io::VectorSink sink;
+  CheckpointStats stats;
+  {
+    io::DataWriter writer(sink);
+    CheckpointOptions copts;
+    copts.mode = mode;
+    copts.cycle_guard = opts_.cycle_guard;
+    stats = Checkpoint::run(writer, epoch_, roots, copts);
+    writer.flush();
+  }
+  TakeResult result;
+  result.epoch = epoch_++;
+  result.mode = mode;
+  result.bytes = sink.size();
+  result.stats = stats;
+  if (async_ != nullptr) {
+    // Appends are FIFO and 1:1 with epochs, so the frame will carry the
+    // epoch as its sequence number.
+    result.seq = result.epoch;
+    async_->submit(sink.take());
+  } else {
+    result.seq = storage_.append(sink.bytes());
+  }
+  return result;
+}
+
+RecoverResult CheckpointManager::recover(const std::string& path,
+                                         const TypeRegistry& registry) {
+  io::ScanResult scan = io::StableStorage::scan(path);
+  if (scan.frames.empty())
+    throw CorruptionError("no recoverable checkpoint in '" + path + "'" +
+                          (scan.clean ? "" : " (" + scan.stop_reason + ")"));
+
+  // Locate the most recent full checkpoint.
+  std::optional<std::size_t> full_index;
+  for (std::size_t i = scan.frames.size(); i-- > 0;) {
+    if (peek_header(scan.frames[i].payload).mode == Mode::kFull) {
+      full_index = i;
+      break;
+    }
+  }
+  if (!full_index)
+    throw CorruptionError("log '" + path + "' contains no full checkpoint");
+
+  Recovery recovery(registry);
+  std::size_t applied = 0;
+  for (std::size_t i = *full_index; i < scan.frames.size(); ++i) {
+    io::DataReader reader(scan.frames[i].payload);
+    recovery.apply(reader);
+    ++applied;
+  }
+
+  RecoverResult result;
+  result.state = recovery.finish();
+  result.checkpoints_applied = applied;
+  result.log_clean = scan.clean;
+  result.log_note = scan.stop_reason;
+  return result;
+}
+
+CompactResult CheckpointManager::compact(const std::string& path,
+                                         const TypeRegistry& registry) {
+  RecoverResult recovered = recover(path, registry);
+
+  CompactResult result;
+  result.objects = recovered.state.by_id.size();
+  try {
+    result.bytes_before = io::read_file(path).size();
+  } catch (const IoError&) {
+    result.bytes_before = 0;
+  }
+
+  // One full checkpoint of the recovered state, into a sibling file that
+  // atomically replaces the log. Roots keep their recorded order.
+  std::vector<Checkpointable*> roots;
+  roots.reserve(recovered.state.roots.size());
+  for (ObjectId id : recovered.state.roots) {
+    Checkpointable* obj = recovered.state.find(id);
+    if (obj == nullptr)
+      throw CorruptionError("compaction: root vanished during recovery");
+    roots.push_back(obj);
+  }
+
+  const std::string tmp_path = path + ".compact";
+  {
+    io::StableStorage fresh(tmp_path);
+    fresh.reset();  // in case a previous compaction crashed midway
+    io::VectorSink sink;
+    {
+      io::DataWriter writer(sink);
+      CheckpointOptions copts;
+      copts.mode = Mode::kFull;
+      Checkpoint::run(writer, recovered.state.epoch, roots, copts);
+      writer.flush();
+    }
+    result.bytes_after = sink.size();
+    fresh.append(sink.bytes());
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
+    throw IoError("compaction: rename over '" + path + "' failed");
+  return result;
+}
+
+}  // namespace ickpt::core

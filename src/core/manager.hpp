@@ -1,0 +1,92 @@
+// CheckpointManager: the paper's checkpointing protocol attached to real
+// stable storage.
+//
+// Policy: the first checkpoint and every `full_interval`-th one are full;
+// the rest are incremental. recover() locates the most recent full
+// checkpoint in the longest valid log prefix and replays it plus every
+// incremental after it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/async_log.hpp"
+#include "core/checkpoint.hpp"
+#include "core/recovery.hpp"
+#include "io/stable_storage.hpp"
+
+namespace ickpt::core {
+
+struct ManagerOptions {
+  /// Take a full checkpoint every N checkpoints (1 = always full).
+  unsigned full_interval = 16;
+  /// fsync each frame.
+  bool durable = false;
+  /// Forwarded to the generic driver.
+  bool cycle_guard = false;
+  /// Defer disk appends to a background thread (the paper's copy-on-write
+  /// analog: construction still blocks, the copy to stable storage does
+  /// not). Call flush() to make every taken checkpoint durable; take()
+  /// reports the seq the frame *will* receive.
+  bool async_io = false;
+};
+
+struct TakeResult {
+  Epoch epoch = 0;
+  Mode mode = Mode::kFull;
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  CheckpointStats stats;
+};
+
+struct RecoverResult {
+  RecoveredState state;
+  std::size_t checkpoints_applied = 0;
+  /// False when the log had a torn/corrupt tail that was dropped.
+  bool log_clean = true;
+  std::string log_note;
+};
+
+struct CompactResult {
+  /// Objects in the surviving full checkpoint.
+  std::size_t objects = 0;
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+};
+
+class CheckpointManager {
+ public:
+  CheckpointManager(std::string path, ManagerOptions opts = {});
+
+  /// Checkpoint `roots`, choosing full/incremental per policy.
+  TakeResult take(std::span<Checkpointable* const> roots);
+  TakeResult take(Checkpointable& root);
+
+  /// Force the mode regardless of policy (still advances the epoch).
+  TakeResult take_with_mode(std::span<Checkpointable* const> roots, Mode mode);
+
+  [[nodiscard]] Epoch next_epoch() const noexcept { return epoch_; }
+
+  /// Drain any asynchronous appends; afterwards every taken checkpoint is
+  /// on stable storage. No-op in synchronous mode.
+  void flush();
+
+  /// Recover the latest consistent state from a log file.
+  static RecoverResult recover(const std::string& path,
+                               const TypeRegistry& registry);
+
+  /// Rewrite `path` to a single full checkpoint of its recovered state,
+  /// dropping the incremental history (checkpoint-log garbage collection).
+  /// Must not be called while a manager has the log open.
+  static CompactResult compact(const std::string& path,
+                               const TypeRegistry& registry);
+
+ private:
+  ManagerOptions opts_;
+  io::StableStorage storage_;
+  std::unique_ptr<AsyncLog> async_;
+  Epoch epoch_ = 0;
+};
+
+}  // namespace ickpt::core

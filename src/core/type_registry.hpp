@@ -1,0 +1,62 @@
+// TypeRegistry: recovery's substitute for reflection.
+//
+// C++ cannot discover a class from a byte stream, so every checkpointable
+// class registers a TypeId and a factory that reconstructs an empty instance
+// with a preserved ObjectId (via the RestoreTag constructor). The TypeId is
+// written in every record header; recovery looks up the factory here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/checkpointable.hpp"
+
+namespace ickpt::core {
+
+class TypeRegistry {
+ public:
+  using Factory = std::unique_ptr<Checkpointable> (*)(ObjectId);
+
+  struct Entry {
+    std::string name;
+    Factory factory = nullptr;
+  };
+
+  /// Register with an explicit factory.
+  void register_type(TypeId id, std::string name, Factory factory) {
+    auto [it, inserted] = types_.emplace(id, Entry{std::move(name), factory});
+    if (!inserted)
+      throw TypeError("TypeId " + std::to_string(id) +
+                      " registered twice (existing: " + it->second.name + ")");
+  }
+
+  /// Register a class providing `T(RestoreTag, ObjectId)` and a static
+  /// `kTypeId`/`kTypeName`.
+  template <class T>
+  void register_type() {
+    register_type(T::kTypeId, T::kTypeName, [](ObjectId oid) {
+      return std::unique_ptr<Checkpointable>(new T(RestoreTag{}, oid));
+    });
+  }
+
+  [[nodiscard]] const Entry& lookup(TypeId id) const {
+    auto it = types_.find(id);
+    if (it == types_.end())
+      throw TypeError("unregistered TypeId " + std::to_string(id));
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(TypeId id) const noexcept {
+    return types_.count(id) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return types_.size(); }
+
+ private:
+  std::unordered_map<TypeId, Entry> types_;
+};
+
+}  // namespace ickpt::core

@@ -1,0 +1,60 @@
+// Byte-sink abstraction: where checkpoint bytes go.
+//
+// This is the analog of the paper's java.io OutputStream family. The hot
+// checkpoint path writes through a buffering DataWriter (data_writer.hpp), so
+// a ByteSink only sees large flushes; per-value virtual-call overhead is paid
+// once per buffer, as with Java's BufferedOutputStream/ByteArrayOutputStream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ickpt::io {
+
+/// Destination for raw checkpoint bytes.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  /// Append `n` bytes. Throws IoError on failure.
+  virtual void write(const std::uint8_t* data, std::size_t n) = 0;
+
+  /// Push buffered bytes toward stable storage. Default: no-op.
+  virtual void flush() {}
+};
+
+/// In-memory sink (the ByteArrayOutputStream analog).
+class VectorSink final : public ByteSink {
+ public:
+  void write(const std::uint8_t* data, std::size_t n) override {
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(bytes_);
+  }
+  void clear() noexcept { bytes_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Discards bytes but counts them; used to measure checkpoint *size* and
+/// pure traversal cost without paying for storage.
+class CountingSink final : public ByteSink {
+ public:
+  void write(const std::uint8_t*, std::size_t n) override { count_ += n; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+}  // namespace ickpt::io

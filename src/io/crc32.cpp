@@ -1,0 +1,37 @@
+#include "io/crc32.hpp"
+
+#include <array>
+
+namespace ickpt::io {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < n; ++i)
+    c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t Crc32::compute(const std::uint8_t* data, std::size_t n) noexcept {
+  Crc32 crc;
+  crc.update(data, n);
+  return crc.value();
+}
+
+}  // namespace ickpt::io

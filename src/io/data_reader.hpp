@@ -1,0 +1,121 @@
+// Typed reader over an in-memory byte range: the DataInputStream analog.
+//
+// Recovery loads one stable-storage frame at a time into memory and decodes
+// it with a DataReader. Every method throws CorruptionError on underflow, so
+// a truncated or garbled checkpoint can never silently yield wrong state.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ickpt::io {
+
+class DataReader {
+ public:
+  DataReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), end_(data + n) {}
+
+  explicit DataReader(const std::vector<std::uint8_t>& bytes)
+      : DataReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t read_u8() {
+    need(1);
+    return *data_++;
+  }
+
+  bool read_bool() { return read_u8() != 0; }
+
+  std::uint16_t read_u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[0]) << 8) | data_[1]);
+    data_ += 2;
+    return v;
+  }
+
+  std::uint32_t read_u32() {
+    need(4);
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[0]) << 24) |
+                      (static_cast<std::uint32_t>(data_[1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[2]) << 8) |
+                      static_cast<std::uint32_t>(data_[3]);
+    data_ += 4;
+    return v;
+  }
+
+  std::uint64_t read_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[i];
+    data_ += 8;
+    return v;
+  }
+
+  std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+  float read_f32() {
+    std::uint32_t bits = read_u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  double read_f64() {
+    std::uint64_t bits = read_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      std::uint8_t b = *data_++;
+      if (shift >= 64) throw CorruptionError("varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t read_varint_i64() {
+    std::uint64_t z = read_varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  void read_bytes(std::uint8_t* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_, n);
+    data_ += n;
+  }
+
+  std::string read_string() {
+    std::uint64_t n = read_varint();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_), n);
+    data_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - data_);
+  }
+  [[nodiscard]] bool at_end() const noexcept { return data_ == end_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end_ - data_) < n)
+      throw CorruptionError("checkpoint stream underflow");
+  }
+
+  const std::uint8_t* data_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace ickpt::io

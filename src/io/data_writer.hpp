@@ -1,0 +1,170 @@
+// Buffered typed writer: the DataOutputStream analog.
+//
+// Values are encoded big-endian (Java serialization convention) into an
+// internal buffer that is flushed to the underlying ByteSink in large chunks.
+// All hot-path methods are inline and branch-free apart from the buffer-full
+// check, so the cost profile matches what the paper's record() methods pay.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "io/byte_sink.hpp"
+
+namespace ickpt::io {
+
+class DataWriter {
+ public:
+  static constexpr std::size_t kDefaultBufferSize = 1 << 16;
+
+  explicit DataWriter(ByteSink& sink,
+                      std::size_t buffer_size = kDefaultBufferSize)
+      : sink_(&sink) {
+    buf_.resize(buffer_size < 16 ? 16 : buffer_size);
+  }
+
+  DataWriter(const DataWriter&) = delete;
+  DataWriter& operator=(const DataWriter&) = delete;
+
+  ~DataWriter() {
+    // Best effort on destruction; call flush() explicitly to observe errors.
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+
+  void write_u8(std::uint8_t v) {
+    need(1);
+    buf_[pos_++] = v;
+  }
+
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  void write_u16(std::uint16_t v) {
+    need(2);
+    buf_[pos_++] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos_++] = static_cast<std::uint8_t>(v);
+  }
+
+  void write_u32(std::uint32_t v) {
+    need(4);
+    buf_[pos_++] = static_cast<std::uint8_t>(v >> 24);
+    buf_[pos_++] = static_cast<std::uint8_t>(v >> 16);
+    buf_[pos_++] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos_++] = static_cast<std::uint8_t>(v);
+  }
+
+  void write_u64(std::uint64_t v) {
+    need(8);
+    for (int s = 56; s >= 0; s -= 8)
+      buf_[pos_++] = static_cast<std::uint8_t>(v >> s);
+  }
+
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+
+  void write_f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_u32(bits);
+  }
+
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_u64(bits);
+  }
+
+  /// Unsigned LEB128; used for ids, lengths, and the varint-encoding
+  /// ablation (DESIGN.md §5.2).
+  void write_varint(std::uint64_t v) {
+    need(10);
+    while (v >= 0x80) {
+      buf_[pos_++] = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    buf_[pos_++] = static_cast<std::uint8_t>(v);
+  }
+
+  /// Zigzag-encoded signed LEB128.
+  void write_varint_i64(std::int64_t v) {
+    write_varint((static_cast<std::uint64_t>(v) << 1) ^
+                 static_cast<std::uint64_t>(v >> 63));
+  }
+
+  /// Write `n` contiguous int32 values big-endian. Equivalent to n calls of
+  /// write_i32 but with one buffer check per chunk; the specialized
+  /// executors use this for fused field runs.
+  void write_i32_run(const std::int32_t* values, std::size_t n) {
+    while (n != 0) {
+      std::size_t fit = (buf_.size() - pos_) / 4;
+      if (fit == 0) {
+        need(4);
+        fit = (buf_.size() - pos_) / 4;
+      }
+      std::size_t chunk = n < fit ? n : fit;
+      std::uint8_t* out = buf_.data() + pos_;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        std::uint32_t v = static_cast<std::uint32_t>(values[i]);
+        out[0] = static_cast<std::uint8_t>(v >> 24);
+        out[1] = static_cast<std::uint8_t>(v >> 16);
+        out[2] = static_cast<std::uint8_t>(v >> 8);
+        out[3] = static_cast<std::uint8_t>(v);
+        out += 4;
+      }
+      pos_ += chunk * 4;
+      values += chunk;
+      n -= chunk;
+    }
+  }
+
+  void write_bytes(const std::uint8_t* data, std::size_t n) {
+    if (n >= buf_.size() / 2) {
+      flush();
+      sink_->write(data, n);
+      written_ += n;
+      return;
+    }
+    need(n);
+    std::memcpy(buf_.data() + pos_, data, n);
+    pos_ += n;
+  }
+
+  /// Length-prefixed UTF-8 string (varint length + bytes).
+  void write_string(std::string_view s) {
+    write_varint(s.size());
+    write_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  void flush() {
+    if (pos_ != 0) {
+      sink_->write(buf_.data(), pos_);
+      written_ += pos_;
+      pos_ = 0;
+    }
+    sink_->flush();
+  }
+
+  /// Total bytes handed to this writer (flushed or still buffered).
+  [[nodiscard]] std::size_t bytes_written() const noexcept {
+    return written_ + pos_;
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      sink_->write(buf_.data(), pos_);
+      written_ += pos_;
+      pos_ = 0;
+    }
+  }
+
+  ByteSink* sink_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::size_t written_ = 0;
+};
+
+}  // namespace ickpt::io

@@ -1,0 +1,64 @@
+#include "io/file_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace ickpt::io {
+
+namespace {
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+FileSink::FileSink(const std::string& path, Mode mode) : path_(path) {
+  file_ = std::fopen(path.c_str(), mode == Mode::kAppend ? "ab" : "wb");
+  if (file_ == nullptr) fail("open", path);
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(const std::uint8_t* data, std::size_t n) {
+  if (n != 0 && std::fwrite(data, 1, n, file_) != n) fail("write", path_);
+}
+
+void FileSink::flush() {
+  if (std::fflush(file_) != 0) fail("flush", path_);
+}
+
+void FileSink::durable_flush() {
+  flush();
+#ifdef __unix__
+  if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
+#endif
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("open", path);
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) fail("read", path);
+  return out;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  FileSink sink(path);
+  sink.write(bytes.data(), bytes.size());
+  sink.flush();
+}
+
+}  // namespace ickpt::io

@@ -1,0 +1,46 @@
+// File-backed byte sink plus whole-file loading.
+//
+// FileSink is the path to stable storage: append-only, explicit flush
+// (fflush + fsync on durable_flush). Checkpoint *construction* benchmarks
+// use VectorSink/CountingSink so that disk speed does not pollute the
+// traversal measurements, exactly as the paper defers the copy task.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/byte_sink.hpp"
+
+namespace ickpt::io {
+
+class FileSink final : public ByteSink {
+ public:
+  enum class Mode { kTruncate, kAppend };
+
+  explicit FileSink(const std::string& path, Mode mode = Mode::kTruncate);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const std::uint8_t* data, std::size_t n) override;
+  void flush() override;
+
+  /// flush() + fsync: the frame is on stable storage when this returns.
+  void durable_flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Read an entire file into memory. Throws IoError if unreadable.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Write a buffer to a file (truncating). Throws IoError on failure.
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ickpt::io

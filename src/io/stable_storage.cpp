@@ -1,0 +1,158 @@
+#include "io/stable_storage.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "io/crc32.hpp"
+#include "io/file_io.hpp"
+
+namespace ickpt::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x49434B46;  // "ICKF"
+constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 4;
+// Backstop against absurd lengths from corrupt headers.
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+struct StableStorage::Impl {
+  std::unique_ptr<FileSink> sink;
+};
+
+StableStorage::StableStorage(std::string path, bool durable)
+    : path_(std::move(path)), durable_(durable), impl_(new Impl) {
+  // Resume sequence numbering after any valid prefix already on disk.
+  ScanResult existing = scan(path_);
+  if (!existing.frames.empty()) next_seq_ = existing.frames.back().seq + 1;
+  open_for_append();
+}
+
+StableStorage::~StableStorage() { delete impl_; }
+
+void StableStorage::open_for_append() {
+  impl_->sink = std::make_unique<FileSink>(path_, FileSink::Mode::kAppend);
+}
+
+std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxPayload)
+    throw IoError("checkpoint payload exceeds 1 GiB frame limit");
+  std::vector<std::uint8_t> header;
+  header.reserve(kHeaderSize);
+  put_u32(header, kMagic);
+  const std::uint64_t seq = next_seq_++;
+  put_u64(header, seq);
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  // The CRC covers seq, length, and payload, so a corrupted header field is
+  // caught just like corrupted payload bytes.
+  Crc32 crc;
+  crc.update(header.data() + 4, 12);
+  crc.update(payload.data(), payload.size());
+  put_u32(header, crc.value());
+  impl_->sink->write(header.data(), header.size());
+  impl_->sink->write(payload.data(), payload.size());
+  if (durable_)
+    impl_->sink->durable_flush();
+  else
+    impl_->sink->flush();
+  return seq;
+}
+
+void StableStorage::reset() {
+  impl_->sink.reset();
+  // Truncate by reopening in truncate mode, then switch back to append.
+  { FileSink truncate(path_, FileSink::Mode::kTruncate); }
+  open_for_append();
+}
+
+ScanResult StableStorage::scan(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const IoError&) {
+    return {};  // missing file == empty log
+  }
+  return scan_bytes(bytes);
+}
+
+ScanResult StableStorage::scan_bytes(const std::vector<std::uint8_t>& bytes) {
+  ScanResult result;
+  std::size_t off = 0;
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeaderSize) {
+      result.clean = false;
+      result.stop_reason = "torn frame header";
+      return result;
+    }
+    const std::uint8_t* p = bytes.data() + off;
+    if (get_u32(p) != kMagic) {
+      result.clean = false;
+      result.stop_reason = "bad frame magic";
+      return result;
+    }
+    std::uint64_t seq = get_u64(p + 4);
+    std::uint32_t len = get_u32(p + 12);
+    std::uint32_t crc = get_u32(p + 16);
+    if (len > kMaxPayload) {
+      result.clean = false;
+      result.stop_reason = "implausible frame length";
+      return result;
+    }
+    if (bytes.size() - off - kHeaderSize < len) {
+      result.clean = false;
+      result.stop_reason = "torn frame payload";
+      return result;
+    }
+    const std::uint8_t* payload = p + kHeaderSize;
+    Crc32 check;
+    check.update(p + 4, 12);  // seq + length
+    check.update(payload, len);
+    if (check.value() != crc) {
+      result.clean = false;
+      result.stop_reason = "frame CRC mismatch";
+      return result;
+    }
+    if (!first && seq <= prev_seq) {
+      result.clean = false;
+      result.stop_reason = "non-increasing sequence number";
+      return result;
+    }
+    first = false;
+    prev_seq = seq;
+    result.frames.push_back(Frame{seq, {payload, payload + len}});
+    off += kHeaderSize + len;
+  }
+  return result;
+}
+
+}  // namespace ickpt::io

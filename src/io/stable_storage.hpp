@@ -1,0 +1,69 @@
+// Framed, CRC-protected checkpoint log on disk.
+//
+// Each checkpoint (full or incremental) is appended as one frame:
+//
+//   [u32 magic][u64 seq][u32 payload_len][u32 payload_crc][payload bytes]
+//
+// all integers big-endian. The scan stops at the first frame that is short,
+// has a bad magic/CRC, or a non-increasing sequence number; everything before
+// it is the longest valid prefix and is safe to recover from. A torn final
+// write therefore costs at most the checkpoint that was being written when
+// the crash happened — never an earlier one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ickpt::io {
+
+struct Frame {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ScanResult {
+  std::vector<Frame> frames;
+  /// True when the file ended exactly on a frame boundary.
+  bool clean = true;
+  /// Human-readable reason the scan stopped early (empty when clean).
+  std::string stop_reason;
+};
+
+class StableStorage {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  /// `durable` controls whether append() fsyncs each frame.
+  explicit StableStorage(std::string path, bool durable = false);
+
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+  ~StableStorage();
+
+  /// Append one checkpoint payload; returns its sequence number.
+  std::uint64_t append(const std::vector<std::uint8_t>& payload);
+
+  /// Delete all frames (restart the log). Sequence numbering continues.
+  void reset();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// Scan a log file into frames, tolerating a torn tail.
+  static ScanResult scan(const std::string& path);
+
+  /// Scan an in-memory image of a log (used by fault-injection tests).
+  static ScanResult scan_bytes(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  bool durable_;
+  std::uint64_t next_seq_ = 0;
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace ickpt::io

@@ -1,0 +1,180 @@
+#include "pagetrack/arena.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <sys/mman.h>
+
+namespace ickpt::pagetrack {
+
+// ---------------------------------------------------------------------------
+// PageArena
+
+PageArena::PageArena(std::size_t bytes) {
+  capacity_ = (bytes + kPageSize - 1) / kPageSize * kPageSize;
+  if (capacity_ == 0) capacity_ = kPageSize;
+  void* mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw IoError("mmap failed for page arena");
+  base_ = static_cast<std::uint8_t*>(mem);
+}
+
+PageArena::~PageArena() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+void* PageArena::allocate(std::size_t size, std::size_t align) {
+  std::size_t offset = (used_ + align - 1) & ~(align - 1);
+  if (offset + size > capacity_)
+    throw Error("page arena exhausted (" + std::to_string(capacity_) +
+                " bytes)");
+  used_ = offset + size;
+  return base_ + offset;
+}
+
+// ---------------------------------------------------------------------------
+// Signal plumbing: a process-wide registry of live trackers. The SIGSEGV
+// handler walks it; faults outside any tracked arena re-raise with the
+// previous disposition so real crashes still crash.
+
+struct TrackerRegistry {
+  static constexpr int kMaxTrackers = 16;
+
+  std::mutex mutex;
+  PageTracker* trackers[kMaxTrackers] = {};
+  int live = 0;
+  struct sigaction previous {};
+  bool installed = false;
+
+  static TrackerRegistry& instance() {
+    static TrackerRegistry registry;
+    return registry;
+  }
+
+  static void handler(int signo, siginfo_t* info, void* context) {
+    TrackerRegistry& registry = instance();
+    // Async-signal context: no locks, no allocation. The trackers array is
+    // only mutated while no protected arena can fault (add/remove protect
+    // nothing), so a racy read is benign for this use.
+    for (PageTracker* tracker : registry.trackers) {
+      if (tracker != nullptr && tracker->handle_fault(info->si_addr)) return;
+    }
+    // Not ours: restore and re-raise so the default action fires.
+    ::sigaction(SIGSEGV, &registry.previous, nullptr);
+    (void)signo;
+    (void)context;
+    ::raise(SIGSEGV);
+  }
+
+  void add(PageTracker* tracker) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!installed) {
+      struct sigaction action {};
+      action.sa_sigaction = &handler;
+      action.sa_flags = SA_SIGINFO | SA_NODEFER;
+      sigemptyset(&action.sa_mask);
+      if (::sigaction(SIGSEGV, &action, &previous) != 0)
+        throw IoError("sigaction(SIGSEGV) failed");
+      installed = true;
+    }
+    for (PageTracker*& slot : trackers) {
+      if (slot == nullptr) {
+        slot = tracker;
+        ++live;
+        return;
+      }
+    }
+    throw Error("too many live PageTrackers");
+  }
+
+  void remove(PageTracker* tracker) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (PageTracker*& slot : trackers) {
+      if (slot == tracker) {
+        slot = nullptr;
+        --live;
+        break;
+      }
+    }
+    if (live == 0 && installed) {
+      ::sigaction(SIGSEGV, &previous, nullptr);
+      installed = false;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PageTracker
+
+PageTracker::PageTracker(PageArena& arena)
+    : arena_(&arena), dirty_(arena.page_count(), 1) {
+  // All pages start dirty (everything is new), like a fresh CheckpointInfo.
+  TrackerRegistry::instance().add(this);
+}
+
+PageTracker::~PageTracker() {
+  if (protected_) unprotect();
+  TrackerRegistry::instance().remove(this);
+}
+
+void PageTracker::protect() {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  if (::mprotect(arena_->base(), arena_->capacity(), PROT_READ) != 0)
+    throw IoError("mprotect(PROT_READ) failed");
+  protected_ = true;
+}
+
+void PageTracker::unprotect() {
+  if (::mprotect(arena_->base(), arena_->capacity(),
+                 PROT_READ | PROT_WRITE) != 0)
+    throw IoError("mprotect(PROT_READ|PROT_WRITE) failed");
+  protected_ = false;
+}
+
+bool PageTracker::handle_fault(void* addr) {
+  if (!protected_ || !arena_->contains(addr)) return false;
+  const std::size_t page =
+      static_cast<std::size_t>(static_cast<std::uint8_t*>(addr) -
+                               arena_->base()) /
+      kPageSize;
+  dirty_[page] = 1;
+  // Unprotect just this page: later writes to it fault no more.
+  ::mprotect(arena_->base() + page * kPageSize, kPageSize,
+             PROT_READ | PROT_WRITE);
+  return true;
+}
+
+std::vector<std::size_t> PageTracker::dirty_pages() const {
+  std::vector<std::size_t> pages;
+  for (std::size_t i = 0; i < dirty_.size(); ++i)
+    if (dirty_[i] != 0) pages.push_back(i);
+  return pages;
+}
+
+std::size_t PageTracker::dirty_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t flag : dirty_)
+    if (flag != 0) ++n;
+  return n;
+}
+
+std::size_t PageTracker::write_dirty_pages(
+    std::vector<std::uint8_t>& out) const {
+  const std::size_t before = out.size();
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i] == 0) continue;
+    // varint page index
+    std::uint64_t v = i;
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+    const std::uint8_t* page = arena_->base() + i * kPageSize;
+    out.insert(out.end(), page, page + kPageSize);
+  }
+  return out.size() - before;
+}
+
+}  // namespace ickpt::pagetrack

@@ -1,0 +1,105 @@
+// Page-granularity dirty tracking: the system-level incremental
+// checkpointing the paper contrasts with (§1: "incremental checkpointing,
+// which uses system-level facilities to identify modified virtual-memory
+// pages").
+//
+// PageArena carves objects out of an mmap'd region; PageTracker
+// write-protects the region after each checkpoint and marks pages dirty from
+// a SIGSEGV handler on first write. A page-level incremental checkpoint is
+// then the set of dirty pages, raw.
+//
+// This exists to *reproduce the paper's motivating comparison*: for
+// object-oriented heaps — many small objects, hot fields scattered across
+// pages — page-level checkpoints capture far more bytes than object-level
+// ones (bench_pagelevel). It is deliberately not wired into Recovery: a raw
+// memory image is process-specific (vtable pointers, addresses), which is
+// itself one of the paper's arguments for the language-level approach.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ickpt::pagetrack {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+class PageArena {
+ public:
+  /// Reserve `bytes` (rounded up to whole pages) of private anonymous
+  /// memory. Throws IoError if mmap fails.
+  explicit PageArena(std::size_t bytes);
+  ~PageArena();
+
+  PageArena(const PageArena&) = delete;
+  PageArena& operator=(const PageArena&) = delete;
+
+  /// Bump-allocate `size` bytes aligned to `align`. Throws Error when full.
+  void* allocate(std::size_t size, std::size_t align);
+
+  template <class T, class... Args>
+  T* make(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] std::uint8_t* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return capacity_ / kPageSize;
+  }
+
+  [[nodiscard]] bool contains(const void* p) const noexcept {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    return b >= base_ && b < base_ + capacity_;
+  }
+
+ private:
+  std::uint8_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// SIGSEGV-based dirty-page tracker over one arena. At most a small fixed
+/// number of trackers may be live at once (they share the signal handler).
+class PageTracker {
+ public:
+  explicit PageTracker(PageArena& arena);
+  ~PageTracker();
+
+  PageTracker(const PageTracker&) = delete;
+  PageTracker& operator=(const PageTracker&) = delete;
+
+  /// Write-protect every page; subsequent first-writes mark pages dirty.
+  /// Call after taking a checkpoint.
+  void protect();
+
+  /// Drop protection without recording dirt (e.g. before bulk setup).
+  void unprotect();
+
+  /// Indices of pages written since the last protect().
+  [[nodiscard]] std::vector<std::size_t> dirty_pages() const;
+  [[nodiscard]] std::size_t dirty_count() const;
+  [[nodiscard]] std::size_t dirty_bytes() const {
+    return dirty_count() * kPageSize;
+  }
+
+  /// A page-level incremental checkpoint: for each dirty page, varint page
+  /// index followed by the raw 4 KiB. Returns payload size.
+  std::size_t write_dirty_pages(std::vector<std::uint8_t>& out) const;
+
+  [[nodiscard]] const PageArena& arena() const noexcept { return *arena_; }
+
+ private:
+  friend struct TrackerRegistry;
+  bool handle_fault(void* addr);
+
+  PageArena* arena_;
+  std::vector<std::uint8_t> dirty_;  // one flag per page
+  bool protected_ = false;
+};
+
+}  // namespace ickpt::pagetrack

@@ -1,0 +1,96 @@
+#include "spec/adaptive.hpp"
+
+#include "io/byte_sink.hpp"
+
+namespace ickpt::spec {
+
+AdaptiveCheckpointer::AdaptiveCheckpointer(const ShapeDescriptor& shape,
+                                           Options opts)
+    : shape_(&shape),
+      opts_(opts),
+      inferencer_(std::make_unique<PatternInferencer>(shape)) {
+  if (opts_.observe_epochs == 0)
+    throw SpecError("AdaptiveCheckpointer needs at least one observation "
+                    "epoch");
+}
+
+void AdaptiveCheckpointer::run_generic(io::DataWriter& d, Epoch epoch,
+                                       const Roots& roots) {
+  core::CheckpointOptions copts;
+  copts.mode = core::Mode::kIncremental;
+  core::Checkpoint::run(d, epoch, roots.bases, copts);
+}
+
+void AdaptiveCheckpointer::relearn() {
+  stage_ = Stage::kObserving;
+  inferencer_ = std::make_unique<PatternInferencer>(*shape_);
+  epochs_observed_ = 0;
+  executor_.reset();
+}
+
+AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
+    io::DataWriter& d, Epoch epoch, Roots roots) {
+  if (roots.bases.size() != roots.concretes.size())
+    throw SpecError("adaptive checkpoint: root span size mismatch");
+
+  Result result;
+  const std::size_t before = d.bytes_written();
+
+  if (stage_ == Stage::kSpecialized) {
+    // Stage the specialized stream in a scratch buffer: if the structure
+    // violates the learned pattern mid-run we must not leave a partial
+    // checkpoint in the caller's stream.
+    io::VectorSink scratch;
+    bool ok = true;
+    {
+      io::DataWriter scratch_writer(scratch);
+      try {
+        run_plan_checkpoint(scratch_writer, epoch, roots.concretes,
+                            *executor_);
+        scratch_writer.flush();
+      } catch (const SpecError&) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      d.write_bytes(scratch.bytes().data(), scratch.size());
+      result.stage_used = Stage::kSpecialized;
+      result.bytes = d.bytes_written() - before;
+      return result;
+    }
+    // Structure drifted: fall back for this checkpoint and re-learn.
+    // The aborted plan run may have reset some flags already — they were
+    // reset exactly for objects whose records are in the scratch buffer,
+    // which we are discarding. Restore them so the generic pass records
+    // those objects again. We cannot know which they were, so conservative
+    // recovery is to re-mark every object the plan *could* have recorded:
+    // simplest sound choice is to re-run generically over a full-mode
+    // checkpoint for this epoch.
+    ++fallbacks_;
+    relearn();
+    core::CheckpointOptions copts;
+    copts.mode = core::Mode::kFull;  // sound despite half-reset flags
+    core::Checkpoint::run(d, epoch, roots.bases, copts);
+    result.stage_used = Stage::kObserving;
+    result.fell_back = true;
+    result.bytes = d.bytes_written() - before;
+    return result;
+  }
+
+  // Observing: sample flags before the generic pass resets them.
+  for (void* root : roots.concretes) inferencer_->observe(root);
+  ++epochs_observed_;
+  run_generic(d, epoch, roots);
+  result.stage_used = Stage::kObserving;
+  result.bytes = d.bytes_written() - before;
+
+  if (epochs_observed_ >= opts_.observe_epochs) {
+    PatternNode pattern = inferencer_->infer(opts_.infer);
+    plan_ = PlanCompiler(opts_.compile).compile(*shape_, pattern);
+    executor_ = std::make_unique<PlanExecutor>(plan_);
+    stage_ = Stage::kSpecialized;
+  }
+  return result;
+}
+
+}  // namespace ickpt::spec

@@ -1,0 +1,87 @@
+// AdaptiveCheckpointer: the paper's full pipeline, run online.
+//
+// The paper derives specialized checkpointing routines from declarations a
+// programmer writes per phase. This component closes the loop instead:
+// it checkpoints generically while *observing* the dirty flags for a few
+// epochs, infers the modification pattern, compiles the residual plan, and
+// switches to it. If the structure later violates the learned pattern (a
+// list grows, a skipped subtree gets dirtied into view structurally — any
+// kAssertNull/kFollow failure), the checkpoint transparently falls back to
+// the generic driver and re-enters the learning stage, so adaptation is
+// never a correctness risk.
+//
+// Specialized output is byte-identical to generic output (the plan keeps
+// every test the observations could not discharge), so consumers of the
+// checkpoint stream cannot tell which stage wrote it.
+#pragma once
+
+#include <span>
+
+#include "core/checkpoint.hpp"
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "spec/inference.hpp"
+
+namespace ickpt::spec {
+
+class AdaptiveCheckpointer {
+ public:
+  struct Options {
+    /// Epochs observed before inferring and specializing.
+    std::size_t observe_epochs = 4;
+    InferOptions infer;
+    CompileOptions compile;
+  };
+
+  enum class Stage : std::uint8_t { kObserving, kSpecialized };
+
+  struct Roots {
+    /// The structure roots as Checkpointable pointers (generic path) and as
+    /// concrete pointers matching the shape (specialized path), same order.
+    std::span<core::Checkpointable* const> bases;
+    std::span<void* const> concretes;
+  };
+
+  struct Result {
+    Stage stage_used = Stage::kObserving;
+    /// True when the specialized plan hit a structure violation and the
+    /// checkpoint was re-issued through the generic driver.
+    bool fell_back = false;
+    std::size_t bytes = 0;
+  };
+
+  explicit AdaptiveCheckpointer(const ShapeDescriptor& shape)
+      : AdaptiveCheckpointer(shape, Options{}) {}
+  AdaptiveCheckpointer(const ShapeDescriptor& shape, Options opts);
+
+  /// Write one incremental checkpoint of `roots` at `epoch` into `d`.
+  Result checkpoint(io::DataWriter& d, Epoch epoch, Roots roots);
+
+  [[nodiscard]] Stage stage() const noexcept { return stage_; }
+  /// Compiled plan, or nullptr while still observing.
+  [[nodiscard]] const Plan* plan() const noexcept {
+    return stage_ == Stage::kSpecialized ? &plan_ : nullptr;
+  }
+  [[nodiscard]] std::size_t epochs_observed() const noexcept {
+    return epochs_observed_;
+  }
+  /// Times the specialized plan was abandoned for a generic fallback.
+  [[nodiscard]] std::size_t fallbacks() const noexcept { return fallbacks_; }
+
+  /// Discard the learned pattern and start observing afresh.
+  void relearn();
+
+ private:
+  void run_generic(io::DataWriter& d, Epoch epoch, const Roots& roots);
+
+  const ShapeDescriptor* shape_;
+  Options opts_;
+  Stage stage_ = Stage::kObserving;
+  std::unique_ptr<PatternInferencer> inferencer_;
+  std::size_t epochs_observed_ = 0;
+  std::size_t fallbacks_ = 0;
+  Plan plan_;
+  std::unique_ptr<PlanExecutor> executor_;
+};
+
+}  // namespace ickpt::spec

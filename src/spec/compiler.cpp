@@ -1,0 +1,294 @@
+#include "spec/compiler.hpp"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace ickpt::spec {
+
+namespace {
+
+OpCode scalar_op(ScalarKind kind, bool varint_scalars) {
+  switch (kind) {
+    case ScalarKind::kU8:
+      return OpCode::kWriteU8;
+    case ScalarKind::kBool:
+      return OpCode::kWriteBool;
+    case ScalarKind::kI32:
+      return varint_scalars ? OpCode::kWriteI32Var : OpCode::kWriteI32;
+    case ScalarKind::kI64:
+      return OpCode::kWriteI64;
+    case ScalarKind::kU64:
+      return OpCode::kWriteU64;
+    case ScalarKind::kF32:
+      return OpCode::kWriteF32;
+    case ScalarKind::kF64:
+      return OpCode::kWriteF64;
+  }
+  throw SpecError("unknown scalar kind");
+}
+
+class Compiler {
+ public:
+  Compiler(const CompileOptions& opts) : opts_(opts) {}
+
+  Plan run(const ShapeDescriptor& shape, const PatternNode& pattern) {
+    compile_node(shape, pattern, 0);
+    ops_.push_back(Op{OpCode::kEnd, 0, 0, 0});
+    Plan plan;
+    plan.ops = std::move(ops_);
+    plan.max_depth = max_depth_;
+    plan.root_info_offset = shape.info_offset;
+    plan.shape_name = shape.name;
+    return plan;
+  }
+
+ private:
+  void emit(OpCode code, std::uint32_t a = 0, std::uint32_t b = 0,
+            std::uint64_t imm = 0) {
+    ops_.push_back(Op{code, a, b, imm});
+  }
+
+  /// Emit `count` int32 writes starting at `offset`, fusing with an
+  /// immediately preceding contiguous i32 write into one run op — the
+  /// peephole a compiler would apply to the unrolled residual code.
+  void emit_i32s(std::uint32_t offset, std::uint32_t count) {
+    if (!ops_.empty()) {
+      Op& last = ops_.back();
+      std::uint32_t last_count = 0;
+      if (last.code == OpCode::kWriteI32)
+        last_count = 1;
+      else if (last.code == OpCode::kWriteI32ArrayFixed ||
+               last.code == OpCode::kWriteI32Run)
+        last_count = last.b;
+      if (last_count != 0 && last.a + 4 * last_count == offset) {
+        last.code = OpCode::kWriteI32Run;
+        last.b = last_count + count;
+        return;
+      }
+    }
+    if (count == 1)
+      emit(OpCode::kWriteI32, offset);
+    else
+      emit(OpCode::kWriteI32ArrayFixed, offset, count);
+  }
+
+  void compile_node(const ShapeDescriptor& shape, const PatternNode& pattern,
+                    std::uint32_t depth) {
+    if (depth > opts_.max_depth)
+      throw SpecError("shape '" + shape.name +
+                      "' recurses past the pattern depth; supply an explicit "
+                      "pattern that bounds the structure");
+    max_depth_ = std::max(max_depth_, depth);
+
+    // Ablation semantics: with traversal pruning disabled, a skipped subtree
+    // degrades to a provably-unmodified node whose children are likewise
+    // degraded skips; with test pruning disabled, every status degrades to
+    // the generic MaybeModified test.
+    bool skip = pattern.skip;
+    if (skip && opts_.prune_traversal) return;
+
+    ModStatus self = pattern.self;
+    if (skip) self = ModStatus::kUnmodified;  // prune_traversal off
+    if (!opts_.prune_tests && !skip) self = ModStatus::kMaybeModified;
+    if (!opts_.prune_tests && skip) self = ModStatus::kMaybeModified;
+
+    const std::uint32_t info = static_cast<std::uint32_t>(shape.info_offset);
+
+    std::size_t test_ip = SIZE_MAX;
+    if (self != ModStatus::kUnmodified) {
+      if (self == ModStatus::kMaybeModified) {
+        test_ip = ops_.size();
+        emit(OpCode::kTestSkip, info, 0);
+      }
+      emit(OpCode::kWriteHeader, info, 0, shape.type_id);
+      for (const Field& field : shape.fields) {
+        if (const auto* s = std::get_if<ScalarField>(&field)) {
+          if (s->kind == ScalarKind::kI32 && !opts_.varint_scalars) {
+            emit_i32s(static_cast<std::uint32_t>(s->offset), 1);
+          } else {
+            emit(scalar_op(s->kind, opts_.varint_scalars),
+                 static_cast<std::uint32_t>(s->offset));
+          }
+        } else if (const auto* arr = std::get_if<I32ArrayField>(&field)) {
+          if (pattern.array_count.has_value()) {
+            emit_i32s(static_cast<std::uint32_t>(arr->offset),
+                      *pattern.array_count);
+          } else if (arr->count_offset == I32ArrayField::kNoCountField) {
+            emit_i32s(static_cast<std::uint32_t>(arr->offset),
+                      arr->fixed_count);
+          } else {
+            emit(OpCode::kWriteI32ArrayRuntime,
+                 static_cast<std::uint32_t>(arr->offset),
+                 static_cast<std::uint32_t>(arr->count_offset));
+          }
+        } else {
+          // The child's id lives at its own shape's info offset; stash that
+          // offset in b so the executor can read the id without dispatch.
+          const auto& child = std::get<ChildField>(field);
+          emit(OpCode::kWriteChildId, static_cast<std::uint32_t>(child.offset),
+               static_cast<std::uint32_t>(child.shape->info_offset));
+        }
+      }
+      emit(OpCode::kResetFlag, info);
+      if (test_ip != SIZE_MAX)
+        ops_[test_ip].b =
+            static_cast<std::uint32_t>(ops_.size() - test_ip - 1);
+    }
+
+    // Child traversal (fold order == field order).
+    std::size_t child_index = 0;
+    const std::size_t n_children = shape.child_count();
+    if (!pattern.children.empty() && pattern.children.size() != n_children)
+      throw SpecError("pattern for '" + shape.name + "' supplies " +
+                      std::to_string(pattern.children.size()) +
+                      " child patterns, shape has " +
+                      std::to_string(n_children));
+    for (const Field& field : shape.fields) {
+      const auto* child = std::get_if<ChildField>(&field);
+      if (child == nullptr) continue;
+      PatternNode synthesized;  // default MaybeModified, children implicit
+      const PatternNode* child_pattern =
+          pattern.children.empty() ? &synthesized
+                                   : &pattern.children[child_index];
+      ++child_index;
+      // Skipped parents imply skipped children when traversal pruning is
+      // ablated away (the subtree is still provably unmodified).
+      PatternNode degraded;
+      if (skip) {
+        degraded = *child_pattern;
+        degraded.skip = true;
+        child_pattern = &degraded;
+      }
+      if (child_pattern->expect_absent) {
+        emit(OpCode::kAssertNull, static_cast<std::uint32_t>(child->offset));
+        continue;
+      }
+      if (child_pattern->skip && opts_.prune_traversal) continue;
+      const std::size_t push_ip = ops_.size();
+      emit(OpCode::kPushChild, static_cast<std::uint32_t>(child->offset), 0);
+
+      // Chain fusion: while the target node is a pure pass-through
+      // (provably unmodified, nothing to assert, exactly one traversed
+      // child), replace its push/pop pair with a stackless follow hop —
+      // the specialized code just chases the pointer, as in paper Fig. 10.
+      const ShapeDescriptor* node_shape = child->shape;
+      const PatternNode* node_pattern = child_pattern;
+      std::uint32_t hops = 0;
+      while (true) {
+        const auto hop = pass_through_hop(*node_shape, *node_pattern);
+        if (!hop.has_value()) break;
+        const auto [next_field, next_pattern] = *hop;
+        if (hops != 0 &&
+            ops_.back().a != static_cast<std::uint32_t>(next_field->offset))
+          break;  // different link offset; start a new follow op instead
+        if (hops == 0)
+          emit(OpCode::kFollow,
+               static_cast<std::uint32_t>(next_field->offset), 0);
+        ops_.back().b += 1;
+        ++hops;
+        node_shape = next_field->shape;
+        node_pattern = next_pattern;
+        ++depth;
+        if (depth > opts_.max_depth)
+          throw SpecError("shape '" + node_shape->name +
+                          "' recurses past the pattern depth; supply an "
+                          "explicit pattern that bounds the structure");
+      }
+
+      compile_node(*node_shape, *node_pattern, depth + 1);
+      emit(OpCode::kPop);
+      ops_[push_ip].b =
+          static_cast<std::uint32_t>(ops_.size() - push_ip - 1);
+    }
+  }
+
+  /// If (shape, pattern) describes a node the compiled code can hop straight
+  /// through — no tests, no records, no assertions, exactly one traversed
+  /// child — return that child's field and pattern.
+  std::optional<std::pair<const ChildField*, const PatternNode*>>
+  pass_through_hop(const ShapeDescriptor& shape,
+                   const PatternNode& pattern) const {
+    if (pattern.skip || pattern.expect_absent) return std::nullopt;
+    if (!opts_.prune_tests) return std::nullopt;
+    if (pattern.self != ModStatus::kUnmodified) return std::nullopt;
+    if (!pattern.children.empty() &&
+        pattern.children.size() != shape.child_count())
+      return std::nullopt;  // arity error surfaces in compile_node
+    const ChildField* traversed = nullptr;
+    const PatternNode* traversed_pattern = nullptr;
+    std::size_t index = 0;
+    for (const Field& field : shape.fields) {
+      const auto* child = std::get_if<ChildField>(&field);
+      if (child == nullptr) continue;
+      static const PatternNode kDefault;
+      const PatternNode* cp = pattern.children.empty()
+                                  ? &kDefault
+                                  : &pattern.children[index];
+      ++index;
+      if (cp->expect_absent) return std::nullopt;  // needs an assert op
+      if (cp->skip) {
+        if (!opts_.prune_traversal) return std::nullopt;
+        continue;
+      }
+      if (traversed != nullptr) return std::nullopt;  // more than one child
+      traversed = child;
+      traversed_pattern = cp;
+    }
+    if (traversed == nullptr) return std::nullopt;
+    return std::make_pair(traversed, traversed_pattern);
+  }
+
+  const CompileOptions& opts_;
+  std::vector<Op> ops_;
+  std::uint32_t max_depth_ = 0;
+};
+
+PatternNode uniform(const ShapeDescriptor& shape, std::uint32_t depth) {
+  PatternNode node;  // MaybeModified
+  node.children.reserve(shape.child_count());
+  for (const Field& field : shape.fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    if (depth == 0)
+      node.children.push_back(PatternNode::absent());
+    else
+      node.children.push_back(uniform(*child->shape, depth - 1));
+  }
+  return node;
+}
+
+}  // namespace
+
+Plan PlanCompiler::compile(const ShapeDescriptor& shape,
+                           const PatternNode& pattern) const {
+  Compiler compiler(opts_);
+  return compiler.run(shape, pattern);
+}
+
+PatternNode PlanCompiler::uniform_pattern(const ShapeDescriptor& shape,
+                                          std::uint32_t depth_limit) {
+  return uniform(shape, depth_limit);
+}
+
+std::string Plan::disassemble() const {
+  static constexpr const char* kNames[] = {
+      "test_skip",  "write_header", "write_u8",        "write_bool",
+      "write_i32",  "write_i32v",   "write_i64",       "write_u64",
+      "write_f32",  "write_f64",    "write_i32arr_fx", "write_i32run",
+      "write_i32arr_rt", "write_cid", "reset_flag",    "push_child",
+      "pop",        "follow",       "assert_null",     "end"};
+  std::ostringstream out;
+  out << "plan for " << shape_name << " (" << ops.size()
+      << " ops, depth " << max_depth << ")\n";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    out << "  " << i << ": " << kNames[static_cast<int>(op.code)] << " a="
+        << op.a << " b=" << op.b;
+    if (op.imm != 0) out << " imm=" << op.imm;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ickpt::spec

@@ -1,0 +1,50 @@
+// PlanCompiler: shape + modification pattern -> residual Plan.
+//
+// This is the automatic step the paper performs with JSCC + Tempo: given the
+// programmer-declared structure (ShapeDescriptor) and the phase's
+// modification pattern (PatternNode), generate the specialized checkpointing
+// routine. Compilation happens once per (shape, pattern); the plan is then
+// executed for every structure instance at every checkpoint.
+#pragma once
+
+#include "spec/pattern.hpp"
+#include "spec/plan.hpp"
+#include "spec/shape.hpp"
+
+namespace ickpt::spec {
+
+struct CompileOptions {
+  /// Refuse to unroll deeper than this many child levels; recursive shapes
+  /// must be bounded by explicit pattern depth before hitting the limit.
+  std::uint32_t max_depth = 4096;
+  /// Emit LEB128 zigzag ops for i32 scalars instead of fixed-width
+  /// (encoding ablation; output is NOT byte-compatible with the generic
+  /// driver).
+  bool varint_scalars = false;
+  /// Ablation switches (DESIGN.md §5.1): when disabled, the corresponding
+  /// pattern knowledge is ignored and generic behaviour is emitted.
+  bool prune_tests = true;      // honor kUnmodified / kModified statuses
+  bool prune_traversal = true;  // honor skip subtrees
+};
+
+class PlanCompiler {
+ public:
+  explicit PlanCompiler(CompileOptions opts = {}) : opts_(opts) {}
+
+  /// Compile a plan for structures of `shape` under `pattern`.
+  /// The pattern tree must cover recursive shapes to their full depth.
+  [[nodiscard]] Plan compile(const ShapeDescriptor& shape,
+                             const PatternNode& pattern) const;
+
+  /// Pattern that keeps every test but inlines the whole traversal —
+  /// "specialization with respect to the structure" only (paper Fig. 8).
+  /// `depth_limit` bounds the unrolling of recursive shapes; traversal stops
+  /// (with a SpecError) if the shape recurses past it without a null.
+  [[nodiscard]] static PatternNode uniform_pattern(const ShapeDescriptor& shape,
+                                                   std::uint32_t depth_limit);
+
+ private:
+  CompileOptions opts_;
+};
+
+}  // namespace ickpt::spec

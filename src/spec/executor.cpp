@@ -1,0 +1,199 @@
+#include "spec/executor.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/checkpoint_info.hpp"
+
+namespace ickpt::spec {
+
+namespace {
+
+constexpr std::size_t kMaxStack = 256;
+
+template <class T>
+T load(const char* base, std::uint32_t offset) {
+  T v;
+  std::memcpy(&v, base + offset, sizeof(T));
+  return v;
+}
+
+core::CheckpointInfo& info_at(char* base, std::uint32_t offset) {
+  return *reinterpret_cast<core::CheckpointInfo*>(base + offset);
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const Plan& plan) : plan_(&plan) {
+  if (plan.max_depth + 1 >= kMaxStack)
+    throw SpecError("plan nests deeper than the executor stack (" +
+                    std::to_string(plan.max_depth) + ")");
+  if (plan.ops.empty() || plan.ops.back().code != OpCode::kEnd)
+    throw SpecError("malformed plan: missing end op");
+}
+
+void PlanExecutor::run(void* root, io::DataWriter& d) const {
+  const Op* ops = plan_->ops.data();
+  char* cur = static_cast<char*>(root);
+  char* stack[kMaxStack];
+  std::size_t sp = 0;
+  std::size_t ip = 0;
+  for (;;) {
+    const Op& op = ops[ip++];
+    switch (op.code) {
+      case OpCode::kTestSkip:
+        if (!info_at(cur, op.a).modified()) ip += op.b;
+        break;
+      case OpCode::kWriteHeader: {
+        d.write_u8(core::kRecordTag);
+        d.write_varint(op.imm);
+        d.write_varint(info_at(cur, op.a).id());
+        break;
+      }
+      case OpCode::kWriteU8:
+        d.write_u8(load<std::uint8_t>(cur, op.a));
+        break;
+      case OpCode::kWriteBool:
+        d.write_bool(load<bool>(cur, op.a));
+        break;
+      case OpCode::kWriteI32:
+        d.write_i32(load<std::int32_t>(cur, op.a));
+        break;
+      case OpCode::kWriteI32Var:
+        d.write_varint_i64(load<std::int32_t>(cur, op.a));
+        break;
+      case OpCode::kWriteI64:
+        d.write_i64(load<std::int64_t>(cur, op.a));
+        break;
+      case OpCode::kWriteU64:
+        d.write_u64(load<std::uint64_t>(cur, op.a));
+        break;
+      case OpCode::kWriteF32:
+        d.write_f32(load<float>(cur, op.a));
+        break;
+      case OpCode::kWriteF64:
+        d.write_f64(load<double>(cur, op.a));
+        break;
+      case OpCode::kWriteI32ArrayFixed: {
+        const char* base = cur + op.a;
+        for (std::uint32_t i = 0; i < op.b; ++i)
+          d.write_i32(load<std::int32_t>(base, i * 4));
+        break;
+      }
+      case OpCode::kWriteI32Run:
+        d.write_i32_run(reinterpret_cast<const std::int32_t*>(cur + op.a),
+                        op.b);
+        break;
+      case OpCode::kWriteI32ArrayRuntime: {
+        const std::int32_t count = load<std::int32_t>(cur, op.b);
+        const char* base = cur + op.a;
+        for (std::int32_t i = 0; i < count; ++i)
+          d.write_i32(load<std::int32_t>(base,
+                                         static_cast<std::uint32_t>(i) * 4));
+        break;
+      }
+      case OpCode::kWriteChildId: {
+        char* child = load<char*>(cur, op.a);
+        d.write_varint(child != nullptr ? info_at(child, op.b).id()
+                                        : kNullObjectId);
+        break;
+      }
+      case OpCode::kResetFlag:
+        info_at(cur, op.a).reset_modified();
+        break;
+      case OpCode::kPushChild: {
+        char* child = load<char*>(cur, op.a);
+        if (child == nullptr) {
+          ip += op.b;
+        } else {
+          stack[sp++] = cur;
+          cur = child;
+        }
+        break;
+      }
+      case OpCode::kPop:
+        cur = stack[--sp];
+        break;
+      case OpCode::kFollow:
+        for (std::uint32_t i = 0; i < op.b; ++i) {
+          cur = load<char*>(cur, op.a);
+          if (cur == nullptr)
+            throw SpecError(
+                "structure violates pattern: chain shorter than declared "
+                "(plan for " +
+                plan_->shape_name + ")");
+        }
+        break;
+      case OpCode::kAssertNull:
+        if (load<void*>(cur, op.a) != nullptr)
+          throw SpecError(
+              "structure violates pattern: child declared absent is present "
+              "(plan for " +
+              plan_->shape_name + ")");
+        break;
+      case OpCode::kEnd:
+        return;
+    }
+  }
+}
+
+void PlanExecutor::run_dry(void* root) const {
+  const Op* ops = plan_->ops.data();
+  char* cur = static_cast<char*>(root);
+  char* stack[kMaxStack];
+  std::size_t sp = 0;
+  std::size_t ip = 0;
+  for (;;) {
+    const Op& op = ops[ip++];
+    switch (op.code) {
+      case OpCode::kTestSkip:
+        if (!info_at(cur, op.a).modified()) ip += op.b;
+        break;
+      case OpCode::kPushChild: {
+        char* child = load<char*>(cur, op.a);
+        if (child == nullptr) {
+          ip += op.b;
+        } else {
+          stack[sp++] = cur;
+          cur = child;
+        }
+        break;
+      }
+      case OpCode::kPop:
+        cur = stack[--sp];
+        break;
+      case OpCode::kFollow:
+        for (std::uint32_t i = 0; i < op.b; ++i) {
+          cur = load<char*>(cur, op.a);
+          if (cur == nullptr)
+            throw SpecError("structure violates pattern: chain shorter than "
+                            "declared (dry run)");
+        }
+        break;
+      case OpCode::kEnd:
+        return;
+      default:
+        break;  // writes and resets are suppressed in a dry run
+    }
+  }
+}
+
+void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
+                         std::span<void* const> roots,
+                         const PlanExecutor& exec, core::Mode mode) {
+  const Plan& plan = exec.plan();
+  d.write_u8(core::kStreamMagic);
+  d.write_u8(core::kFormatVersion);
+  d.write_u8(static_cast<std::uint8_t>(mode));
+  d.write_u64(epoch);
+  d.write_varint(roots.size());
+  for (void* root : roots) {
+    const auto* info = reinterpret_cast<const core::CheckpointInfo*>(
+        static_cast<const char*>(root) + plan.root_info_offset);
+    d.write_varint(info->id());
+  }
+  for (void* root : roots) exec.run(root, d);
+  d.write_u8(core::kEndTag);
+}
+
+}  // namespace ickpt::spec

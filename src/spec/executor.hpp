@@ -1,0 +1,44 @@
+// PlanExecutor: run a compiled plan over concrete structure roots.
+//
+// The hot loop performs no virtual dispatch and no hashing: direct offset
+// loads, an explicit pointer stack, and only the tests the pattern kept.
+// Output is byte-identical to the generic driver for the same state
+// (given a valid pattern), so recovery is oblivious to which path wrote a
+// checkpoint — verified by the spec property tests.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "core/checkpoint_format.hpp"
+#include "io/data_writer.hpp"
+#include "spec/plan.hpp"
+
+namespace ickpt::spec {
+
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(const Plan& plan);
+
+  /// Emit the records of one structure instance. `root` must be a pointer to
+  /// the concrete type the plan's shape describes.
+  void run(void* root, io::DataWriter& d) const;
+
+  /// Traverse without writing or resetting flags (traversal-time metric,
+  /// paper Table 1 last row).
+  void run_dry(void* root) const;
+
+  [[nodiscard]] const Plan& plan() const noexcept { return *plan_; }
+
+ private:
+  const Plan* plan_;
+};
+
+/// Full specialized checkpoint: stream header + plan over every root + end
+/// tag. Roots are concrete pointers matching the plan's shape.
+void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
+                         std::span<void* const> roots,
+                         const PlanExecutor& exec,
+                         core::Mode mode = core::Mode::kIncremental);
+
+}  // namespace ickpt::spec

@@ -1,0 +1,60 @@
+// Field metadata: how the specializer sees a checkpointable class.
+//
+// A ShapeDescriptor plays the role of the paper's *specialization class*
+// (§3.1): programmer-supplied structural facts about a class — which scalar
+// fields record() writes, in which order, and which fields are checkpointable
+// children — expressed as byte offsets into the concrete object. The plan
+// compiler turns these facts plus a modification pattern into straight-line
+// code with direct field access, exactly what JSpec produced from
+// specialization classes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ickpt::spec {
+
+enum class ScalarKind : std::uint8_t {
+  kU8,
+  kBool,
+  kI32,
+  kI64,
+  kU64,
+  kF32,
+  kF64,
+};
+
+/// One base-type field written by record() at `offset` into the object.
+struct ScalarField {
+  ScalarKind kind;
+  std::size_t offset;
+};
+
+/// A contiguous run of int32 values at `offset`. The element count is either
+/// fixed by the shape (count_offset == kNoCountField) or read at runtime from
+/// an int32 field of the object. record() writes the count-bearing field
+/// itself separately if it needs to.
+struct I32ArrayField {
+  static constexpr std::size_t kNoCountField = static_cast<std::size_t>(-1);
+  std::size_t offset;
+  std::size_t count_offset = kNoCountField;
+  std::uint32_t fixed_count = 0;
+};
+
+struct ShapeDescriptor;
+
+/// A checkpointable child stored as a concrete raw pointer at `offset`.
+/// record() writes the child's id (varint); fold() traverses into it.
+struct ChildField {
+  std::size_t offset;
+  const ShapeDescriptor* shape;
+};
+
+using Field = std::variant<ScalarField, I32ArrayField, ChildField>;
+
+}  // namespace ickpt::spec

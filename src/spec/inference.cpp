@@ -1,0 +1,111 @@
+#include "spec/inference.hpp"
+
+#include <vector>
+
+#include "core/checkpoint_info.hpp"
+
+namespace ickpt::spec {
+
+/// Statistics for one position in the shape instance tree, merged across all
+/// observed instances.
+struct PatternInferencer::Node {
+  const ShapeDescriptor* shape;
+  std::size_t reached = 0;       // times the position held an object
+  std::size_t absent = 0;        // times the position held null
+  std::size_t self_dirty = 0;    // object's own flag was set
+  std::size_t subtree_dirty = 0; // any flag in the subtree was set
+  std::vector<std::unique_ptr<Node>> children;  // one per ChildField
+
+  explicit Node(const ShapeDescriptor& s) : shape(&s) {
+    children.resize(s.child_count());
+  }
+};
+
+namespace {
+
+const core::CheckpointInfo& info_of(const void* obj, std::size_t offset) {
+  return *reinterpret_cast<const core::CheckpointInfo*>(
+      static_cast<const char*>(obj) + offset);
+}
+
+}  // namespace
+
+PatternInferencer::PatternInferencer(const ShapeDescriptor& shape)
+    : shape_(&shape), root_(std::make_unique<Node>(shape)) {}
+
+PatternInferencer::~PatternInferencer() = default;
+
+std::size_t PatternInferencer::observations() const noexcept {
+  return observations_;
+}
+
+namespace {
+
+/// Returns true when any flag in the subtree was set.
+bool observe_node(PatternInferencer::Node& node, const void* obj) {
+  ++node.reached;
+  bool dirty = info_of(obj, node.shape->info_offset).modified();
+  if (dirty) ++node.self_dirty;
+  bool subtree_dirty = dirty;
+  std::size_t child_index = 0;
+  for (const Field& field : node.shape->fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    auto& slot = node.children[child_index++];
+    if (slot == nullptr) slot = std::make_unique<PatternInferencer::Node>(*child->shape);
+    const void* child_obj = *reinterpret_cast<const void* const*>(
+        static_cast<const char*>(obj) + child->offset);
+    if (child_obj == nullptr) {
+      ++slot->absent;
+      continue;
+    }
+    if (observe_node(*slot, child_obj)) subtree_dirty = true;
+  }
+  if (subtree_dirty) ++node.subtree_dirty;
+  return subtree_dirty;
+}
+
+PatternNode infer_node(const PatternInferencer::Node& node,
+                       const InferOptions& opts) {
+  PatternNode out;
+  if (node.reached == 0) {
+    // Position never held an object across all observations.
+    if (opts.assert_absent) return PatternNode::absent();
+    return PatternNode::skipped();
+  }
+  if (node.subtree_dirty == 0) return PatternNode::skipped();
+  if (node.self_dirty == 0) {
+    out.self = ModStatus::kUnmodified;
+  } else if (node.self_dirty == node.reached && opts.mark_always_modified) {
+    out.self = ModStatus::kModified;
+  } else {
+    out.self = ModStatus::kMaybeModified;
+  }
+  out.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    if (child == nullptr) {
+      // ChildField never even examined (parent position never reached with
+      // an object) — cannot happen when node.reached > 0, but stay safe.
+      out.children.push_back(PatternNode::skipped());
+    } else {
+      out.children.push_back(infer_node(*child, opts));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void PatternInferencer::observe(const void* root) {
+  if (root == nullptr) throw SpecError("observe: null root");
+  observe_node(*root_, root);
+  ++observations_;
+}
+
+PatternNode PatternInferencer::infer(const InferOptions& opts) const {
+  if (observations_ == 0)
+    throw SpecError("infer: no observations recorded");
+  return infer_node(*root_, opts);
+}
+
+}  // namespace ickpt::spec

@@ -1,0 +1,63 @@
+// PatternInferencer: derive a modification pattern from observed behaviour.
+//
+// The paper's conclusion proposes "automatically construct[ing]
+// specialization classes based on an analysis of the data modification
+// pattern of the program". This module implements the dynamic variant:
+// observe the modified flags of structure instances just before each
+// checkpoint over several epochs, merge per shape position, and emit a
+// PatternNode that (a) skips subtrees never seen modified, (b) drops tests
+// on positions always/never seen modified, and (c) asserts absent children.
+//
+// Soundness caveat (same as any phase-based specialization): the inferred
+// pattern is valid only while the program keeps behaving as observed. The
+// compiled plan's kAssertNull ops catch structural drift; modification
+// drift is the caller's contract, as it is for the paper's hand-declared
+// specialization classes.
+#pragma once
+
+#include <memory>
+
+#include "spec/pattern.hpp"
+#include "spec/shape.hpp"
+
+namespace ickpt::spec {
+
+struct InferOptions {
+  /// Emit kModified (record without testing) for positions dirty in every
+  /// observation. Off = such positions keep their runtime test, which keeps
+  /// the plan byte-identical to the generic driver even if behaviour drifts.
+  bool mark_always_modified = false;
+  /// Emit expect_absent assertions for child positions never seen present.
+  bool assert_absent = true;
+};
+
+class PatternInferencer {
+ public:
+  explicit PatternInferencer(const ShapeDescriptor& shape);
+  ~PatternInferencer();
+
+  PatternInferencer(const PatternInferencer&) = delete;
+  PatternInferencer& operator=(const PatternInferencer&) = delete;
+
+  /// Record the dirty-flag state of one structure instance. Call before the
+  /// checkpoint resets the flags. May be called for many instances per epoch
+  /// and across many epochs; statistics accumulate per shape position.
+  void observe(const void* root);
+
+  /// Number of observe() calls so far.
+  [[nodiscard]] std::size_t observations() const noexcept;
+
+  /// Produce the pattern implied by every observation so far.
+  [[nodiscard]] PatternNode infer(const InferOptions& opts = {}) const;
+
+  /// Per-position accumulator; public for the implementation's free
+  /// functions, not part of the supported API.
+  struct Node;
+
+ private:
+  const ShapeDescriptor* shape_;
+  std::unique_ptr<Node> root_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace ickpt::spec

@@ -1,0 +1,69 @@
+// Modification patterns: the phase-specific half of a specialization class.
+//
+// A PatternNode tree mirrors a shape instance tree and states, for each
+// position, what the current program phase may do to the object there
+// (paper §3.2, §4.2):
+//
+//   * skip == true          — the whole subtree is provably unmodified; the
+//                             specialized code contains no trace of it
+//                             (neither tests nor traversal).
+//   * self == kUnmodified   — this object itself is provably unmodified
+//                             (no test, no record), but children may be.
+//   * self == kMaybeModified— keep the runtime test (generic behaviour).
+//   * self == kModified     — provably modified: record without testing.
+//
+// Soundness: a pattern is valid for a workload iff it over-approximates the
+// actual mutations (nothing marked skip/kUnmodified is ever dirtied, and
+// nothing marked kModified is ever clean at checkpoint time — the latter
+// only matters for byte-level equivalence with the generic driver, not for
+// recoverability, since recording a clean object is merely redundant).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ickpt::spec {
+
+enum class ModStatus : std::uint8_t {
+  kUnmodified,
+  kMaybeModified,
+  kModified,
+};
+
+struct PatternNode {
+  ModStatus self = ModStatus::kMaybeModified;
+  bool skip = false;
+  /// Structural assertion: this child pointer is null (e.g. "lists have
+  /// length exactly 5" terminates the unrolled chain). The compiled plan
+  /// verifies the assertion at run time, so declaring a too-short structure
+  /// fails loudly instead of silently dropping modified tail objects.
+  bool expect_absent = false;
+  /// One entry per ChildField of the corresponding shape, in field order.
+  /// Must be fully populated down recursive shapes (the compiler refuses to
+  /// unroll a recursive shape without explicit pattern depth).
+  std::vector<PatternNode> children;
+  /// When set, specializes every runtime-counted I32ArrayField of this node
+  /// to a fixed element count (structure knowledge, e.g. "10 ints/element").
+  std::optional<std::uint32_t> array_count;
+
+  static PatternNode skipped() {
+    PatternNode n;
+    n.skip = true;
+    return n;
+  }
+
+  static PatternNode leaf(ModStatus status) {
+    PatternNode n;
+    n.self = status;
+    return n;
+  }
+
+  static PatternNode absent() {
+    PatternNode n;
+    n.expect_absent = true;
+    return n;
+  }
+};
+
+}  // namespace ickpt::spec

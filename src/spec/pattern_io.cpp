@@ -1,0 +1,125 @@
+#include "spec/pattern_io.hpp"
+
+#include <unordered_map>
+
+namespace ickpt::spec {
+
+namespace {
+
+constexpr std::uint8_t kPatternMagic = 0x50;  // 'P'
+constexpr std::uint8_t kPatternVersion = 1;
+// Guard against absurd recursion from corrupt child counts.
+constexpr std::uint32_t kMaxPatternDepth = 1 << 16;
+
+class Fingerprinter {
+ public:
+  std::uint64_t run(const ShapeDescriptor& shape) {
+    visit(shape);
+    return hash_;
+  }
+
+ private:
+  void mix(std::uint64_t v) {
+    // FNV-1a over 8-byte words.
+    hash_ ^= v;
+    hash_ *= 0x100000001B3ull;
+  }
+
+  void visit(const ShapeDescriptor& shape) {
+    auto [it, inserted] = seen_.emplace(&shape, seen_.size());
+    if (!inserted) {
+      // Recursive shape: mix a back-reference instead of recursing.
+      mix(0xBACC0000u + it->second);
+      return;
+    }
+    mix(shape.type_id);
+    mix(shape.info_offset);
+    mix(shape.fields.size());
+    for (const Field& field : shape.fields) {
+      if (const auto* s = std::get_if<ScalarField>(&field)) {
+        mix(1);
+        mix(static_cast<std::uint64_t>(s->kind));
+        mix(s->offset);
+      } else if (const auto* arr = std::get_if<I32ArrayField>(&field)) {
+        mix(2);
+        mix(arr->offset);
+        mix(arr->count_offset);
+        mix(arr->fixed_count);
+      } else {
+        const auto& child = std::get<ChildField>(field);
+        mix(3);
+        mix(child.offset);
+        visit(*child.shape);
+      }
+    }
+  }
+
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+  std::unordered_map<const ShapeDescriptor*, std::size_t> seen_;
+};
+
+void save_node(io::DataWriter& d, const PatternNode& node) {
+  std::uint8_t flags = 0;
+  if (node.skip) flags |= 1;
+  if (node.expect_absent) flags |= 2;
+  if (node.array_count.has_value()) flags |= 4;
+  d.write_u8(flags);
+  d.write_u8(static_cast<std::uint8_t>(node.self));
+  if (node.array_count.has_value()) d.write_varint(*node.array_count);
+  d.write_varint(node.children.size());
+  for (const PatternNode& child : node.children) save_node(d, child);
+}
+
+PatternNode load_node(io::DataReader& d, std::uint32_t depth) {
+  if (depth > kMaxPatternDepth)
+    throw CorruptionError("pattern nests implausibly deep");
+  PatternNode node;
+  std::uint8_t flags = d.read_u8();
+  if ((flags & ~0x07u) != 0)
+    throw CorruptionError("unknown pattern flags");
+  node.skip = (flags & 1) != 0;
+  node.expect_absent = (flags & 2) != 0;
+  std::uint8_t self = d.read_u8();
+  if (self > static_cast<std::uint8_t>(ModStatus::kModified))
+    throw CorruptionError("invalid pattern status byte");
+  node.self = static_cast<ModStatus>(self);
+  if ((flags & 4) != 0)
+    node.array_count = static_cast<std::uint32_t>(d.read_varint());
+  std::uint64_t n = d.read_varint();
+  if (n > 4096) throw CorruptionError("implausible pattern child count");
+  node.children.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    node.children.push_back(load_node(d, depth + 1));
+  return node;
+}
+
+}  // namespace
+
+std::uint64_t shape_fingerprint(const ShapeDescriptor& shape) {
+  return Fingerprinter().run(shape);
+}
+
+void save_pattern(io::DataWriter& d, const PatternNode& pattern,
+                  const ShapeDescriptor& shape) {
+  d.write_u8(kPatternMagic);
+  d.write_u8(kPatternVersion);
+  d.write_u64(shape_fingerprint(shape));
+  save_node(d, pattern);
+}
+
+PatternNode load_pattern(io::DataReader& d, const ShapeDescriptor& expected) {
+  if (d.read_u8() != kPatternMagic)
+    throw CorruptionError("not a serialized pattern");
+  std::uint8_t version = d.read_u8();
+  if (version != kPatternVersion)
+    throw CorruptionError("unsupported pattern version " +
+                          std::to_string(version));
+  std::uint64_t fp = d.read_u64();
+  if (fp != shape_fingerprint(expected))
+    throw SpecError(
+        "pattern was saved against a different shape of '" + expected.name +
+        "' — the class layout changed; re-infer or re-declare the pattern");
+  return load_node(d, 0);
+}
+
+}  // namespace ickpt::spec

@@ -1,0 +1,32 @@
+// Pattern serialization: persist modification patterns (hand-written or
+// inferred) so a phase's specialization can be learned once and shipped as
+// data — the declarative role the paper's specialization classes play.
+//
+// The encoding is versioned and carries a structural fingerprint of the
+// shape the pattern was built against; loading validates the fingerprint so
+// a pattern cannot silently be applied to a class whose recorded layout
+// changed (the paper's "program evolution" hazard).
+#pragma once
+
+#include "io/data_reader.hpp"
+#include "io/data_writer.hpp"
+#include "spec/pattern.hpp"
+#include "spec/shape.hpp"
+
+namespace ickpt::spec {
+
+/// Order-sensitive structural hash of a shape tree: name-independent, but
+/// any change to field kinds, offsets-in-record-order, child wiring, or
+/// type ids changes the fingerprint.
+std::uint64_t shape_fingerprint(const ShapeDescriptor& shape);
+
+/// Serialize `pattern`, stamped with `shape`'s fingerprint.
+void save_pattern(io::DataWriter& d, const PatternNode& pattern,
+                  const ShapeDescriptor& shape);
+
+/// Deserialize a pattern; throws SpecError if it was saved against a shape
+/// whose fingerprint differs from `expected`'s, and CorruptionError on a
+/// malformed stream.
+PatternNode load_pattern(io::DataReader& d, const ShapeDescriptor& expected);
+
+}  // namespace ickpt::spec

@@ -1,0 +1,35 @@
+#include "spec/shape.hpp"
+
+namespace ickpt::spec {
+
+namespace {
+
+void validate_node(const ShapeDescriptor& shape, const void* obj,
+                   std::size_t depth) {
+  if (depth > 1u << 20)
+    throw SpecError("shape validation exceeded depth bound (cycle?)");
+  const core::Checkpointable* base = shape.to_base(obj);
+  if (base->type_id() != shape.type_id)
+    throw SpecError("object of type id " + std::to_string(base->type_id()) +
+                    " where shape '" + shape.name + "' expects " +
+                    std::to_string(shape.type_id));
+  for (const Field& field : shape.fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    const void* child_obj = *reinterpret_cast<const void* const*>(
+        static_cast<const char*>(obj) + child->offset);
+    if (child_obj != nullptr)
+      validate_node(*child->shape, child_obj, depth + 1);
+  }
+}
+
+}  // namespace
+
+void validate_shape(const ShapeDescriptor& shape, const void* root) {
+  if (shape.to_base == nullptr)
+    throw SpecError("shape '" + shape.name + "' has no base adjuster");
+  if (root == nullptr) throw SpecError("validate_shape: null root");
+  validate_node(shape, root, 0);
+}
+
+}  // namespace ickpt::spec

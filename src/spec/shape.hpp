@@ -1,0 +1,149 @@
+// ShapeDescriptor and its type-safe builder.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/checkpointable.hpp"
+#include "spec/field.hpp"
+
+namespace ickpt::spec {
+
+/// Structural description of one checkpointable class. Field order MUST
+/// match the class's record() order (and the ChildField order must match
+/// fold() order); the executors rely on it to emit byte-identical streams.
+struct ShapeDescriptor {
+  std::string name;
+  TypeId type_id = 0;
+  /// Offset of the embedded CheckpointInfo inside the concrete object.
+  std::size_t info_offset = 0;
+  std::vector<Field> fields;
+  /// Adjust a concrete object pointer to its Checkpointable base (used only
+  /// by structural validation, never on the hot path).
+  const core::Checkpointable* (*to_base)(const void*) = nullptr;
+
+  [[nodiscard]] std::size_t child_count() const noexcept {
+    std::size_t n = 0;
+    for (const Field& f : fields)
+      if (std::holds_alternative<ChildField>(f)) ++n;
+    return n;
+  }
+};
+
+/// Builds a ShapeDescriptor from member pointers, computing offsets against
+/// a caller-provided sample instance (portable: no offsetof on non-standard-
+/// layout types, no fake objects).
+template <class T>
+class ShapeBuilder {
+ public:
+  /// `sample` is only used for address arithmetic during building.
+  ShapeBuilder(std::string name, const T& sample)
+      : sample_(&sample), shape_(std::make_unique<ShapeDescriptor>()) {
+    shape_->name = std::move(name);
+    shape_->type_id = T::kTypeId;
+    shape_->info_offset = offset_of_bytes(&sample.info());
+    shape_->to_base = +[](const void* p) -> const core::Checkpointable* {
+      return static_cast<const core::Checkpointable*>(
+          reinterpret_cast<const T*>(p));
+    };
+  }
+
+  template <class M>
+  ShapeBuilder& scalar(ScalarKind kind, M T::* member) {
+    shape_->fields.push_back(
+        ScalarField{kind, offset_of_bytes(&(sample_->*member))});
+    return *this;
+  }
+
+  ShapeBuilder& i32(std::int32_t T::* member) {
+    return scalar(ScalarKind::kI32, member);
+  }
+  ShapeBuilder& i64(std::int64_t T::* member) {
+    return scalar(ScalarKind::kI64, member);
+  }
+  ShapeBuilder& u8(std::uint8_t T::* member) {
+    return scalar(ScalarKind::kU8, member);
+  }
+  ShapeBuilder& boolean(bool T::* member) {
+    return scalar(ScalarKind::kBool, member);
+  }
+  ShapeBuilder& f64(double T::* member) {
+    return scalar(ScalarKind::kF64, member);
+  }
+
+  /// int32 array with element count read from `count_member` at runtime.
+  template <std::size_t N>
+  ShapeBuilder& i32_array(std::int32_t (T::*member)[N],
+                          std::int32_t T::* count_member) {
+    shape_->fields.push_back(
+        I32ArrayField{offset_of_bytes(&(sample_->*member)[0]),
+                      offset_of_bytes(&(sample_->*count_member)), 0});
+    return *this;
+  }
+
+  template <std::size_t N>
+  ShapeBuilder& i32_array(std::array<std::int32_t, N> T::* member,
+                          std::int32_t T::* count_member) {
+    shape_->fields.push_back(
+        I32ArrayField{offset_of_bytes((sample_->*member).data()),
+                      offset_of_bytes(&(sample_->*count_member)), 0});
+    return *this;
+  }
+
+  /// Checkpointable child pointer; `shape` describes the child's class.
+  template <class C>
+  ShapeBuilder& child(C* T::* member, const ShapeDescriptor& shape) {
+    if (shape.to_base == nullptr)
+      throw SpecError("child shape '" + shape.name + "' is unfinished");
+    shape_->fields.push_back(
+        ChildField{offset_of_bytes(&(sample_->*member)), &shape});
+    return *this;
+  }
+
+  /// Child pointer at an explicit byte offset (for children held in arrays,
+  /// where no member pointer can name one slot). The caller computes the
+  /// offset against the same sample instance passed to the constructor.
+  ShapeBuilder& child_at(std::size_t offset, const ShapeDescriptor& shape) {
+    if (shape.to_base == nullptr)
+      throw SpecError("child shape '" + shape.name + "' is unfinished");
+    shape_->fields.push_back(ChildField{offset, &shape});
+    return *this;
+  }
+
+  /// Child pointer of the class's own type (recursive shapes: list next
+  /// links, tree children). Resolved to the built descriptor in build().
+  ShapeBuilder& self_child(T* T::* member) {
+    self_fields_.push_back(shape_->fields.size());
+    shape_->fields.push_back(
+        ChildField{offset_of_bytes(&(sample_->*member)), nullptr});
+    return *this;
+  }
+
+  [[nodiscard]] std::unique_ptr<ShapeDescriptor> build() {
+    for (std::size_t index : self_fields_)
+      std::get<ChildField>(shape_->fields[index]).shape = shape_.get();
+    self_fields_.clear();
+    return std::move(shape_);
+  }
+
+ private:
+  template <class P>
+  std::size_t offset_of_bytes(const P* member_addr) const {
+    return static_cast<std::size_t>(
+        reinterpret_cast<const char*>(member_addr) -
+        reinterpret_cast<const char*>(sample_));
+  }
+
+  const T* sample_;
+  std::unique_ptr<ShapeDescriptor> shape_;
+  std::vector<std::size_t> self_fields_;
+};
+
+/// Walk the actual object graph under `root` (a concrete pointer matching
+/// `shape`) and verify every reachable object's dynamic type matches the
+/// shape tree. Throws SpecError on the first mismatch. Run this once before
+/// trusting a compiled plan on a structure.
+void validate_shape(const ShapeDescriptor& shape, const void* root);
+
+}  // namespace ickpt::spec

@@ -1,0 +1,67 @@
+// Runtime dispatch over the compile-time residual checkpointers, for the
+// parameter grids the paper's evaluation sweeps (L in {1,5}, v in {1,10},
+// possibly-modified lists in {1,3,5}). Each returned function pointer is one
+// fully inlined residual program; picking it costs one switch, once.
+#pragma once
+
+#include "synth/residual.hpp"
+
+namespace ickpt::synth::residual {
+
+using ResidualFn = void (*)(Compound&, io::DataWriter&);
+
+template <int L, int V>
+ResidualFn pick_specialized(int mod_lists, bool last_only) {
+  switch (mod_lists) {
+    case 0:
+      return last_only ? &checkpoint_compound_specialized<L, V, 0, true>
+                       : &checkpoint_compound_specialized<L, V, 0, false>;
+    case 1:
+      return last_only ? &checkpoint_compound_specialized<L, V, 1, true>
+                       : &checkpoint_compound_specialized<L, V, 1, false>;
+    case 2:
+      return last_only ? &checkpoint_compound_specialized<L, V, 2, true>
+                       : &checkpoint_compound_specialized<L, V, 2, false>;
+    case 3:
+      return last_only ? &checkpoint_compound_specialized<L, V, 3, true>
+                       : &checkpoint_compound_specialized<L, V, 3, false>;
+    case 4:
+      return last_only ? &checkpoint_compound_specialized<L, V, 4, true>
+                       : &checkpoint_compound_specialized<L, V, 4, false>;
+    case 5:
+      return last_only ? &checkpoint_compound_specialized<L, V, 5, true>
+                       : &checkpoint_compound_specialized<L, V, 5, false>;
+    default:
+      throw SpecError("no residual instantiated for this modified-list count");
+  }
+}
+
+/// Structure-only residual (Fig. 8 style) for the benchmark grid.
+inline ResidualFn uniform_fn(int list_length, int values_per_elem) {
+  if (list_length == 1 && values_per_elem == 1)
+    return &checkpoint_compound_uniform<1, 1>;
+  if (list_length == 1 && values_per_elem == 10)
+    return &checkpoint_compound_uniform<1, 10>;
+  if (list_length == 5 && values_per_elem == 1)
+    return &checkpoint_compound_uniform<5, 1>;
+  if (list_length == 5 && values_per_elem == 10)
+    return &checkpoint_compound_uniform<5, 10>;
+  throw SpecError("no uniform residual instantiated for this configuration");
+}
+
+/// Fully specialized residual (Figs. 9/10 style) for the benchmark grid.
+inline ResidualFn specialized_fn(int list_length, int values_per_elem,
+                                 int mod_lists, bool last_only) {
+  if (list_length == 1 && values_per_elem == 1)
+    return pick_specialized<1, 1>(mod_lists, last_only);
+  if (list_length == 1 && values_per_elem == 10)
+    return pick_specialized<1, 10>(mod_lists, last_only);
+  if (list_length == 5 && values_per_elem == 1)
+    return pick_specialized<5, 1>(mod_lists, last_only);
+  if (list_length == 5 && values_per_elem == 10)
+    return pick_specialized<5, 10>(mod_lists, last_only);
+  throw SpecError("no specialized residual instantiated for this "
+                  "configuration");
+}
+
+}  // namespace ickpt::synth::residual

@@ -1,0 +1,104 @@
+#include "synth/shapes.hpp"
+
+#include "common/error.hpp"
+
+namespace ickpt::synth {
+
+SynthShapes SynthShapes::make() {
+  SynthShapes shapes;
+
+  {
+    ListElem sample;
+    spec::ShapeBuilder<ListElem> b("synth.ListElem", sample);
+    // Order mirrors ListElem::record(): nvals, values[0..nvals), next id.
+    b.i32(&ListElem::nvals_);
+    b.i32_array(&ListElem::vals_, &ListElem::nvals_);
+    b.self_child(&ListElem::next_);
+    shapes.elem = b.build();
+  }
+
+  {
+    Compound sample;
+    spec::ShapeBuilder<Compound> b("synth.Compound", sample);
+    // Order mirrors Compound::record()/fold(): the five list heads.
+    const char* base = reinterpret_cast<const char*>(&sample);
+    for (int i = 0; i < Compound::kLists; ++i) {
+      const char* slot = reinterpret_cast<const char*>(
+          &sample.lists_[static_cast<std::size_t>(i)]);
+      b.child_at(static_cast<std::size_t>(slot - base), *shapes.elem);
+    }
+    shapes.compound = b.build();
+  }
+
+  return shapes;
+}
+
+namespace {
+
+/// Pattern for one list: a chain of `length` element nodes terminated by an
+/// absent-next assertion. `tested_tail_only` removes the test from every
+/// element but the last (Fig. 10's position knowledge).
+spec::PatternNode list_pattern(int length, int values_per_elem,
+                               bool tested_tail_only) {
+  using spec::ModStatus;
+  using spec::PatternNode;
+  if (length <= 0) return PatternNode::absent();
+  PatternNode node;
+  node.array_count = static_cast<std::uint32_t>(values_per_elem);
+  if (tested_tail_only && length > 1) {
+    // Not the last element: provably unmodified, but keep walking.
+    node.self = ModStatus::kUnmodified;
+  } else {
+    node.self = ModStatus::kMaybeModified;
+  }
+  node.children.push_back(
+      list_pattern(length - 1, values_per_elem, tested_tail_only));
+  return node;
+}
+
+/// Mark a whole pattern subtree as provably unmodified. Keeping the explicit
+/// chain (rather than a bare skipped leaf) preserves the depth bound, which
+/// the traversal-pruning ablation relies on.
+void mark_skipped(spec::PatternNode& node) {
+  node.skip = true;
+  for (spec::PatternNode& child : node.children) {
+    if (!child.expect_absent) mark_skipped(child);
+  }
+}
+
+}  // namespace
+
+spec::PatternNode make_synth_pattern(SpecLevel level, int list_length,
+                                     int values_per_elem, int modified_lists) {
+  using spec::ModStatus;
+  using spec::PatternNode;
+  if (list_length < 1 || list_length > 1000)
+    throw SpecError("make_synth_pattern: bad list length");
+  if (modified_lists < 0 || modified_lists > Compound::kLists)
+    throw SpecError("make_synth_pattern: bad modified list count");
+  if (values_per_elem < 1 || values_per_elem > ListElem::kMaxValues)
+    throw SpecError("make_synth_pattern: bad values per element");
+
+  PatternNode root;
+  // After construction the compound skeleton is never mutated; only the
+  // structure-only level keeps its test (it bakes in no modification
+  // knowledge at all).
+  root.self = level == SpecLevel::kStructure ? ModStatus::kMaybeModified
+                                             : ModStatus::kUnmodified;
+  for (int i = 0; i < Compound::kLists; ++i) {
+    const bool may_modify =
+        level == SpecLevel::kStructure || i < modified_lists;
+    PatternNode list = list_pattern(list_length, values_per_elem,
+                                    level == SpecLevel::kPositions);
+    if (!may_modify) mark_skipped(list);
+    root.children.push_back(std::move(list));
+  }
+  return root;
+}
+
+void register_types(core::TypeRegistry& registry) {
+  registry.register_type<ListElem>();
+  registry.register_type<Compound>();
+}
+
+}  // namespace ickpt::synth

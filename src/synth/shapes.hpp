@@ -1,0 +1,47 @@
+// Shape descriptors ("specialization classes") for the synthetic structures,
+// plus the modification-pattern builders for each of the paper's
+// specialization experiments (Figs. 8-11, Table 2).
+#pragma once
+
+#include <memory>
+
+#include "spec/compiler.hpp"
+#include "spec/pattern.hpp"
+#include "spec/shape.hpp"
+#include "synth/structures.hpp"
+
+namespace ickpt::synth {
+
+/// Owns the shape descriptors of the synthetic classes. Build once, reuse
+/// for every plan compilation.
+struct SynthShapes {
+  std::unique_ptr<spec::ShapeDescriptor> elem;
+  std::unique_ptr<spec::ShapeDescriptor> compound;
+
+  static SynthShapes make();
+};
+
+/// Which of the paper's specialization levels a pattern encodes.
+enum class SpecLevel {
+  /// Fig. 8: structure only — traversal inlined, every test kept.
+  kStructure,
+  /// Fig. 9: + only the first `modified_lists` lists may contain modified
+  /// elements; the rest are not traversed at all.
+  kModifiedLists,
+  /// Fig. 10 / Table 2: + a modified element can only be the last element
+  /// of a (possibly-modified) list; other elements lose their tests.
+  kPositions,
+};
+
+/// Build the pattern for a compound of `list_length`-element lists where the
+/// first `modified_lists` lists may contain modified elements and every
+/// element records exactly `values_per_elem` ints.
+///
+/// All patterns fix the structure (list length asserted via absent-child
+/// checks, value count fixed), mirroring the structural half of the paper's
+/// specialization classes; `level` controls how much modification knowledge
+/// is baked in.
+spec::PatternNode make_synth_pattern(SpecLevel level, int list_length,
+                                     int values_per_elem, int modified_lists);
+
+}  // namespace ickpt::synth

@@ -1,0 +1,127 @@
+// The paper's synthetic benchmark structures (§5): 20,000 compound
+// structures, each holding five linked lists of ListElems; each element
+// stores up to ten int32 values, of which `nvals` are recorded.
+//
+// Mutators set the intrusive modified flag, exactly like the generated Java
+// checkpointing methods update the flag on assignment.
+#pragma once
+
+#include <array>
+
+#include "core/checkpoint.hpp"
+#include "core/checkpointable.hpp"
+#include "core/recovery.hpp"
+#include "core/type_registry.hpp"
+
+namespace ickpt::synth {
+
+class ListElem final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 101;
+  static constexpr const char* kTypeName = "synth.ListElem";
+  static constexpr int kMaxValues = 10;
+
+  explicit ListElem(std::int32_t nvals = 1) : nvals_(clamp(nvals)) {}
+  ListElem(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] std::int32_t nvals() const noexcept { return nvals_; }
+  [[nodiscard]] std::int32_t value(int i) const noexcept { return vals_[i]; }
+  /// Contiguous value storage (for the fused writes in the residual code).
+  [[nodiscard]] const std::int32_t* values_data() const noexcept {
+    return vals_.data();
+  }
+  [[nodiscard]] ListElem* next() const noexcept { return next_; }
+
+  void set_value(int i, std::int32_t v) noexcept {
+    vals_[static_cast<std::size_t>(i)] = v;
+    info_.set_modified();
+  }
+
+  void set_nvals(std::int32_t n) noexcept {
+    nvals_ = clamp(n);
+    info_.set_modified();
+  }
+
+  void set_next(ListElem* next) noexcept {
+    next_ = next;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    d.write_i32(nvals_);
+    for (std::int32_t i = 0; i < nvals_; ++i)
+      d.write_i32(vals_[static_cast<std::size_t>(i)]);
+    core::write_child_id(d, next_);
+  }
+
+  void fold(core::Checkpoint& c) override {
+    if (next_ != nullptr) c.checkpoint(*next_);
+  }
+
+  void restore_record(io::DataReader& d, core::Recovery& r) override {
+    nvals_ = clamp(d.read_i32());
+    for (std::int32_t i = 0; i < nvals_; ++i)
+      vals_[static_cast<std::size_t>(i)] = d.read_i32();
+    r.link(d, next_);
+  }
+
+ private:
+  friend struct SynthShapes;
+
+  static std::int32_t clamp(std::int32_t n) noexcept {
+    return n < 0 ? 0 : (n > kMaxValues ? kMaxValues : n);
+  }
+
+  std::int32_t nvals_ = 1;
+  std::array<std::int32_t, kMaxValues> vals_{};
+  ListElem* next_ = nullptr;
+};
+
+/// One compound structure: five list heads (paper: "each containing five
+/// linked lists"). The compound itself carries no scalar state; its record
+/// is the five child ids.
+class Compound final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 102;
+  static constexpr const char* kTypeName = "synth.Compound";
+  static constexpr int kLists = 5;
+
+  Compound() = default;
+  Compound(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  [[nodiscard]] ListElem* list(int i) const noexcept {
+    return lists_[static_cast<std::size_t>(i)];
+  }
+
+  void set_list(int i, ListElem* head) noexcept {
+    lists_[static_cast<std::size_t>(i)] = head;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    for (const ListElem* head : lists_) core::write_child_id(d, head);
+  }
+
+  void fold(core::Checkpoint& c) override {
+    for (ListElem* head : lists_)
+      if (head != nullptr) c.checkpoint(*head);
+  }
+
+  void restore_record(io::DataReader& d, core::Recovery& r) override {
+    for (auto& head : lists_) r.link(d, head);
+  }
+
+ private:
+  friend struct SynthShapes;
+
+  std::array<ListElem*, kLists> lists_{};
+};
+
+/// Register the synthetic classes with a recovery registry.
+void register_types(core::TypeRegistry& registry);
+
+}  // namespace ickpt::synth

@@ -1,0 +1,117 @@
+#include "synth/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace ickpt::synth {
+
+SynthWorkload::SynthWorkload(core::Heap& heap, const SynthConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.list_length < 1) throw Error("SynthConfig: list_length < 1");
+  if (config_.values_per_elem < 1 ||
+      config_.values_per_elem > ListElem::kMaxValues)
+    throw Error("SynthConfig: values_per_elem out of range");
+  if (config_.modified_lists < 0 ||
+      config_.modified_lists > Compound::kLists)
+    throw Error("SynthConfig: modified_lists out of range");
+  if (config_.percent_modified < 0 || config_.percent_modified > 100)
+    throw Error("SynthConfig: percent_modified out of range");
+
+  roots_.reserve(config_.num_structures);
+  elems_.reserve(config_.num_structures * Compound::kLists *
+                 static_cast<std::size_t>(config_.list_length));
+  std::uniform_int_distribution<std::int32_t> value_dist(0, 1 << 20);
+
+  for (std::size_t s = 0; s < config_.num_structures; ++s) {
+    Compound* compound = heap.make<Compound>();
+    for (int i = 0; i < Compound::kLists; ++i) {
+      ListElem* head = nullptr;
+      ListElem* tail = nullptr;
+      for (int k = 0; k < config_.list_length; ++k) {
+        ListElem* elem = heap.make<ListElem>(config_.values_per_elem);
+        for (int v = 0; v < config_.values_per_elem; ++v)
+          elem->set_value(v, value_dist(rng_));
+        if (head == nullptr)
+          head = elem;
+        else
+          tail->set_next(elem);
+        tail = elem;
+        elems_.push_back(elem);
+      }
+      compound->set_list(i, head);
+    }
+    roots_.push_back(compound);
+    root_ptrs_.push_back(compound);
+    root_bases_.push_back(compound);
+  }
+}
+
+void SynthWorkload::reset_flags() noexcept {
+  for (Compound* compound : roots_) compound->info().reset_modified();
+  for (ListElem* elem : elems_) elem->info().reset_modified();
+}
+
+std::vector<bool> SynthWorkload::save_flags() const {
+  std::vector<bool> flags;
+  flags.reserve(roots_.size() + elems_.size());
+  for (const Compound* compound : roots_)
+    flags.push_back(compound->info().modified());
+  for (const ListElem* elem : elems_)
+    flags.push_back(elem->info().modified());
+  return flags;
+}
+
+void SynthWorkload::restore_flags(const std::vector<bool>& flags) {
+  if (flags.size() != roots_.size() + elems_.size())
+    throw Error("restore_flags: snapshot size mismatch");
+  std::size_t i = 0;
+  auto apply = [&](core::CheckpointInfo& info) {
+    if (flags[i++])
+      info.set_modified();
+    else
+      info.reset_modified();
+  };
+  for (Compound* compound : roots_) apply(compound->info());
+  for (ListElem* elem : elems_) apply(elem->info());
+}
+
+std::size_t SynthWorkload::mutate() {
+  std::bernoulli_distribution dirty(
+      static_cast<double>(config_.percent_modified) / 100.0);
+  std::uniform_int_distribution<std::int32_t> value_dist(0, 1 << 20);
+  std::size_t modified = 0;
+  for (Compound* compound : roots_) {
+    for (int i = 0; i < config_.modified_lists; ++i) {
+      ListElem* elem = compound->list(i);
+      if (config_.last_element_only) {
+        while (elem->next() != nullptr) elem = elem->next();
+        if (dirty(rng_)) {
+          elem->set_value(0, value_dist(rng_));
+          ++modified;
+        }
+      } else {
+        for (; elem != nullptr; elem = elem->next()) {
+          if (dirty(rng_)) {
+            elem->set_value(0, value_dist(rng_));
+            ++modified;
+          }
+        }
+      }
+    }
+  }
+  return modified;
+}
+
+std::size_t SynthWorkload::possibly_modified_population() const noexcept {
+  std::size_t per_structure =
+      config_.last_element_only
+          ? static_cast<std::size_t>(config_.modified_lists)
+          : static_cast<std::size_t>(config_.modified_lists) *
+                static_cast<std::size_t>(config_.list_length);
+  return per_structure * config_.num_structures;
+}
+
+std::size_t SynthWorkload::total_objects() const noexcept {
+  return roots_.size() + elems_.size();
+}
+
+}  // namespace ickpt::synth

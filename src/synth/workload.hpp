@@ -1,0 +1,79 @@
+// Deterministic generator and mutator for the synthetic benchmark (§5).
+//
+// The paper's test program "constructs 20,000 compound structures, randomly
+// chooses constituent list elements to be modified according to the
+// constraints of the experiment, and performs a single checkpoint". This
+// class builds the structures, resets the flags (as a preceding checkpoint
+// would), and mutates a configurable slice per epoch.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/checkpointable.hpp"
+#include "synth/structures.hpp"
+
+namespace ickpt::synth {
+
+struct SynthConfig {
+  std::size_t num_structures = 20000;
+  int list_length = 5;       // L: elements per list
+  int values_per_elem = 10;  // v: int32s recorded per element
+  /// How many of the five lists may contain modified elements (Figs. 9-11).
+  int modified_lists = Compound::kLists;
+  /// Modified elements occur only as the last element of a list (Fig. 10).
+  bool last_element_only = false;
+  /// Percentage of possibly-modified elements actually modified per epoch.
+  int percent_modified = 100;
+  std::uint64_t seed = 42;
+};
+
+class SynthWorkload {
+ public:
+  /// Builds the structures into `heap` per `config`.
+  SynthWorkload(core::Heap& heap, const SynthConfig& config);
+
+  [[nodiscard]] const SynthConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::span<Compound* const> roots() const noexcept {
+    return roots_;
+  }
+  /// The same roots as concrete void pointers, for the plan executor.
+  [[nodiscard]] std::span<void* const> root_ptrs() const noexcept {
+    return root_ptrs_;
+  }
+  /// The roots as Checkpointable pointers, for the generic driver.
+  [[nodiscard]] std::span<core::Checkpointable* const> root_bases()
+      const noexcept {
+    return root_bases_;
+  }
+
+  /// Clear every modified flag, as a completed checkpoint would.
+  void reset_flags() noexcept;
+
+  /// Snapshot / restore every modified flag (compounds then elements).
+  /// Used by equivalence tests: checkpointing resets flags, so comparing two
+  /// execution paths on identical state requires replaying the flags.
+  [[nodiscard]] std::vector<bool> save_flags() const;
+  void restore_flags(const std::vector<bool>& flags);
+
+  /// Dirty one epoch's worth of elements per the config constraints.
+  /// Returns the number of elements modified.
+  std::size_t mutate();
+
+  /// Elements that the config allows to be modified.
+  [[nodiscard]] std::size_t possibly_modified_population() const noexcept;
+  /// Total objects in the workload (compounds + elements).
+  [[nodiscard]] std::size_t total_objects() const noexcept;
+
+ private:
+  SynthConfig config_;
+  std::vector<Compound*> roots_;
+  std::vector<void*> root_ptrs_;
+  std::vector<core::Checkpointable*> root_bases_;
+  std::vector<ListElem*> elems_;  // all elements, for flag resets
+  std::mt19937_64 rng_;
+};
+
+}  // namespace ickpt::synth

@@ -1,0 +1,233 @@
+// AnalysisEngine tests: phase orchestration, the phase-separation invariant
+// that licenses the paper's specialization (each phase only dirties its own
+// entries), shrinking incremental checkpoints across fixpoint iterations,
+// and byte-equivalence of the generic driver, the phase plans, and the
+// Fig. 5/6 residual code.
+#include <gtest/gtest.h>
+
+#include "analysis/engine.hpp"
+#include "analysis/parser.hpp"
+#include "analysis/program_gen.hpp"
+#include "analysis/residual.hpp"
+#include "analysis/shapes.hpp"
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "tests/test_types.hpp"
+
+namespace ickpt::analysis {
+namespace {
+
+struct EngineFixture : public ::testing::Test {
+  void SetUp() override {
+    program = parse_program(generate_image_program());
+    engine = std::make_unique<AnalysisEngine>(*program, heap);
+  }
+
+  std::vector<std::uint8_t> generic_incremental(Epoch epoch) {
+    io::VectorSink sink;
+    {
+      io::DataWriter writer(sink);
+      core::CheckpointOptions opts;
+      opts.mode = core::Mode::kIncremental;
+      core::Checkpoint::run(writer, epoch, engine->attr_bases(), opts);
+      writer.flush();
+    }
+    return sink.take();
+  }
+
+  core::Heap heap;
+  std::unique_ptr<Program> program;
+  std::unique_ptr<AnalysisEngine> engine;
+};
+
+TEST_F(EngineFixture, AttachesAttributesToEveryStatement) {
+  EXPECT_EQ(engine->attributes().size(), program->statements.size());
+  for (const Stmt* stmt : program->statements) {
+    ASSERT_NE(stmt->attrs, nullptr);
+    EXPECT_NE(stmt->attrs->se(), nullptr);
+    EXPECT_NE(stmt->attrs->bt()->leaf(), nullptr);
+    EXPECT_NE(stmt->attrs->et()->leaf(), nullptr);
+  }
+}
+
+TEST_F(EngineFixture, PhasesRunInOrderWithExpectedShape) {
+  int sea = engine->run_side_effect();
+  int bta = engine->run_binding_time(default_bta_config());
+  int eta = engine->run_eval_time();
+  EXPECT_GE(sea, 1);
+  // Paper: BTA requires several iterations (nine there), ETA fewer (three).
+  EXPECT_GE(bta, 4);
+  EXPECT_LT(eta, bta);
+}
+
+TEST_F(EngineFixture, EvalTimeWithoutBindingTimeThrows) {
+  EXPECT_THROW(engine->run_eval_time(), AnalysisError);
+}
+
+TEST_F(EngineFixture, PhaseSeparationInvariantHolds) {
+  // After SEA, later phases never dirty SE entries; after BTA, ETA never
+  // dirties BT entries — this is what makes the paper's phase
+  // specialization sound (§4.2).
+  engine->run_side_effect();
+  engine->reset_flags();
+
+  engine->run_binding_time(default_bta_config());
+  for (Attributes* attrs : engine->attributes()) {
+    EXPECT_FALSE(attrs->se()->info().modified());
+    EXPECT_FALSE(attrs->et()->info().modified());
+    EXPECT_FALSE(attrs->et()->leaf()->info().modified());
+  }
+  engine->reset_flags();
+
+  engine->run_eval_time();
+  for (Attributes* attrs : engine->attributes()) {
+    EXPECT_FALSE(attrs->se()->info().modified());
+    EXPECT_FALSE(attrs->bt()->info().modified());
+    EXPECT_FALSE(attrs->bt()->leaf()->info().modified());
+  }
+}
+
+TEST_F(EngineFixture, IncrementalCheckpointsShrinkAsBtaConverges) {
+  engine->run_side_effect();
+  engine->reset_flags();
+  std::vector<std::size_t> sizes;
+  engine->run_binding_time(default_bta_config(), [&](int) {
+    sizes.push_back(generic_incremental(sizes.size()).size());
+  });
+  ASSERT_GE(sizes.size(), 4u);
+  // Early iterations change many annotations; the final (fixpoint-
+  // confirming) iteration changes none.
+  EXPECT_GT(sizes.front(), sizes.back());
+  EXPECT_LT(sizes.back(), sizes[1]);
+}
+
+TEST_F(EngineFixture, PhasePlansMatchGenericBytes) {
+  AnalysisShapes shapes = AnalysisShapes::make();
+  engine->run_side_effect();
+  engine->reset_flags();
+
+  struct PhaseCase {
+    Phase phase;
+    int which;  // 0 = bta, 1 = eta
+  };
+  for (const PhaseCase& pc :
+       {PhaseCase{Phase::kBindingTime, 0}, PhaseCase{Phase::kEvalTime, 1}}) {
+    // Run one phase iteration worth of mutation, then compare engines.
+    if (pc.which == 0) {
+      engine->run_binding_time(default_bta_config());
+    } else {
+      engine->run_eval_time();
+    }
+    // The fixpoint loop reset nothing (no checkpoints were taken), so flags
+    // reflect everything the phase changed since the last reset.
+    auto flags = engine->save_flags();
+    auto generic = generic_incremental(42);
+
+    engine->restore_flags(flags);
+    spec::Plan plan =
+        spec::PlanCompiler().compile(*shapes.attributes,
+                                     make_phase_pattern(pc.phase));
+    spec::PlanExecutor exec(plan);
+    io::VectorSink sink;
+    {
+      io::DataWriter writer(sink);
+      spec::run_plan_checkpoint(writer, 42, engine->attr_ptrs(), exec);
+      writer.flush();
+    }
+    EXPECT_EQ(sink.bytes(), generic) << "phase " << pc.which;
+
+    engine->restore_flags(flags);
+    io::VectorSink rsink;
+    {
+      io::DataWriter writer(rsink);
+      auto fn = pc.which == 0 ? residual::checkpoint_attr_btmodif
+                              : residual::checkpoint_attr_etmodif;
+      residual::run_residual_checkpoint(
+          writer, 42, engine->attributes(),
+          [&](Attributes& attr, io::DataWriter& d) { fn(attr, d); });
+      writer.flush();
+    }
+    EXPECT_EQ(rsink.bytes(), generic) << "residual phase " << pc.which;
+    engine->reset_flags();
+  }
+}
+
+TEST_F(EngineFixture, StructureResidualMatchesGenericInAnyPhase) {
+  AnalysisShapes shapes = AnalysisShapes::make();
+  engine->run_side_effect();  // dirties SE entries and Attributes
+  auto flags = engine->save_flags();
+  auto generic = generic_incremental(7);
+
+  engine->restore_flags(flags);
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    residual::run_residual_checkpoint(
+        writer, 7, engine->attributes(),
+        [](Attributes& attr, io::DataWriter& d) {
+          residual::checkpoint_attr(attr, d);
+        });
+    writer.flush();
+  }
+  EXPECT_EQ(sink.bytes(), generic);
+
+  // And the structure-only plan agrees too.
+  engine->restore_flags(flags);
+  spec::Plan plan = spec::PlanCompiler().compile(
+      *shapes.attributes, make_phase_pattern(Phase::kStructureOnly));
+  spec::PlanExecutor exec(plan);
+  io::VectorSink psink;
+  {
+    io::DataWriter writer(psink);
+    spec::run_plan_checkpoint(writer, 7, engine->attr_ptrs(), exec);
+    writer.flush();
+  }
+  EXPECT_EQ(psink.bytes(), generic);
+}
+
+TEST_F(EngineFixture, PhasePlanIsSmallerThanStructurePlan) {
+  AnalysisShapes shapes = AnalysisShapes::make();
+  spec::PlanCompiler compiler;
+  auto structure = compiler.compile(*shapes.attributes,
+                                    make_phase_pattern(Phase::kStructureOnly));
+  auto bta = compiler.compile(*shapes.attributes,
+                              make_phase_pattern(Phase::kBindingTime));
+  EXPECT_LT(bta.size(), structure.size());
+}
+
+TEST_F(EngineFixture, AttributesRoundTripThroughRecovery) {
+  engine->run_side_effect();
+  engine->run_binding_time(default_bta_config());
+  engine->run_eval_time();
+
+  auto bytes = ickpt::testing::checkpoint_bytes(engine->attr_bases(), 0,
+                                                core::Mode::kFull);
+  core::TypeRegistry registry;
+  register_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(bytes);
+  recovery.apply(reader);
+  auto state = recovery.finish();
+
+  ASSERT_EQ(state.roots.size(), engine->attributes().size());
+  for (std::size_t i = 0; i < state.roots.size(); ++i) {
+    const Attributes* original = engine->attributes()[i];
+    const auto* restored = state.root_as<Attributes>(i);
+    EXPECT_EQ(restored->bt()->leaf()->annotation(),
+              original->bt()->leaf()->annotation());
+    EXPECT_EQ(restored->et()->leaf()->annotation(),
+              original->et()->leaf()->annotation());
+    ASSERT_EQ(restored->se()->reads().size(), original->se()->reads().size());
+    for (std::size_t k = 0; k < original->se()->reads().size(); ++k)
+      EXPECT_EQ(restored->se()->reads()[k], original->se()->reads()[k]);
+  }
+}
+
+TEST_F(EngineFixture, ValidateShapeAcceptsAttributesTrees) {
+  AnalysisShapes shapes = AnalysisShapes::make();
+  for (void* attr : engine->attr_ptrs())
+    EXPECT_NO_THROW(spec::validate_shape(*shapes.attributes, attr));
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

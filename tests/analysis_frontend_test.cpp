@@ -1,0 +1,185 @@
+// Lexer and parser tests for the simplified-C front end.
+#include <gtest/gtest.h>
+
+#include "analysis/lexer.hpp"
+#include "analysis/parser.hpp"
+#include "analysis/program_gen.hpp"
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  Lexer lexer("int x = 1 + 2 * 3; if (x <= 7 && x != 0) { return !x; }");
+  auto tokens = lexer.tokenize();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kKwInt);
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kLe),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kAndAnd),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kNot),
+            kinds.end());
+}
+
+TEST(Lexer, SkipsLineAndBlockComments) {
+  Lexer lexer("// line\nint /* block\nspanning */ x;");
+  auto tokens = lexer.tokenize();
+  ASSERT_EQ(tokens.size(), 4u);  // int, x, ;, eof
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  Lexer lexer("int a;\nint b;\n\nint c;");
+  auto tokens = lexer.tokenize();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[3].line, 2);
+  EXPECT_EQ(tokens[6].line, 4);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  Lexer lexer("int a @ b;");
+  EXPECT_THROW(lexer.tokenize(), ParseError);
+}
+
+TEST(Lexer, RejectsUnterminatedComment) {
+  Lexer lexer("int a; /* never closed");
+  EXPECT_THROW(lexer.tokenize(), ParseError);
+}
+
+TEST(Lexer, RejectsOverflowingLiteral) {
+  Lexer lexer("int a = 99999999999;");
+  EXPECT_THROW(lexer.tokenize(), ParseError);
+}
+
+TEST(Lexer, SingleAmpersandRejected) {
+  Lexer lexer("int a = 1 & 2;");
+  EXPECT_THROW(lexer.tokenize(), ParseError);
+}
+
+TEST(Parser, GlobalsAndArrays) {
+  auto program = parse_program("int a; int b = -5; int buf[100];");
+  ASSERT_EQ(program->globals.size(), 3u);
+  EXPECT_EQ(program->symbols.at(program->globals[1]).init_value, -5);
+  EXPECT_TRUE(program->symbols.at(program->globals[2]).is_array);
+  EXPECT_EQ(program->symbols.at(program->globals[2]).array_size, 100);
+}
+
+TEST(Parser, FunctionWithParamsAndCalls) {
+  auto program = parse_program(
+      "int add(int a, int b) { return a + b; }\n"
+      "int main() { return add(1, add(2, 3)); }");
+  ASSERT_EQ(program->functions.size(), 2u);
+  EXPECT_EQ(program->functions[0].params.size(), 2u);
+  EXPECT_EQ(program->find_function("main"), 1);
+}
+
+TEST(Parser, ForwardCallsResolve) {
+  auto program = parse_program(
+      "int main() { return helper(); }\n"
+      "int helper() { return 7; }");
+  const Stmt* ret = program->functions[0].body[0].get();
+  EXPECT_EQ(ret->expr1->kind, ExprKind::kCall);
+  EXPECT_EQ(ret->expr1->callee_index, 1);
+}
+
+TEST(Parser, StatementsAreIndexedInParseOrder) {
+  auto program = parse_program(
+      "int g;\n"
+      "int main() { int x = 1; if (x) { g = 2; } return g; }");
+  ASSERT_EQ(program->statements.size(), 4u);
+  for (std::size_t i = 0; i < program->statements.size(); ++i)
+    EXPECT_EQ(program->statements[i]->index, static_cast<int>(i));
+}
+
+TEST(Parser, ArrayAssignmentVsIndexedRead) {
+  auto program = parse_program(
+      "int buf[4];\n"
+      "int g;\n"
+      "int main() { buf[1] = 2; g = buf[1]; return g; }");
+  const auto& body = program->functions[0].body;
+  EXPECT_EQ(body[0]->kind, StmtKind::kAssign);
+  EXPECT_TRUE(body[0]->is_array_target);
+  EXPECT_EQ(body[1]->kind, StmtKind::kAssign);
+  EXPECT_FALSE(body[1]->is_array_target);
+  EXPECT_EQ(body[1]->expr1->kind, ExprKind::kIndex);
+}
+
+TEST(Parser, ForLoopsDesugarToClauses) {
+  auto program = parse_program(
+      "int main() { int i; int s; s = 0;\n"
+      "  for (i = 0; i < 10; i = i + 1) { s = s + i; }\n"
+      "  return s; }");
+  const Stmt* loop = program->functions[0].body[3].get();
+  ASSERT_EQ(loop->kind, StmtKind::kFor);
+  EXPECT_EQ(loop->init_stmt->kind, StmtKind::kAssign);
+  EXPECT_EQ(loop->step_stmt->kind, StmtKind::kAssign);
+  EXPECT_EQ(loop->body.size(), 1u);
+}
+
+TEST(Parser, BlockScopingAllowsShadowing) {
+  EXPECT_NO_THROW(parse_program(
+      "int x;\n"
+      "int main() { int x = 1; if (x) { int x = 2; x = 3; } return x; }"));
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto program = parse_program("int main() { return 1 + 2 * 3; }");
+  const Expr* e = program->functions[0].body[0]->expr1.get();
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->operands[1]->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, ErrorPaths) {
+  EXPECT_THROW(parse_program("int main() { return y; }"), ParseError);
+  EXPECT_THROW(parse_program("int main() { return nofn(); }"), ParseError);
+  EXPECT_THROW(parse_program("int f(int a) { return a; }\n"
+                             "int main() { return f(1, 2); }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int a; int a;"), ParseError);
+  EXPECT_THROW(parse_program("int f() { return 1; } int f() { return 2; }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int buf[0];"), ParseError);
+  EXPECT_THROW(parse_program("int a; int main() { a[0] = 1; return 0; }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int buf[4]; int main() { buf = 1; return 0; }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int buf[4]; int main() { return buf; }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int main() { int x = x; return 0; }"),
+               ParseError);
+  EXPECT_THROW(parse_program("int main() { return 1 }"), ParseError);
+}
+
+TEST(ProgramGen, GeneratesParsableProgramOfPaperScale) {
+  std::string source = generate_image_program();
+  // Paper: "a 750-line image manipulation program".
+  std::size_t lines = static_cast<std::size_t>(
+      std::count(source.begin(), source.end(), '\n'));
+  EXPECT_GE(lines, 600u);
+  EXPECT_LE(lines, 1100u);
+  auto program = parse_program(source);
+  EXPECT_GE(program->functions.size(), 25u);
+  EXPECT_GE(program->statements.size(), 200u);
+  EXPECT_GE(program->find_function("main"), 0);
+  EXPECT_GE(program->find_global("img"), 0);
+}
+
+TEST(ProgramGen, StagesScaleTheProgram) {
+  auto small = parse_program(generate_image_program(1));
+  auto large = parse_program(generate_image_program(3));
+  EXPECT_GT(large->statements.size(), small->statements.size());
+}
+
+TEST(ProgramGen, DefaultBtaConfigNamesRealGlobals) {
+  auto program = parse_program(generate_image_program());
+  for (const std::string& name : default_bta_config().dynamic_globals)
+    EXPECT_GE(program->find_global(name), 0) << name;
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

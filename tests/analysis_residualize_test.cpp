@@ -1,0 +1,189 @@
+// Residualizer tests: folding, branch resolution, loop removal, call
+// folding via the interpreter, and the central soundness property —
+// interp(residual, inputs) == interp(original, inputs) for any inputs.
+#include <gtest/gtest.h>
+
+#include "analysis/interp.hpp"
+#include "analysis/parser.hpp"
+#include "analysis/printer.hpp"
+#include "analysis/program_gen.hpp"
+#include "analysis/residualize.hpp"
+#include "common/error.hpp"
+
+namespace ickpt::analysis {
+namespace {
+
+ResidualProgram specialize(const char* src,
+                           std::vector<std::string> dynamic = {}) {
+  auto program = parse_program(src);
+  ResidualizeOptions opts;
+  // Convention for these tests: a global named `d` is the dynamic input.
+  if (dynamic.empty() && program->find_global("d") >= 0) dynamic = {"d"};
+  opts.dynamic_globals = std::move(dynamic);
+  return residualize(*program, opts);
+}
+
+std::int32_t interp_value(const Program& program,
+                          std::int32_t dynamic_input = 0,
+                          const char* input_name = nullptr) {
+  Interpreter interp(program);
+  if (input_name != nullptr) interp.set_global(input_name, dynamic_input);
+  return interp.run().exit_value;
+}
+
+TEST(Residualize, FoldsConstantGlobalExpressions) {
+  auto result = specialize(
+      "int k = 6;\n"
+      "int d;\n"
+      "int main() { return k * 7 + d; }");
+  EXPECT_GE(result.stats.expressions_folded, 1u);
+  // The residual return is `42 + d`-shaped: still correct for any d.
+  auto original = parse_program("int k = 6; int d;\n"
+                                "int main() { return k * 7 + d; }");
+  for (std::int32_t d : {0, -3, 1000}) {
+    EXPECT_EQ(interp_value(*result.program, d, "d"),
+              interp_value(*original, d, "d"));
+  }
+}
+
+TEST(Residualize, SingleAssignmentLocalsFold) {
+  auto result = specialize(
+      "int d;\n"
+      "int main() { int base = 10 * 10; int x = base + 1; "
+      "return x + d; }");
+  EXPECT_GE(result.stats.expressions_folded, 2u);
+  EXPECT_EQ(interp_value(*result.program, 5, "d"), 106);
+}
+
+TEST(Residualize, ReassignedLocalsDoNotFold) {
+  auto result = specialize(
+      "int d;\n"
+      "int main() { int x = 1; x = x + d; return x; }");
+  EXPECT_EQ(interp_value(*result.program, 9, "d"), 10);
+}
+
+TEST(Residualize, WrittenGlobalsDoNotFold) {
+  auto result = specialize(
+      "int g = 3;\n"
+      "int main() { g = g + 1; return g * 2; }");
+  EXPECT_EQ(interp_value(*result.program), 8);
+}
+
+TEST(Residualize, ConstantBranchesResolve) {
+  auto result = specialize(
+      "int mode = 2; int d;\n"
+      "int main() {\n"
+      "  if (mode == 1) { return d; }\n"
+      "  if (mode == 2) { return d * 2; }\n"
+      "  return 0 - 1;\n"
+      "}");
+  EXPECT_GE(result.stats.branches_resolved, 2u);
+  EXPECT_LT(result.stats.statements_out, result.stats.statements_in);
+  EXPECT_EQ(interp_value(*result.program, 21, "d"), 42);
+}
+
+TEST(Residualize, BranchWithLocalsKeptToPreserveScoping) {
+  auto result = specialize(
+      "int main() { if (1 == 1) { int t = 5; return t; } return 0; }");
+  // Not spliced (the branch declares a local), but still correct.
+  EXPECT_EQ(result.stats.branches_resolved, 0u);
+  EXPECT_EQ(interp_value(*result.program), 5);
+}
+
+TEST(Residualize, DeadWhileLoopsDisappear) {
+  auto result = specialize(
+      "int enabled = 0; int d;\n"
+      "int main() { int s; s = 0;\n"
+      "  while (enabled != 0) { s = s + d; }\n"
+      "  return s; }");
+  EXPECT_EQ(result.stats.loops_removed, 1u);
+  EXPECT_EQ(interp_value(*result.program, 7, "d"), 0);
+}
+
+TEST(Residualize, PureCallsOverConstantsFold) {
+  auto result = specialize(
+      "int d;\n"
+      "int cube(int v) { return v * v * v; }\n"
+      "int main() { return cube(4) + d; }");
+  EXPECT_GE(result.stats.calls_folded, 1u);
+  EXPECT_EQ(interp_value(*result.program, 1, "d"), 65);
+}
+
+TEST(Residualize, EffectfulCallsStayResidual) {
+  auto result = specialize(
+      "int counter = 0;\n"
+      "int bump() { counter = counter + 1; return counter; }\n"
+      "int main() { return bump() + bump(); }");
+  EXPECT_EQ(result.stats.calls_folded, 0u);
+  EXPECT_EQ(interp_value(*result.program), 3);  // 1 + 2
+}
+
+TEST(Residualize, CallsReadingDynamicGlobalsStayResidual) {
+  auto result = specialize(
+      "int d;\n"
+      "int peek() { return d; }\n"
+      "int main() { d = 5; return peek(); }");
+  EXPECT_EQ(result.stats.calls_folded, 0u);
+  EXPECT_EQ(interp_value(*result.program), 5);
+}
+
+TEST(Residualize, ShortCircuitFoldsWithUnfoldableRight) {
+  auto result = specialize(
+      "int off = 0; int d;\n"
+      "int main() { if (off != 0 && d / 1 > 0) { return 1; } return 2; }");
+  EXPECT_GE(result.stats.branches_resolved, 1u);
+  EXPECT_EQ(interp_value(*result.program, 3, "d"), 2);
+}
+
+TEST(Residualize, DivisionByZeroIsNotFolded) {
+  // 1/0 must fault at run time in the residual exactly as in the original.
+  auto result = specialize(
+      "int zero = 0;\n"
+      "int main() { return 1 / zero; }");
+  EXPECT_THROW(interp_value(*result.program), AnalysisError);
+}
+
+TEST(Residualize, ResidualProgramPrintsAndReparses) {
+  auto result = specialize(
+      "int k = 2; int d;\n"
+      "int twice(int v) { return v * 2; }\n"
+      "int main() { int c = twice(k); if (k > 0) { d = d + c; } "
+      "return d; }");
+  std::string printed = print_program(*result.program);
+  auto reparsed = parse_program(printed);
+  Interpreter a(*result.program);
+  a.set_global("d", 11);
+  Interpreter b(*reparsed);
+  b.set_global("d", 11);
+  EXPECT_EQ(a.run().exit_value, b.run().exit_value);
+}
+
+TEST(Residualize, ImageProgramEquivalentAcrossSeeds) {
+  auto original = parse_program(generate_image_program(1, /*dim=*/8));
+  ResidualizeOptions opts;
+  opts.dynamic_globals = default_bta_config().dynamic_globals;
+  auto result = residualize(*original, opts);
+  EXPECT_GT(result.stats.expressions_folded, 50u);
+
+  for (std::int32_t seed : {12345, 777, -1}) {
+    Interpreter a(*original);
+    a.set_global("seed", seed);
+    Interpreter b(*result.program);
+    b.set_global("seed", seed);
+    EXPECT_EQ(a.run().exit_value, b.run().exit_value) << "seed " << seed;
+  }
+}
+
+TEST(Residualize, StatsAccountForStatementCounts) {
+  auto program = parse_program(generate_image_program(1, /*dim=*/8));
+  ResidualizeOptions opts;
+  opts.dynamic_globals = default_bta_config().dynamic_globals;
+  auto result = residualize(*program, opts);
+  EXPECT_EQ(result.stats.statements_in, program->statements.size());
+  EXPECT_EQ(result.stats.statements_out,
+            result.program->statements.size());
+  EXPECT_LE(result.stats.statements_out, result.stats.statements_in);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

@@ -1,0 +1,146 @@
+// Pattern-inference tests: observed modification behaviour must yield
+// patterns that are sound (byte-identical plans) and as tight as the
+// observations justify.
+#include <gtest/gtest.h>
+
+#include "spec/inference.hpp"
+#include "tests/synth_helpers.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using spec::InferOptions;
+using spec::ModStatus;
+using spec::PatternInferencer;
+using spec::PatternNode;
+using spec::Plan;
+using spec::PlanCompiler;
+using spec::PlanExecutor;
+using synth::SynthConfig;
+using synth::SynthShapes;
+using synth::SynthWorkload;
+
+SynthConfig config_for(int mod_lists, bool last_only) {
+  SynthConfig config;
+  config.num_structures = 48;
+  config.list_length = 5;
+  config.values_per_elem = 10;
+  config.modified_lists = mod_lists;
+  config.last_element_only = last_only;
+  config.percent_modified = 60;
+  config.seed = 99;
+  return config;
+}
+
+/// Observe `epochs` mutation rounds of the workload.
+PatternNode observe_epochs(SynthWorkload& workload,
+                           const SynthShapes& shapes, int epochs,
+                           const InferOptions& opts = {}) {
+  PatternInferencer inferencer(*shapes.compound);
+  for (int e = 0; e < epochs; ++e) {
+    workload.reset_flags();
+    workload.mutate();
+    for (const void* root : workload.root_ptrs()) inferencer.observe(root);
+  }
+  return inferencer.infer(opts);
+}
+
+TEST(Inference, SkipsNeverModifiedLists) {
+  core::Heap heap;
+  SynthWorkload workload(heap, config_for(2, false));
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern = observe_epochs(workload, shapes, 4);
+  ASSERT_EQ(pattern.children.size(), 5u);
+  // Lists 0 and 1 may be modified; 2..4 never were.
+  EXPECT_FALSE(pattern.children[0].skip);
+  EXPECT_FALSE(pattern.children[1].skip);
+  EXPECT_TRUE(pattern.children[2].skip);
+  EXPECT_TRUE(pattern.children[3].skip);
+  EXPECT_TRUE(pattern.children[4].skip);
+  // The compound skeleton itself was never dirtied.
+  EXPECT_TRUE(pattern.self == ModStatus::kUnmodified || pattern.skip);
+}
+
+TEST(Inference, LastOnlyWorkloadDropsInteriorTests) {
+  core::Heap heap;
+  SynthWorkload workload(heap, config_for(3, true));
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern = observe_epochs(workload, shapes, 6);
+  // Walk list 0's chain: interior elements observed clean, tail tested.
+  const PatternNode* node = &pattern.children[0];
+  for (int depth = 0; depth < 4; ++depth) {
+    EXPECT_EQ(node->self, ModStatus::kUnmodified) << "depth " << depth;
+    ASSERT_EQ(node->children.size(), 1u);
+    node = &node->children[0];
+  }
+  EXPECT_EQ(node->self, ModStatus::kMaybeModified);
+}
+
+TEST(Inference, AssertsAbsentBeyondListEnd) {
+  core::Heap heap;
+  SynthWorkload workload(heap, config_for(5, false));
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern = observe_epochs(workload, shapes, 2);
+  const PatternNode* node = &pattern.children[0];
+  for (int depth = 0; depth < 4; ++depth) node = &node->children[0];
+  ASSERT_EQ(node->children.size(), 1u);
+  EXPECT_TRUE(node->children[0].expect_absent);
+}
+
+TEST(Inference, InferredPlanMatchesGenericBytes) {
+  core::Heap heap;
+  SynthConfig config = config_for(2, true);
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern = observe_epochs(workload, shapes, 5);
+
+  // A fresh epoch with the same constraints: the inferred pattern holds.
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  auto generic = generic_bytes(workload, 10);
+  workload.restore_flags(flags);
+  Plan plan = PlanCompiler().compile(*shapes.compound, pattern);
+  PlanExecutor exec(plan);
+  EXPECT_EQ(plan_bytes(workload, exec, 10), generic);
+}
+
+TEST(Inference, MarkAlwaysModifiedUpgradesStatus) {
+  core::Heap heap;
+  SynthConfig config = config_for(1, true);
+  config.percent_modified = 100;  // the tail of list 0 is dirty every epoch
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  InferOptions opts;
+  opts.mark_always_modified = true;
+  PatternNode pattern = observe_epochs(workload, shapes, 3, opts);
+  const PatternNode* node = &pattern.children[0];
+  for (int depth = 0; depth < 4; ++depth) node = &node->children[0];
+  EXPECT_EQ(node->self, ModStatus::kModified);
+}
+
+TEST(Inference, NoObservationsThrows) {
+  SynthShapes shapes = SynthShapes::make();
+  PatternInferencer inferencer(*shapes.compound);
+  EXPECT_THROW(inferencer.infer(), SpecError);
+}
+
+TEST(Inference, NullRootRejected) {
+  SynthShapes shapes = SynthShapes::make();
+  PatternInferencer inferencer(*shapes.compound);
+  EXPECT_THROW(inferencer.observe(nullptr), SpecError);
+}
+
+TEST(Inference, ObservationCountTracks) {
+  core::Heap heap;
+  SynthConfig config = config_for(1, false);
+  config.num_structures = 3;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  PatternInferencer inferencer(*shapes.compound);
+  for (const void* root : workload.root_ptrs()) inferencer.observe(root);
+  EXPECT_EQ(inferencer.observations(), 3u);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -1,0 +1,150 @@
+// Page-protection dirty tracking: SIGSEGV-driven page marking, protect/
+// unprotect cycles, dirty-page serialization, and the object-vs-page
+// granularity comparison that motivates the paper's approach.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pagetrack/arena.hpp"
+
+namespace ickpt::pagetrack {
+namespace {
+
+TEST(PageArena, AllocatesAlignedWithinCapacity) {
+  PageArena arena(kPageSize * 4);
+  EXPECT_EQ(arena.page_count(), 4u);
+  void* a = arena.allocate(100, 8);
+  void* b = arena.allocate(100, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_TRUE(arena.contains(b));
+  EXPECT_FALSE(arena.contains(&arena));
+}
+
+TEST(PageArena, ExhaustionThrows) {
+  PageArena arena(kPageSize);
+  arena.allocate(kPageSize - 8, 8);
+  EXPECT_THROW(arena.allocate(64, 8), Error);
+}
+
+TEST(PageArena, RoundsUpToWholePages) {
+  PageArena arena(1);
+  EXPECT_EQ(arena.capacity(), kPageSize);
+}
+
+TEST(PageTracker, StartsAllDirtyThenCleansOnProtect) {
+  PageArena arena(kPageSize * 8);
+  PageTracker tracker(arena);
+  EXPECT_EQ(tracker.dirty_count(), 8u);
+  tracker.protect();
+  EXPECT_EQ(tracker.dirty_count(), 0u);
+  tracker.unprotect();
+}
+
+TEST(PageTracker, WriteFaultMarksExactlyThatPage) {
+  PageArena arena(kPageSize * 8);
+  auto* ints = static_cast<std::int32_t*>(
+      arena.allocate(kPageSize * 8 - 64, alignof(std::int32_t)));
+  PageTracker tracker(arena);
+  tracker.protect();
+
+  // Touch one word in page 3.
+  ints[(3 * kPageSize) / 4 + 7] = 42;
+  EXPECT_EQ(tracker.dirty_pages(), (std::vector<std::size_t>{3}));
+
+  // Repeated writes to the same page fault only once (page unprotected).
+  for (int i = 0; i < 100; ++i) ints[(3 * kPageSize) / 4 + i] = i;
+  EXPECT_EQ(tracker.dirty_count(), 1u);
+
+  // A write to another page adds it.
+  ints[(6 * kPageSize) / 4] = 1;
+  EXPECT_EQ(tracker.dirty_pages(), (std::vector<std::size_t>{3, 6}));
+  tracker.unprotect();
+}
+
+TEST(PageTracker, ReadsDoNotDirty) {
+  PageArena arena(kPageSize * 4);
+  auto* ints = static_cast<std::int32_t*>(
+      arena.allocate(kPageSize * 4 - 64, alignof(std::int32_t)));
+  ints[0] = 5;
+  PageTracker tracker(arena);
+  tracker.protect();
+  std::int32_t sum = 0;
+  for (std::size_t i = 0; i < kPageSize; ++i) sum += ints[i];
+  EXPECT_EQ(tracker.dirty_count(), 0u);
+  EXPECT_GE(sum, 5);
+  tracker.unprotect();
+}
+
+TEST(PageTracker, ProtectCyclesTrackEachEpoch) {
+  PageArena arena(kPageSize * 4);
+  auto* bytes = static_cast<std::uint8_t*>(
+      arena.allocate(kPageSize * 4 - 64, 8));
+  PageTracker tracker(arena);
+  tracker.protect();
+  bytes[0] = 1;
+  EXPECT_EQ(tracker.dirty_count(), 1u);
+  tracker.protect();  // next epoch
+  EXPECT_EQ(tracker.dirty_count(), 0u);
+  bytes[kPageSize * 2] = 1;
+  EXPECT_EQ(tracker.dirty_pages(), (std::vector<std::size_t>{2}));
+  tracker.unprotect();
+}
+
+TEST(PageTracker, WriteDirtyPagesSerializesIndexAndContent) {
+  PageArena arena(kPageSize * 4);
+  auto* bytes = static_cast<std::uint8_t*>(
+      arena.allocate(kPageSize * 4 - 64, 8));
+  PageTracker tracker(arena);
+  tracker.protect();
+  bytes[kPageSize + 5] = 0xAB;
+  std::vector<std::uint8_t> out;
+  std::size_t n = tracker.write_dirty_pages(out);
+  EXPECT_EQ(n, 1 + kPageSize);  // varint(1) + one page
+  EXPECT_EQ(out[0], 1);         // page index
+  EXPECT_EQ(out[1 + 5], 0xAB);
+  tracker.unprotect();
+}
+
+TEST(PageTracker, TwoTrackersCoexist) {
+  PageArena arena_a(kPageSize * 2);
+  PageArena arena_b(kPageSize * 2);
+  auto* pa = static_cast<std::uint8_t*>(arena_a.allocate(64, 8));
+  auto* pb = static_cast<std::uint8_t*>(arena_b.allocate(64, 8));
+  PageTracker ta(arena_a);
+  PageTracker tb(arena_b);
+  ta.protect();
+  tb.protect();
+  pa[0] = 1;
+  pb[1] = 2;
+  EXPECT_EQ(ta.dirty_count(), 1u);
+  EXPECT_EQ(tb.dirty_count(), 1u);
+  ta.unprotect();
+  tb.unprotect();
+}
+
+TEST(Granularity, PageLevelCapturesFarMoreThanObjectLevel) {
+  // The paper's motivating argument (§1): scattered small-object updates
+  // make page-granularity incremental checkpoints balloon. One 4-byte
+  // write per page vs a ~30-byte object record.
+  constexpr std::size_t kPages = 64;
+  PageArena arena(kPageSize * kPages);
+  auto* ints = static_cast<std::int32_t*>(
+      arena.allocate(kPageSize * kPages - 64, alignof(std::int32_t)));
+  PageTracker tracker(arena);
+  tracker.protect();
+  for (std::size_t page = 0; page < kPages; ++page)
+    ints[(page * kPageSize) / 4] = static_cast<std::int32_t>(page);
+  std::vector<std::uint8_t> payload;
+  tracker.write_dirty_pages(payload);
+  tracker.unprotect();
+
+  const std::size_t page_level_bytes = payload.size();
+  // Object-level equivalent: 64 modified "objects" of ~48 record bytes.
+  const std::size_t object_level_bytes = 64 * 48;
+  EXPECT_GT(page_level_bytes, object_level_bytes * 50);
+}
+
+}  // namespace
+}  // namespace ickpt::pagetrack

@@ -1,0 +1,241 @@
+// Randomized property tests over the DESIGN.md §6 invariants:
+//
+//   1. recover(full(G)) is isomorphic to G, for random object graphs.
+//   2. full(t0) + incrementals(t1..tn) recovers the same state as a direct
+//      full(tn), for random mutation sequences.
+//   3. A plan compiled from any valid (over-approximating) random pattern
+//      emits byte-identical output to the generic driver.
+//   4. After any checkpoint, every visited object is clean.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "tests/synth_helpers.hpp"
+#include "tests/test_types.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using core::Mode;
+
+// --- random tree graphs over the test classes -------------------------------
+
+struct RandomGraph {
+  core::Heap heap;
+  std::vector<Inner*> inners;
+  std::vector<Leaf*> leaves;
+  Inner* root = nullptr;
+
+  static RandomGraph make(std::mt19937_64& rng, int n_inner, int n_leaf) {
+    RandomGraph g;
+    for (int i = 0; i < n_leaf; ++i) {
+      Leaf* leaf = g.heap.make<Leaf>();
+      leaf->set_i32(static_cast<std::int32_t>(rng()));
+      leaf->set_i64(static_cast<std::int64_t>(rng()));
+      leaf->set_f64(static_cast<double>(rng() % 1000) / 7.0);
+      leaf->set_flag((rng() & 1) != 0);
+      g.leaves.push_back(leaf);
+    }
+    for (int i = 0; i < n_inner; ++i) {
+      Inner* inner = g.heap.make<Inner>();
+      inner->set_tag(static_cast<std::int32_t>(rng() % 1000));
+      g.inners.push_back(inner);
+    }
+    // Wire a strict tree: inner i may point to a later inner (right) and any
+    // leaf used at most once (left), guaranteeing acyclic, unshared shape.
+    std::size_t next_leaf = 0;
+    for (std::size_t i = 0; i < g.inners.size(); ++i) {
+      if (i + 1 < g.inners.size() && (rng() % 4) != 0)
+        g.inners[i]->set_right(g.inners[i + 1]);
+      if (next_leaf < g.leaves.size() && (rng() % 3) != 0)
+        g.inners[i]->set_left(g.leaves[next_leaf++]);
+    }
+    g.root = g.inners.front();
+    return g;
+  }
+
+  void mutate(std::mt19937_64& rng) {
+    for (Leaf* leaf : leaves) {
+      if (rng() % 3 == 0) leaf->set_i32(static_cast<std::int32_t>(rng()));
+    }
+    for (Inner* inner : inners) {
+      if (rng() % 5 == 0) inner->set_tag(static_cast<std::int32_t>(rng()));
+    }
+  }
+
+  /// Objects reachable from root (those a checkpoint can see).
+  void reachable(const Inner* node, std::vector<const Leaf*>& leaves_out,
+                 std::vector<const Inner*>& inners_out) const {
+    if (node == nullptr) return;
+    inners_out.push_back(node);
+    if (node->left != nullptr) leaves_out.push_back(node->left);
+    reachable(node->right, leaves_out, inners_out);
+  }
+};
+
+void expect_isomorphic(const Inner* a, const Inner* b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  EXPECT_EQ(a->info().id(), b->info().id());
+  EXPECT_EQ(a->tag, b->tag);
+  ASSERT_EQ(a->left == nullptr, b->left == nullptr);
+  if (a->left != nullptr) {
+    EXPECT_EQ(a->left->info().id(), b->left->info().id());
+    EXPECT_TRUE(a->left->state_equals(*b->left));
+  }
+  expect_isomorphic(a->right, b->right);
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, FullCheckpointRecoversIsomorphicGraph) {
+  std::mt19937_64 rng(GetParam());
+  RandomGraph g = RandomGraph::make(rng, 20, 15);
+  std::vector<core::Checkpointable*> roots{g.root};
+  auto bytes = checkpoint_bytes(roots, 0, Mode::kFull);
+
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(bytes);
+  recovery.apply(reader);
+  auto state = recovery.finish();
+  expect_isomorphic(g.root, state.root_as<Inner>());
+}
+
+TEST_P(RoundTripProperty, IncrementalChainEqualsDirectFull) {
+  std::mt19937_64 rng(GetParam() ^ 0xABCD);
+  RandomGraph g = RandomGraph::make(rng, 16, 12);
+  std::vector<core::Checkpointable*> roots{g.root};
+
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  core::Recovery chain(registry);
+  {
+    auto bytes = checkpoint_bytes(roots, 0, Mode::kFull);
+    io::DataReader reader(bytes);
+    chain.apply(reader);
+  }
+  const int epochs = 1 + static_cast<int>(GetParam() % 6);
+  for (int e = 1; e <= epochs; ++e) {
+    g.mutate(rng);
+    auto bytes = checkpoint_bytes(roots, static_cast<Epoch>(e),
+                                  Mode::kIncremental);
+    io::DataReader reader(bytes);
+    chain.apply(reader);
+  }
+  auto chained = chain.finish();
+
+  // Direct full checkpoint of the final live state.
+  auto final_bytes = checkpoint_bytes(roots, 99, Mode::kFull);
+  core::Recovery direct(registry);
+  io::DataReader reader(final_bytes);
+  direct.apply(reader);
+  auto direct_state = direct.finish();
+
+  expect_isomorphic(direct_state.root_as<Inner>(), chained.root_as<Inner>());
+}
+
+TEST_P(RoundTripProperty, CheckpointLeavesVisitedObjectsClean) {
+  std::mt19937_64 rng(GetParam() ^ 0x1234);
+  RandomGraph g = RandomGraph::make(rng, 12, 10);
+  g.mutate(rng);
+  std::vector<core::Checkpointable*> roots{g.root};
+  checkpoint_bytes(roots, 0, Mode::kIncremental);
+  std::vector<const Leaf*> leaves;
+  std::vector<const Inner*> inners;
+  g.reachable(g.root, leaves, inners);
+  for (const Inner* inner : inners) EXPECT_FALSE(inner->info().modified());
+  for (const Leaf* leaf : leaves) EXPECT_FALSE(leaf->info().modified());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// --- random valid patterns over the synthetic shapes -------------------------
+
+/// Build a random pattern that over-approximates the actual mutation
+/// behaviour: positions the workload may modify get random non-skip
+/// statuses; positions it cannot modify randomly choose between skip,
+/// kUnmodified, and (sound but wasteful) kMaybeModified.
+spec::PatternNode random_valid_pattern(std::mt19937_64& rng,
+                                       const synth::SynthConfig& config) {
+  using spec::ModStatus;
+  using spec::PatternNode;
+
+  auto chain = [&](auto&& self, int remaining, bool may_modify) -> PatternNode {
+    PatternNode node;
+    const bool is_tail = remaining == 1;
+    const bool dirtyable =
+        may_modify && (!config.last_element_only || is_tail);
+    if (dirtyable) {
+      node.self = ModStatus::kMaybeModified;
+    } else {
+      node.self =
+          (rng() % 2 == 0) ? ModStatus::kUnmodified : ModStatus::kMaybeModified;
+    }
+    if (rng() % 2 == 0)
+      node.array_count = static_cast<std::uint32_t>(config.values_per_elem);
+    if (remaining > 1) {
+      node.children.push_back(self(self, remaining - 1, may_modify));
+    } else if (rng() % 2 == 0) {
+      node.children.push_back(PatternNode::absent());
+    } else {
+      // A skipped child also bounds the recursion and is sound here: there
+      // is nothing beyond the tail element.
+      node.children.push_back(PatternNode::skipped());
+    }
+    return node;
+  };
+
+  PatternNode root;
+  root.self = (rng() % 2 == 0) ? spec::ModStatus::kUnmodified
+                               : spec::ModStatus::kMaybeModified;
+  for (int i = 0; i < synth::Compound::kLists; ++i) {
+    const bool may_modify = i < config.modified_lists;
+    PatternNode list = chain(chain, config.list_length, may_modify);
+    if (!may_modify && rng() % 2 == 0) list.skip = true;
+    root.children.push_back(std::move(list));
+  }
+  return root;
+}
+
+class RandomPatternProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomPatternProperty, ValidPatternsAreByteExact) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  synth::SynthConfig config;
+  config.num_structures = 24;
+  config.list_length = 1 + static_cast<int>(rng() % 5);
+  config.values_per_elem = 1 + static_cast<int>(rng() % 10);
+  config.modified_lists = static_cast<int>(rng() % 6);
+  config.last_element_only = (rng() & 1) != 0;
+  config.percent_modified = static_cast<int>(rng() % 101);
+  config.seed = GetParam();
+
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  auto generic = generic_bytes(workload, 5);
+
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  for (int trial = 0; trial < 4; ++trial) {
+    spec::PatternNode pattern = random_valid_pattern(rng, config);
+    spec::Plan plan = spec::PlanCompiler().compile(*shapes.compound, pattern);
+    spec::PlanExecutor exec(plan);
+    workload.restore_flags(flags);
+    EXPECT_EQ(plan_bytes(workload, exec, 5), generic)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ickpt::testing

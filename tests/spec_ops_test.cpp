@@ -1,0 +1,153 @@
+// Op-level tests of the plan compiler's fusion peepholes: contiguous i32
+// writes fuse into runs, pass-through chains fuse into follow hops, and the
+// fused plans stay byte- and flag-equivalent to unfused execution.
+#include <gtest/gtest.h>
+
+#include "tests/synth_helpers.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using spec::OpCode;
+using spec::Plan;
+using spec::PlanCompiler;
+
+std::size_t count_ops(const Plan& plan, OpCode code) {
+  std::size_t n = 0;
+  for (const spec::Op& op : plan.ops)
+    if (op.code == code) ++n;
+  return n;
+}
+
+TEST(OpFusion, ContiguousI32FieldsFuseIntoOneRun) {
+  // ListElem records nvals (i32) then vals[] (contiguous i32s): with a
+  // fixed count the compiler must fuse them into a single run of 1+V.
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  Plan plan = PlanCompiler().compile(
+      *shapes.elem,
+      synth::make_synth_pattern(synth::SpecLevel::kStructure, 1, 10, 5)
+          .children[0]);  // the head-element pattern of list 0
+  ASSERT_EQ(count_ops(plan, OpCode::kWriteI32Run), 1u);
+  EXPECT_EQ(count_ops(plan, OpCode::kWriteI32), 0u);
+  EXPECT_EQ(count_ops(plan, OpCode::kWriteI32ArrayFixed), 0u);
+  for (const spec::Op& op : plan.ops) {
+    if (op.code == OpCode::kWriteI32Run) {
+      EXPECT_EQ(op.b, 11u);  // nvals + 10
+    }
+  }
+}
+
+TEST(OpFusion, RuntimeCountedArrayDoesNotFuse) {
+  // Without the pattern's fixed count, the array length is only known at
+  // run time, so the scalar and the array stay separate ops.
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  spec::PatternNode pattern;  // MaybeModified, no array_count
+  pattern.children.push_back(spec::PatternNode::absent());
+  Plan plan = PlanCompiler().compile(*shapes.elem, pattern);
+  EXPECT_EQ(count_ops(plan, OpCode::kWriteI32Run), 0u);
+  EXPECT_EQ(count_ops(plan, OpCode::kWriteI32), 1u);
+  EXPECT_EQ(count_ops(plan, OpCode::kWriteI32ArrayRuntime), 1u);
+}
+
+TEST(OpFusion, PassThroughChainsFuseIntoFollow) {
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  // Positions pattern, L=5: four interior pass-through hops per list.
+  Plan plan = PlanCompiler().compile(
+      *shapes.compound,
+      synth::make_synth_pattern(synth::SpecLevel::kPositions, 5, 10, 3));
+  // One follow op per possibly-modified list, each with 4 hops.
+  ASSERT_EQ(count_ops(plan, OpCode::kFollow), 3u);
+  for (const spec::Op& op : plan.ops) {
+    if (op.code == OpCode::kFollow) {
+      EXPECT_EQ(op.b, 4u);
+    }
+  }
+  // Exactly one push/pop pair per traversed list (the head).
+  EXPECT_EQ(count_ops(plan, OpCode::kPushChild), 3u);
+  EXPECT_EQ(count_ops(plan, OpCode::kPop), 3u);
+}
+
+TEST(OpFusion, TestedChainsDoNotFuse) {
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  // Structure-level pattern keeps every test -> no node is pass-through.
+  Plan plan = PlanCompiler().compile(
+      *shapes.compound,
+      synth::make_synth_pattern(synth::SpecLevel::kStructure, 5, 10, 5));
+  EXPECT_EQ(count_ops(plan, OpCode::kFollow), 0u);
+  EXPECT_EQ(count_ops(plan, OpCode::kPushChild), 25u);
+}
+
+TEST(OpFusion, FollowThrowsOnMidChainNull) {
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  synth::SynthConfig build;
+  build.num_structures = 1;
+  build.list_length = 3;  // shorter than the declared 5
+  build.values_per_elem = 1;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, build);
+
+  Plan plan = PlanCompiler().compile(
+      *shapes.compound,
+      synth::make_synth_pattern(synth::SpecLevel::kPositions, 5, 1, 5));
+  spec::PlanExecutor exec(plan);
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  EXPECT_THROW(exec.run(workload.roots()[0], writer), SpecError);
+}
+
+TEST(DataWriterRun, MatchesIndividualWrites) {
+  std::vector<std::int32_t> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<std::int32_t>(i * 2654435761u);
+
+  io::VectorSink a;
+  {
+    io::DataWriter w(a, 256);  // force many buffer spills
+    w.write_i32_run(values.data(), values.size());
+    w.flush();
+  }
+  io::VectorSink b;
+  {
+    io::DataWriter w(b);
+    for (std::int32_t v : values) w.write_i32(v);
+    w.flush();
+  }
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(DataWriterRun, EmptyAndSingleRuns) {
+  io::VectorSink sink;
+  io::DataWriter w(sink);
+  w.write_i32_run(nullptr, 0);
+  std::int32_t one = -7;
+  w.write_i32_run(&one, 1);
+  w.flush();
+  ASSERT_EQ(sink.size(), 4u);
+  io::DataReader r(sink.bytes());
+  EXPECT_EQ(r.read_i32(), -7);
+}
+
+TEST(ExecutorGuard, RejectsPlansDeeperThanStack) {
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  // Build a pattern 300 levels deep (tested nodes, so no follow fusion).
+  spec::PatternNode pattern;
+  spec::PatternNode* tip = &pattern;
+  for (int i = 0; i < 300; ++i) {
+    tip->children.push_back(spec::PatternNode{});
+    tip = &tip->children.back();
+  }
+  tip->children.push_back(spec::PatternNode::absent());
+  Plan plan = PlanCompiler().compile(*shapes.elem, pattern);
+  EXPECT_THROW(spec::PlanExecutor{plan}, SpecError);
+}
+
+TEST(ExecutorGuard, RejectsPlanWithoutEnd) {
+  Plan plan;
+  plan.ops.push_back(spec::Op{OpCode::kPop, 0, 0, 0});
+  EXPECT_THROW(spec::PlanExecutor{plan}, SpecError);
+  Plan empty;
+  EXPECT_THROW(spec::PlanExecutor{empty}, SpecError);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -1,0 +1,341 @@
+// Specializer tests: compiled plans must emit byte-identical checkpoints to
+// the generic driver for every valid pattern, prune exactly what the pattern
+// proves unnecessary, and fail loudly on structure violations.
+#include <gtest/gtest.h>
+
+#include "tests/synth_helpers.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using spec::CompileOptions;
+using spec::ModStatus;
+using spec::PatternNode;
+using spec::Plan;
+using spec::PlanCompiler;
+using spec::PlanExecutor;
+using synth::SpecLevel;
+using synth::SynthConfig;
+using synth::SynthShapes;
+using synth::SynthWorkload;
+
+struct GridParam {
+  int list_length;
+  int values_per_elem;
+  int modified_lists;
+  bool last_element_only;
+  int percent_modified;
+};
+
+std::ostream& operator<<(std::ostream& os, const GridParam& p) {
+  return os << "L" << p.list_length << "_v" << p.values_per_elem << "_m"
+            << p.modified_lists << (p.last_element_only ? "_last" : "_any")
+            << "_p" << p.percent_modified;
+}
+
+SynthConfig small_config(const GridParam& p) {
+  SynthConfig config;
+  config.num_structures = 64;
+  config.list_length = p.list_length;
+  config.values_per_elem = p.values_per_elem;
+  config.modified_lists = p.modified_lists;
+  config.last_element_only = p.last_element_only;
+  config.percent_modified = p.percent_modified;
+  config.seed = 1234;
+  return config;
+}
+
+class PlanEquivalence : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PlanEquivalence, AllLevelsMatchGenericBytes) {
+  SynthConfig config = small_config(GetParam());
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+
+  auto generic = generic_bytes(workload, 3);
+
+  const SpecLevel levels[] = {SpecLevel::kStructure, SpecLevel::kModifiedLists,
+                              SpecLevel::kPositions};
+  for (SpecLevel level : levels) {
+    if (level == SpecLevel::kPositions && !config.last_element_only)
+      continue;  // pattern would be unsound for anywhere-modification
+    workload.restore_flags(flags);
+    Plan plan = compile_synth_plan(shapes, config, level);
+    PlanExecutor exec(plan);
+    auto bytes = plan_bytes(workload, exec, 3);
+    EXPECT_EQ(bytes, generic)
+        << "level " << static_cast<int>(level) << " diverged";
+  }
+}
+
+TEST_P(PlanEquivalence, ResidualMatchesGenericBytes) {
+  GridParam p = GetParam();
+  if ((p.list_length != 1 && p.list_length != 5) ||
+      (p.values_per_elem != 1 && p.values_per_elem != 10))
+    GTEST_SKIP() << "no residual instantiated off the paper's grid";
+  SynthConfig config = small_config(p);
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  auto generic = generic_bytes(workload, 9);
+
+  workload.restore_flags(flags);
+  auto uniform =
+      synth::residual::uniform_fn(p.list_length, p.values_per_elem);
+  EXPECT_EQ(residual_bytes(workload, uniform, 9), generic);
+
+  workload.restore_flags(flags);
+  auto specialized = synth::residual::specialized_fn(
+      p.list_length, p.values_per_elem, p.modified_lists,
+      p.last_element_only);
+  EXPECT_EQ(residual_bytes(workload, specialized, 9), generic);
+}
+
+TEST_P(PlanEquivalence, PlanResetsFlagsLikeGeneric) {
+  SynthConfig config = small_config(GetParam());
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  workload.reset_flags();
+  workload.mutate();
+  auto dirty = workload.save_flags();
+
+  generic_bytes(workload, 0);
+  auto after_generic = workload.save_flags();
+
+  workload.restore_flags(dirty);
+  Plan plan = compile_synth_plan(shapes, config, SpecLevel::kModifiedLists);
+  PlanExecutor exec(plan);
+  plan_bytes(workload, exec, 0);
+  EXPECT_EQ(workload.save_flags(), after_generic);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlanEquivalence,
+    ::testing::Values(GridParam{1, 1, 5, false, 100},
+                      GridParam{1, 10, 5, false, 50},
+                      GridParam{5, 1, 5, false, 25},
+                      GridParam{5, 10, 5, false, 100},
+                      GridParam{5, 1, 3, false, 50},
+                      GridParam{5, 10, 1, false, 100},
+                      GridParam{5, 1, 1, true, 100},
+                      GridParam{5, 10, 3, true, 50},
+                      GridParam{5, 10, 5, true, 25},
+                      GridParam{1, 1, 1, true, 100},
+                      GridParam{1, 10, 3, true, 0},
+                      GridParam{5, 5, 5, false, 75},
+                      GridParam{2, 3, 4, false, 60},
+                      GridParam{4, 10, 2, true, 100},
+                      GridParam{3, 1, 0, false, 100},
+                      GridParam{1, 1, 5, true, 50},
+                      GridParam{5, 10, 0, true, 100},
+                      GridParam{5, 1, 4, true, 25}));
+
+TEST(PlanCompilerTest, PruningShrinksThePlan) {
+  SynthShapes shapes = SynthShapes::make();
+  PlanCompiler compiler;
+  auto ops_at = [&](SpecLevel level, int mod_lists) {
+    return compiler
+        .compile(*shapes.compound,
+                 synth::make_synth_pattern(level, 5, 10, mod_lists))
+        .size();
+  };
+  // Fewer possibly-modified lists -> fewer ops.
+  EXPECT_LT(ops_at(SpecLevel::kModifiedLists, 1),
+            ops_at(SpecLevel::kModifiedLists, 3));
+  EXPECT_LT(ops_at(SpecLevel::kModifiedLists, 3),
+            ops_at(SpecLevel::kModifiedLists, 5));
+  // Position knowledge removes tests (but keeps traversal): fewer ops still.
+  EXPECT_LT(ops_at(SpecLevel::kPositions, 5),
+            ops_at(SpecLevel::kModifiedLists, 5));
+}
+
+TEST(PlanCompilerTest, RecursiveShapeWithoutPatternDepthFails) {
+  SynthShapes shapes = SynthShapes::make();
+  CompileOptions opts;
+  opts.max_depth = 32;
+  PlanCompiler compiler(opts);
+  PatternNode unbounded;  // empty children => implicit recursion forever
+  EXPECT_THROW(compiler.compile(*shapes.elem, unbounded), SpecError);
+}
+
+TEST(PlanCompilerTest, ChildPatternArityMismatchFails) {
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern;
+  pattern.children.push_back(PatternNode::skipped());  // compound has 5
+  EXPECT_THROW(PlanCompiler().compile(*shapes.compound, pattern), SpecError);
+}
+
+TEST(PlanCompilerTest, UniformPatternBoundsRecursion) {
+  SynthShapes shapes = SynthShapes::make();
+  PatternNode pattern = PlanCompiler::uniform_pattern(*shapes.elem, 3);
+  Plan plan = PlanCompiler().compile(*shapes.elem, pattern);
+  EXPECT_GT(plan.size(), 0u);
+  EXPECT_LE(plan.max_depth, 3u);
+}
+
+TEST(PlanExecutorTest, AssertNullCatchesOverlongList) {
+  SynthConfig config;
+  config.num_structures = 1;
+  config.list_length = 6;  // structure longer than the declared pattern
+  config.values_per_elem = 1;
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  config.list_length = 5;  // declare 5 to the specializer
+  spec::Plan plan = compile_synth_plan(shapes, config, SpecLevel::kStructure);
+  PlanExecutor exec(plan);
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  EXPECT_THROW(exec.run(workload.roots()[0], writer), SpecError);
+}
+
+TEST(PlanExecutorTest, ShorterListIsToleratedByNullChecks) {
+  // A 3-element list under a 5-element pattern simply stops at the null.
+  SynthConfig build;
+  build.num_structures = 8;
+  build.list_length = 3;
+  build.values_per_elem = 1;
+  core::Heap heap;
+  SynthWorkload workload(heap, build);
+  SynthShapes shapes = SynthShapes::make();
+  SynthConfig declared = build;
+  declared.list_length = 5;
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  auto generic = generic_bytes(workload, 0);
+  workload.restore_flags(flags);
+  Plan plan = compile_synth_plan(shapes, declared, SpecLevel::kStructure);
+  PlanExecutor exec(plan);
+  EXPECT_EQ(plan_bytes(workload, exec, 0), generic);
+}
+
+TEST(PlanExecutorTest, DryRunWritesNothingAndKeepsFlags) {
+  SynthConfig config;
+  config.num_structures = 4;
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  Plan plan = compile_synth_plan(shapes, config, SpecLevel::kStructure);
+  PlanExecutor exec(plan);
+  for (void* root : workload.root_ptrs()) exec.run_dry(root);
+  EXPECT_EQ(workload.save_flags(), flags);
+}
+
+TEST(PlanTest, DisassembleNamesOps) {
+  SynthShapes shapes = SynthShapes::make();
+  SynthConfig config;
+  Plan plan = compile_synth_plan(shapes, config, SpecLevel::kPositions,
+                                 CompileOptions{});
+  std::string text = plan.disassemble();
+  EXPECT_NE(text.find("push_child"), std::string::npos);
+  EXPECT_NE(text.find("write_header"), std::string::npos);
+  EXPECT_NE(text.find("assert_null"), std::string::npos);
+  EXPECT_NE(text.find("synth.Compound"), std::string::npos);
+}
+
+TEST(AblationTest, DisabledPruningStaysByteIdentical) {
+  SynthConfig config;
+  config.num_structures = 32;
+  config.modified_lists = 2;
+  config.last_element_only = true;
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+  auto generic = generic_bytes(workload, 0);
+
+  for (bool prune_tests : {false, true}) {
+    for (bool prune_traversal : {false, true}) {
+      CompileOptions opts;
+      opts.prune_tests = prune_tests;
+      opts.prune_traversal = prune_traversal;
+      workload.restore_flags(flags);
+      Plan plan =
+          compile_synth_plan(shapes, config, SpecLevel::kPositions, opts);
+      PlanExecutor exec(plan);
+      EXPECT_EQ(plan_bytes(workload, exec, 0), generic)
+          << "prune_tests=" << prune_tests
+          << " prune_traversal=" << prune_traversal;
+    }
+  }
+}
+
+TEST(AblationTest, AblatedPlansAreLarger) {
+  SynthConfig config;
+  config.modified_lists = 1;
+  config.last_element_only = true;
+  SynthShapes shapes = SynthShapes::make();
+  CompileOptions full;
+  CompileOptions no_traversal_pruning;
+  no_traversal_pruning.prune_traversal = false;
+  CompileOptions no_test_pruning;
+  no_test_pruning.prune_tests = false;
+  auto size_with = [&](const CompileOptions& opts) {
+    return compile_synth_plan(shapes, config, SpecLevel::kPositions, opts)
+        .size();
+  };
+  EXPECT_LT(size_with(full), size_with(no_traversal_pruning));
+  EXPECT_LE(size_with(full), size_with(no_test_pruning));
+}
+
+TEST(AblationTest, VarintScalarsShrinkSmallValues) {
+  SynthConfig config;
+  config.num_structures = 16;
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+
+  CompileOptions varint;
+  varint.varint_scalars = true;
+  Plan vplan = compile_synth_plan(shapes, config, SpecLevel::kStructure, varint);
+  PlanExecutor vexec(vplan);
+  auto vbytes = plan_bytes(workload, vexec, 0);
+
+  workload.restore_flags(flags);
+  Plan fplan = compile_synth_plan(shapes, config, SpecLevel::kStructure);
+  PlanExecutor fexec(fplan);
+  auto fbytes = plan_bytes(workload, fexec, 0);
+
+  EXPECT_LT(vbytes.size(), fbytes.size());
+}
+
+TEST(ValidateShapeTest, AcceptsMatchingStructure) {
+  SynthConfig config;
+  config.num_structures = 2;
+  core::Heap heap;
+  SynthWorkload workload(heap, config);
+  SynthShapes shapes = SynthShapes::make();
+  for (void* root : workload.root_ptrs())
+    EXPECT_NO_THROW(spec::validate_shape(*shapes.compound, root));
+}
+
+TEST(ValidateShapeTest, RejectsWrongRootType) {
+  core::Heap heap;
+  synth::ListElem* elem = heap.make<synth::ListElem>();
+  SynthShapes shapes = SynthShapes::make();
+  EXPECT_THROW(spec::validate_shape(*shapes.compound, elem), SpecError);
+}
+
+TEST(ValidateShapeTest, NullRootRejected) {
+  SynthShapes shapes = SynthShapes::make();
+  EXPECT_THROW(spec::validate_shape(*shapes.compound, nullptr), SpecError);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

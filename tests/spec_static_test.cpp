@@ -1,0 +1,196 @@
+// Tests of the compile-time specializer: byte-equivalence with the generic
+// driver on the test class family (including string fields and recursive
+// specs), pattern-driven pruning, and structural assertions.
+#include <gtest/gtest.h>
+
+#include "spec/static_ckpt.hpp"
+#include "tests/test_types.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+namespace st = spec::st;
+using spec::ModStatus;
+
+// --- static specs for the test classes -----------------------------------------
+
+struct LeafSpec {
+  using object_type = Leaf;
+  static constexpr TypeId type_id = Leaf::kTypeId;
+  using fields = st::Fields<st::I32<&Leaf::i32>, st::I64<&Leaf::i64>,
+                            st::F64<&Leaf::f64>, st::Bool<&Leaf::flag>>;
+};
+
+struct NamedSpec {
+  using object_type = Named;
+  static constexpr TypeId type_id = Named::kTypeId;
+  using fields = st::Fields<st::Str<&Named::name>>;
+};
+
+struct InnerSpec {
+  using object_type = Inner;
+  static constexpr TypeId type_id = Inner::kTypeId;
+  using fields = st::Fields<st::I32<&Inner::tag>,
+                            st::Child<&Inner::left, LeafSpec>,
+                            st::Child<&Inner::right, InnerSpec>>;  // recursive
+};
+
+/// Pattern for an Inner chain of the given depth (explicit, as recursive
+/// specs require): every node and leaf tested.
+template <int Depth>
+struct ChainPattern {
+  using type = st::Node<ModStatus::kMaybeModified, st::Maybe,
+                        typename ChainPattern<Depth - 1>::type>;
+};
+template <>
+struct ChainPattern<0> {
+  using type = st::Absent;
+};
+
+struct Graph {
+  core::Heap heap;
+  std::vector<Inner*> inners;
+  std::vector<core::Checkpointable*> bases;
+  std::vector<Inner*> roots;
+
+  /// A right-chain of `depth` Inners, each with a Leaf on the left.
+  explicit Graph(int depth) {
+    Inner* prev = nullptr;
+    for (int i = 0; i < depth; ++i) {
+      Inner* inner = heap.make<Inner>();
+      inner->set_tag(i);
+      Leaf* leaf = heap.make<Leaf>();
+      leaf->set_i32(100 + i);
+      leaf->set_f64(i / 2.0);
+      inner->set_left(leaf);
+      if (prev != nullptr) prev->set_right(inner);
+      inners.push_back(inner);
+      prev = inner;
+    }
+    roots.push_back(inners.front());
+    bases.push_back(inners.front());
+  }
+
+  void reset_flags() {
+    for (Inner* inner : inners) {
+      inner->info().reset_modified();
+      if (inner->left != nullptr) inner->left->info().reset_modified();
+    }
+  }
+};
+
+template <class Pattern>
+std::vector<std::uint8_t> static_bytes(Graph& g, Epoch epoch) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    st::run_static_checkpoint<InnerSpec, Pattern>(writer, epoch, g.roots);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+TEST(StaticCkpt, MatchesGenericOnFreshGraph) {
+  Graph g(3);
+  auto generic = checkpoint_bytes(g.bases, 4, core::Mode::kIncremental);
+  // Rebuild identical dirty state: fresh objects are all dirty again after
+  // the generic pass reset them.
+  for (Inner* inner : g.inners) {
+    inner->info().set_modified();
+    inner->left->info().set_modified();
+  }
+  auto specialized = static_bytes<ChainPattern<3>::type>(g, 4);
+  EXPECT_EQ(specialized, generic);
+}
+
+TEST(StaticCkpt, MatchesGenericOnPartialModification) {
+  Graph g(4);
+  g.reset_flags();
+  g.inners[2]->left->set_i32(-5);
+  g.inners[3]->set_tag(99);
+  auto generic = checkpoint_bytes(g.bases, 9, core::Mode::kIncremental);
+  g.reset_flags();
+  g.inners[2]->left->set_i32(-5);
+  g.inners[3]->set_tag(99);
+  auto specialized = static_bytes<ChainPattern<4>::type>(g, 9);
+  EXPECT_EQ(specialized, generic);
+}
+
+TEST(StaticCkpt, SkipPrunesSubtrees) {
+  // Pattern: test the root, skip the leaf, skip the whole right chain.
+  using Pruned = st::Node<ModStatus::kMaybeModified, st::Skip, st::Skip>;
+  Graph g(3);
+  g.reset_flags();
+  g.inners[0]->set_tag(7);
+  g.inners[1]->set_tag(8);  // dirty, but the pattern skips it — by design
+  auto bytes = static_bytes<Pruned>(g, 0);
+
+  // Only the root was recorded: flags prove it.
+  EXPECT_FALSE(g.inners[0]->info().modified());
+  EXPECT_TRUE(g.inners[1]->info().modified());
+  EXPECT_GT(bytes.size(), 0u);
+}
+
+TEST(StaticCkpt, UnmodifiedSelfSkipsRecordKeepsTraversal) {
+  using P = st::Node<ModStatus::kUnmodified, st::Maybe,
+                     st::Node<ModStatus::kMaybeModified, st::Maybe,
+                              st::Absent>>;
+  Graph g(2);
+  g.reset_flags();
+  g.inners[1]->left->set_i32(1234);
+  auto generic = checkpoint_bytes(g.bases, 1, core::Mode::kIncremental);
+  g.reset_flags();
+  g.inners[1]->left->set_i32(1234);
+  auto specialized = static_bytes<P>(g, 1);
+  EXPECT_EQ(specialized, generic);
+}
+
+TEST(StaticCkpt, AbsentAssertionFires) {
+  Graph g(4);  // deeper than the declared depth
+  g.reset_flags();
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  EXPECT_THROW(
+      (st::run_static_checkpoint<InnerSpec, ChainPattern<2>::type>(writer, 0,
+                                                                   g.roots)),
+      SpecError);
+}
+
+TEST(StaticCkpt, StringFieldsRoundTripThroughRecovery) {
+  core::Heap heap;
+  Named* named = heap.make<Named>();
+  named->set_name("static residuals handle strings");
+  std::vector<Named*> roots{named};
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    st::run_static_checkpoint<NamedSpec, st::Maybe>(writer, 0, roots,
+                                                    core::Mode::kFull);
+    writer.flush();
+  }
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(sink.bytes());
+  recovery.apply(reader);
+  auto state = recovery.finish();
+  EXPECT_EQ(state.root_as<Named>()->name,
+            "static residuals handle strings");
+}
+
+TEST(StaticCkpt, AlwaysModifiedRecordsWithoutTesting) {
+  using P = st::Node<ModStatus::kModified, st::Skip, st::Skip>;
+  Graph g(1);
+  g.reset_flags();  // root is clean — kModified records it anyway
+  auto bytes = static_bytes<P>(g, 0);
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(bytes);
+  core::ApplyStats stats;
+  recovery.apply(reader, &stats);
+  EXPECT_EQ(stats.records, 1u);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

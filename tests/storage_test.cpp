@@ -1,0 +1,200 @@
+// StableStorage tests: framing, sequence numbering, resume-after-reopen, and
+// fault injection (torn writes at every byte boundary, CRC corruption at
+// every byte position of a frame).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "io/file_io.hpp"
+#include "io/stable_storage.hpp"
+
+namespace ickpt::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> payload_of(char fill, std::size_t n) {
+  return std::vector<std::uint8_t>(n, static_cast<std::uint8_t>(fill));
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("ickpt_storage_test.log");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(StorageTest, AppendAndScan) {
+  {
+    StableStorage storage(path_);
+    EXPECT_EQ(storage.append(payload_of('a', 10)), 0u);
+    EXPECT_EQ(storage.append(payload_of('b', 0)), 1u);  // empty payload ok
+    EXPECT_EQ(storage.append(payload_of('c', 100000)), 2u);
+  }
+  ScanResult scan = StableStorage::scan(path_);
+  EXPECT_TRUE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[0].seq, 0u);
+  EXPECT_EQ(scan.frames[0].payload, payload_of('a', 10));
+  EXPECT_TRUE(scan.frames[1].payload.empty());
+  EXPECT_EQ(scan.frames[2].payload.size(), 100000u);
+}
+
+TEST_F(StorageTest, MissingFileScansEmpty) {
+  ScanResult scan = StableStorage::scan(path_);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_TRUE(scan.frames.empty());
+}
+
+TEST_F(StorageTest, SequenceResumesAcrossReopen) {
+  {
+    StableStorage storage(path_);
+    storage.append(payload_of('a', 4));
+    storage.append(payload_of('b', 4));
+  }
+  {
+    StableStorage storage(path_);
+    EXPECT_EQ(storage.next_seq(), 2u);
+    EXPECT_EQ(storage.append(payload_of('c', 4)), 2u);
+  }
+  ScanResult scan = StableStorage::scan(path_);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[2].seq, 2u);
+}
+
+TEST_F(StorageTest, ResetTruncates) {
+  StableStorage storage(path_);
+  storage.append(payload_of('a', 8));
+  storage.reset();
+  storage.append(payload_of('b', 8));
+  ScanResult scan = StableStorage::scan(path_);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].payload, payload_of('b', 8));
+  // Numbering continued, which keeps seq strictly increasing for consumers
+  // that saw the earlier frames.
+  EXPECT_EQ(scan.frames[0].seq, 1u);
+}
+
+TEST_F(StorageTest, DurableModeWrites) {
+  StableStorage storage(path_, /*durable=*/true);
+  storage.append(payload_of('d', 64));
+  ScanResult scan = StableStorage::scan(path_);
+  ASSERT_EQ(scan.frames.size(), 1u);
+}
+
+TEST_F(StorageTest, OversizedPayloadRejected) {
+  StableStorage storage(path_);
+  std::vector<std::uint8_t> big((1u << 30) + 1);
+  EXPECT_THROW(storage.append(big), IoError);
+}
+
+// --- fault injection --------------------------------------------------------
+
+class TornWriteTest : public ::testing::TestWithParam<std::size_t> {};
+
+const std::vector<std::uint8_t>& three_frame_log() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    std::string path = temp_path("ickpt_torn.log");
+    std::remove(path.c_str());
+    {
+      StableStorage storage(path);
+      storage.append(payload_of('a', 37));
+      storage.append(payload_of('b', 53));
+      storage.append(payload_of('c', 41));
+    }
+    auto data = read_file(path);
+    std::remove(path.c_str());
+    return data;
+  }();
+  return bytes;
+}
+
+TEST_P(TornWriteTest, TruncatedTailDropsOnlyLastFrame) {
+  // Two good frames then a third torn at an arbitrary byte count.
+  auto bytes = three_frame_log();
+  const std::size_t full = bytes.size();
+  const std::size_t frame3 = 20 + 41;  // header + payload
+  const std::size_t keep = full - frame3 + GetParam() % frame3;
+  bytes.resize(keep);
+
+  ScanResult scan = StableStorage::scan_bytes(bytes);
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 2u) << "torn at offset " << keep;
+  EXPECT_EQ(scan.frames[0].payload, payload_of('a', 37));
+  EXPECT_EQ(scan.frames[1].payload, payload_of('b', 53));
+}
+
+// Tear point 0 would be a clean two-frame file, so start at 1.
+INSTANTIATE_TEST_SUITE_P(EveryTearPoint, TornWriteTest,
+                         ::testing::Range<std::size_t>(1, 61, 1));
+
+class CorruptByteTest : public ::testing::TestWithParam<std::size_t> {};
+
+const std::vector<std::uint8_t>& two_frame_log() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    std::string path = temp_path("ickpt_corrupt.log");
+    std::remove(path.c_str());
+    {
+      StableStorage storage(path);
+      storage.append(payload_of('a', 29));  // frame 0: bytes [0, 49)
+      storage.append(payload_of('b', 29));  // frame 1
+    }
+    auto data = read_file(path);
+    std::remove(path.c_str());
+    return data;
+  }();
+  return bytes;
+}
+
+TEST_P(CorruptByteTest, FlippedByteStopsScanAtCorruptFrame) {
+  auto bytes = two_frame_log();
+  const std::size_t frame_size = 20 + 29;
+  const std::size_t pos = frame_size + (GetParam() % frame_size);  // in frame 1
+  bytes[pos] ^= 0xFF;
+
+  ScanResult scan = StableStorage::scan_bytes(bytes);
+  EXPECT_FALSE(scan.clean);
+  ASSERT_LE(scan.frames.size(), 1u);
+  if (!scan.frames.empty()) {
+    EXPECT_EQ(scan.frames[0].payload, payload_of('a', 29));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryBytePosition, CorruptByteTest,
+                         ::testing::Range<std::size_t>(0, 49, 1));
+
+TEST(StorageScan, NonIncreasingSequenceStopsScan) {
+  std::string path = temp_path("ickpt_seq.log");
+  std::remove(path.c_str());
+  {
+    StableStorage a(path);
+    a.append(payload_of('a', 8));
+  }
+  // Append a second storage writing seq 0 again by recreating the file
+  // contents manually: duplicate the first frame.
+  auto bytes = read_file(path);
+  auto doubled = bytes;
+  doubled.insert(doubled.end(), bytes.begin(), bytes.end());
+  ScanResult scan = StableStorage::scan_bytes(doubled);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.stop_reason, "non-increasing sequence number");
+  std::remove(path.c_str());
+}
+
+TEST(StorageScan, GarbagePrefixYieldsNothing) {
+  std::vector<std::uint8_t> garbage(64, 0x77);
+  ScanResult scan = StableStorage::scan_bytes(garbage);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_TRUE(scan.frames.empty());
+  EXPECT_EQ(scan.stop_reason, "bad frame magic");
+}
+
+}  // namespace
+}  // namespace ickpt::io

@@ -1,0 +1,64 @@
+// Helpers shared by the spec/synth test files: run each of the three
+// execution engines over a synthetic workload and capture the checkpoint
+// bytes, replaying flag snapshots so every engine sees identical state.
+#pragma once
+
+#include "spec/compiler.hpp"
+#include "spec/executor.hpp"
+#include "synth/residual_dispatch.hpp"
+#include "synth/shapes.hpp"
+#include "synth/workload.hpp"
+
+namespace ickpt::testing {
+
+inline std::vector<std::uint8_t> generic_bytes(synth::SynthWorkload& workload,
+                                               Epoch epoch) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    core::CheckpointOptions opts;
+    opts.mode = core::Mode::kIncremental;
+    core::Checkpoint::run(writer, epoch, workload.root_bases(), opts);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+inline std::vector<std::uint8_t> plan_bytes(synth::SynthWorkload& workload,
+                                            const spec::PlanExecutor& exec,
+                                            Epoch epoch) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    spec::run_plan_checkpoint(writer, epoch, workload.root_ptrs(), exec);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+inline std::vector<std::uint8_t> residual_bytes(
+    synth::SynthWorkload& workload, synth::residual::ResidualFn fn,
+    Epoch epoch) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    synth::residual::run_residual_checkpoint(
+        writer, epoch, workload.roots(),
+        [fn](synth::Compound& c, io::DataWriter& d) { fn(c, d); });
+    writer.flush();
+  }
+  return sink.take();
+}
+
+/// Compile a plan for the workload's configuration at the given level.
+inline spec::Plan compile_synth_plan(const synth::SynthShapes& shapes,
+                                     const synth::SynthConfig& config,
+                                     synth::SpecLevel level,
+                                     spec::CompileOptions opts = {}) {
+  spec::PatternNode pattern = synth::make_synth_pattern(
+      level, config.list_length, config.values_per_elem,
+      config.modified_lists);
+  return spec::PlanCompiler(opts).compile(*shapes.compound, pattern);
+}
+
+}  // namespace ickpt::testing

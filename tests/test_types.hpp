@@ -1,0 +1,160 @@
+// Checkpointable classes used only by the test suite: a scalar-rich leaf, a
+// two-child inner node, and a string-carrying node (exercising variable-
+// length records, which the spec subsystem deliberately does not cover).
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/checkpointable.hpp"
+#include "core/recovery.hpp"
+#include "core/type_registry.hpp"
+
+namespace ickpt::testing {
+
+class Leaf final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 901;
+  static constexpr const char* kTypeName = "test.Leaf";
+
+  Leaf() = default;
+  Leaf(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  std::int32_t i32 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool flag = false;
+
+  void set_i32(std::int32_t v) {
+    i32 = v;
+    info_.set_modified();
+  }
+  void set_i64(std::int64_t v) {
+    i64 = v;
+    info_.set_modified();
+  }
+  void set_f64(double v) {
+    f64 = v;
+    info_.set_modified();
+  }
+  void set_flag(bool v) {
+    flag = v;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    d.write_i32(i32);
+    d.write_i64(i64);
+    d.write_f64(f64);
+    d.write_bool(flag);
+  }
+
+  void fold(core::Checkpoint&) override {}
+
+  void restore_record(io::DataReader& d, core::Recovery&) override {
+    i32 = d.read_i32();
+    i64 = d.read_i64();
+    f64 = d.read_f64();
+    flag = d.read_bool();
+  }
+
+  bool state_equals(const Leaf& other) const {
+    return i32 == other.i32 && i64 == other.i64 && f64 == other.f64 &&
+           flag == other.flag;
+  }
+};
+
+class Inner final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 902;
+  static constexpr const char* kTypeName = "test.Inner";
+
+  Inner() = default;
+  Inner(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  std::int32_t tag = 0;
+  Leaf* left = nullptr;
+  Inner* right = nullptr;
+
+  void set_tag(std::int32_t v) {
+    tag = v;
+    info_.set_modified();
+  }
+  void set_left(Leaf* v) {
+    left = v;
+    info_.set_modified();
+  }
+  void set_right(Inner* v) {
+    right = v;
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override {
+    d.write_i32(tag);
+    core::write_child_id(d, left);
+    core::write_child_id(d, right);
+  }
+
+  void fold(core::Checkpoint& c) override {
+    if (left != nullptr) c.checkpoint(*left);
+    if (right != nullptr) c.checkpoint(*right);
+  }
+
+  void restore_record(io::DataReader& d, core::Recovery& r) override {
+    tag = d.read_i32();
+    r.link(d, left);
+    r.link(d, right);
+  }
+};
+
+class Named final : public core::WithCheckpointInfo {
+ public:
+  static constexpr TypeId kTypeId = 903;
+  static constexpr const char* kTypeName = "test.Named";
+
+  Named() = default;
+  Named(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
+
+  std::string name;
+
+  void set_name(std::string v) {
+    name = std::move(v);
+    info_.set_modified();
+  }
+
+  [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
+
+  void record(io::DataWriter& d) const override { d.write_string(name); }
+  void fold(core::Checkpoint&) override {}
+  void restore_record(io::DataReader& d, core::Recovery&) override {
+    name = d.read_string();
+  }
+};
+
+inline void register_test_types(core::TypeRegistry& registry) {
+  registry.register_type<Leaf>();
+  registry.register_type<Inner>();
+  registry.register_type<Named>();
+}
+
+/// Serialize one incremental (or full) checkpoint of `roots` to bytes using
+/// the generic driver.
+inline std::vector<std::uint8_t> checkpoint_bytes(
+    std::span<core::Checkpointable* const> roots, Epoch epoch,
+    core::Mode mode) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    core::CheckpointOptions opts;
+    opts.mode = mode;
+    core::Checkpoint::run(writer, epoch, roots, opts);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+}  // namespace ickpt::testing
