@@ -7,7 +7,11 @@ namespace ickpt::core {
 Checkpoint::Checkpoint(io::DataWriter& d, Epoch epoch,
                        std::span<Checkpointable* const> roots,
                        CheckpointOptions opts)
-    : d_(d), mode_(opts.mode), dry_(opts.dry_run), guard_(opts.cycle_guard) {
+    : d_(d),
+      mode_(opts.mode),
+      dry_(opts.dry_run),
+      guard_(opts.cycle_guard),
+      hooks_(opts.hooks) {
   if (dry_) return;
   d_.write_u8(kStreamMagic);
   d_.write_u8(kFormatVersion);

@@ -7,6 +7,7 @@
 // this code against the specialized executors.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <unordered_set>
 
@@ -21,6 +22,17 @@ struct CheckpointStats {
   std::uint64_t objects_recorded = 0;
 };
 
+/// Observation hooks for graph-walking tools (verify::check_graph): `enter`
+/// fires before an object's children are folded, `leave` after, and
+/// `revisit` when the cycle guard suppresses re-entry into an already
+/// visited object — the event that distinguishes sharing and cycles from
+/// tree traversal. Unset hooks cost one pointer test per object.
+struct VisitHooks {
+  std::function<void(Checkpointable&)> enter;
+  std::function<void(Checkpointable&)> leave;
+  std::function<void(Checkpointable&)> revisit;
+};
+
 struct CheckpointOptions {
   Mode mode = Mode::kIncremental;
   /// Traverse and test but write nothing and reset no flags. Used to measure
@@ -29,7 +41,13 @@ struct CheckpointOptions {
   /// Track visited ids and skip re-entry. The paper assumes acyclic,
   /// unshared structures; enable this when that is not guaranteed. Off by
   /// default because the set insertion would distort the benchmarks.
+  /// The visited set lives for the whole checkpoint session, not per root:
+  /// an object reachable from two roots is recorded under the first root
+  /// only, and recovery re-links both parents to the single record.
   bool cycle_guard = false;
+  /// Traversal observation hooks; must outlive the Checkpoint. revisit only
+  /// fires when cycle_guard is on.
+  const VisitHooks* hooks = nullptr;
 };
 
 class Checkpoint {
@@ -45,7 +63,10 @@ class Checkpoint {
 
   /// Paper Fig. 1: test, record, reset, fold.
   void checkpoint(Checkpointable& o) {
-    if (guard_ && !visited_.insert(o.info().id()).second) return;
+    if (guard_ && !visited_.insert(o.info().id()).second) {
+      if (hooks_ != nullptr && hooks_->revisit) hooks_->revisit(o);
+      return;
+    }
     ++stats_.objects_visited;
     CheckpointInfo& info = o.info();
     if (mode_ == Mode::kFull || info.modified()) {
@@ -58,7 +79,9 @@ class Checkpoint {
         info.reset_modified();
       }
     }
+    if (hooks_ != nullptr && hooks_->enter) hooks_->enter(o);
     o.fold(*this);
+    if (hooks_ != nullptr && hooks_->leave) hooks_->leave(o);
   }
 
   /// Terminate the record stream. Must be called exactly once.
@@ -84,6 +107,7 @@ class Checkpoint {
   Mode mode_;
   bool dry_;
   bool guard_;
+  const VisitHooks* hooks_;
   bool ended_ = false;
   CheckpointStats stats_;
   std::unordered_set<ObjectId> visited_;

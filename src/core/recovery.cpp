@@ -78,6 +78,18 @@ StreamHeader Recovery::apply(io::DataReader& r, ApplyStats* stats) {
     }
     if (oid == kNullObjectId)
       throw CorruptionError("record carries null object id");
+    if (mode_ == ApplyMode::kScan) {
+      // Parse through a transient instance: full payload validation, no
+      // graph. The instance dies here; link() collected the child ids.
+      const TypeRegistry::Entry& entry = registry_->lookup(type);
+      auto scratch = entry.factory(oid);
+      event_children_.clear();
+      scratch->restore_record(r, *this);
+      if (observer_)
+        observer_(RecordEvent{type, oid, std::move(event_children_)});
+      event_children_.clear();
+      continue;
+    }
     Checkpointable* obj;
     auto it = objects_.find(oid);
     if (it == objects_.end()) {
@@ -101,6 +113,8 @@ StreamHeader Recovery::apply(io::DataReader& r, ApplyStats* stats) {
 }
 
 RecoveredState Recovery::finish() {
+  if (mode_ == ApplyMode::kScan)
+    throw Error("Recovery::finish() is invalid in scan mode");
   if (!has_header_) throw Error("Recovery::finish() with no checkpoint applied");
   for (const Fixup& fixup : fixups_) {
     auto it = objects_.find(fixup.id);

@@ -76,12 +76,37 @@ struct ApplyStats {
   std::unordered_map<TypeId, std::size_t> records_by_type;
 };
 
+/// One record's facts as surfaced by a scan-mode apply (verify::fsck): the
+/// record's type and id plus every non-null child id its payload references.
+struct RecordEvent {
+  TypeId type = 0;
+  ObjectId id = kNullObjectId;
+  std::vector<ObjectId> children;
+};
+
 class Recovery {
  public:
-  explicit Recovery(const TypeRegistry& registry) : registry_(&registry) {}
+  /// kMaterialize (the default) accumulates the object graph across applied
+  /// checkpoints — normal recovery. kScan validates the same byte streams
+  /// without materializing a graph: each record is parsed through a
+  /// transient factory instance that is discarded immediately (O(1) live
+  /// objects regardless of log size) and reported to the record observer;
+  /// finish() is invalid.
+  enum class ApplyMode : std::uint8_t { kMaterialize, kScan };
+
+  using RecordObserver = std::function<void(const RecordEvent&)>;
+
+  explicit Recovery(const TypeRegistry& registry,
+                    ApplyMode mode = ApplyMode::kMaterialize)
+      : registry_(&registry), mode_(mode) {}
 
   Recovery(const Recovery&) = delete;
   Recovery& operator=(const Recovery&) = delete;
+
+  /// Scan mode only: called once per record, after its payload parsed.
+  void set_record_observer(RecordObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Apply one checkpoint payload (full or incremental), in log order.
   /// `stats`, when given, receives this payload's record counts.
@@ -94,6 +119,10 @@ class Recovery {
     ObjectId id = d.read_varint();
     slot = nullptr;
     if (id == kNullObjectId) return;
+    if (mode_ == ApplyMode::kScan) {
+      event_children_.push_back(id);
+      return;
+    }
     fixups_.push_back(Fixup{id, [&slot](Checkpointable& obj) {
                               T* typed = dynamic_cast<T*>(&obj);
                               if (typed == nullptr)
@@ -119,6 +148,9 @@ class Recovery {
   };
 
   const TypeRegistry* registry_;
+  ApplyMode mode_ = ApplyMode::kMaterialize;
+  RecordObserver observer_;
+  std::vector<ObjectId> event_children_;  // scan mode, current record
   std::unordered_map<ObjectId, std::unique_ptr<Checkpointable>> objects_;
   std::vector<Fixup> fixups_;
   StreamHeader last_header_;

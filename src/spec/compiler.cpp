@@ -244,6 +244,55 @@ class Compiler {
   std::uint32_t max_depth_ = 0;
 };
 
+void validate_node(const ShapeDescriptor& shape, const PatternNode& pattern,
+                   const std::string& path, std::vector<std::string>& issues) {
+  const std::string at = path.empty() ? std::string("/") : path;
+  if (pattern.expect_absent) {
+    if (pattern.skip)
+      issues.push_back("position " + at +
+                       ": expect_absent contradicts skip (an absent child "
+                       "has nothing to skip)");
+    if (pattern.self == ModStatus::kModified)
+      issues.push_back("position " + at +
+                       ": expect_absent contradicts kModified (an absent "
+                       "child cannot be provably modified)");
+    if (!pattern.children.empty())
+      issues.push_back("position " + at +
+                       ": expect_absent node declares child patterns");
+    if (pattern.array_count.has_value())
+      issues.push_back("position " + at +
+                       ": expect_absent node declares an array_count");
+    return;
+  }
+  if (pattern.array_count.has_value()) {
+    bool has_runtime_array = false;
+    for (const Field& field : shape.fields) {
+      const auto* arr = std::get_if<I32ArrayField>(&field);
+      if (arr != nullptr && arr->count_offset != I32ArrayField::kNoCountField)
+        has_runtime_array = true;
+    }
+    if (!has_runtime_array)
+      issues.push_back("position " + at + ": array_count declared but '" +
+                       shape.name + "' has no runtime-counted array field");
+  }
+  if (pattern.children.empty()) return;
+  if (pattern.children.size() != shape.child_count()) {
+    issues.push_back("position " + at + ": " +
+                     std::to_string(pattern.children.size()) +
+                     " child pattern(s) for '" + shape.name + "', which has " +
+                     std::to_string(shape.child_count()) + " child field(s)");
+    return;
+  }
+  std::size_t index = 0;
+  for (const Field& field : shape.fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    validate_node(*child->shape, pattern.children[index],
+                  path + "/" + std::to_string(index), issues);
+    ++index;
+  }
+}
+
 PatternNode uniform(const ShapeDescriptor& shape, std::uint32_t depth) {
   PatternNode node;  // MaybeModified
   node.children.reserve(shape.child_count());
@@ -260,8 +309,24 @@ PatternNode uniform(const ShapeDescriptor& shape, std::uint32_t depth) {
 
 }  // namespace
 
+std::vector<std::string> validate_pattern(const ShapeDescriptor& shape,
+                                          const PatternNode& pattern) {
+  std::vector<std::string> issues;
+  validate_node(shape, pattern, "", issues);
+  return issues;
+}
+
 Plan PlanCompiler::compile(const ShapeDescriptor& shape,
                            const PatternNode& pattern) const {
+  if (opts_.verify_pattern) {
+    std::vector<std::string> issues = validate_pattern(shape, pattern);
+    if (!issues.empty()) {
+      std::ostringstream out;
+      out << "pattern for '" << shape.name << "' rejected by verify gate:";
+      for (const std::string& issue : issues) out << "\n  " << issue;
+      throw SpecError(out.str());
+    }
+  }
   Compiler compiler(opts_);
   return compiler.run(shape, pattern);
 }

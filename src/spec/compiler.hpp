@@ -7,11 +7,24 @@
 // executed for every structure instance at every checkpoint.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "spec/pattern.hpp"
 #include "spec/plan.hpp"
 #include "spec/shape.hpp"
 
 namespace ickpt::spec {
+
+/// Structural consistency check of a pattern against a shape, usable without
+/// compiling: child-pattern arity at every populated level, expect_absent
+/// nodes carrying contradictory knowledge, and array_count declarations on
+/// shapes with no runtime-counted array. Returns one human-readable line per
+/// issue, each prefixed with the offending position path ("/1/0"); empty
+/// means structurally valid. (Soundness against a program's actual write
+/// sets is the deeper check — verify::check_pattern.)
+std::vector<std::string> validate_pattern(const ShapeDescriptor& shape,
+                                          const PatternNode& pattern);
 
 struct CompileOptions {
   /// Refuse to unroll deeper than this many child levels; recursive shapes
@@ -25,6 +38,10 @@ struct CompileOptions {
   /// pattern knowledge is ignored and generic behaviour is emitted.
   bool prune_tests = true;      // honor kUnmodified / kModified statuses
   bool prune_traversal = true;  // honor skip subtrees
+  /// Gate compilation behind validate_pattern(): refuse (SpecError naming
+  /// every offending position) to compile a structurally inconsistent
+  /// pattern instead of surfacing the problem mid-unroll or at run time.
+  bool verify_pattern = false;
 };
 
 class PlanCompiler {

@@ -1,0 +1,53 @@
+#include "verify/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ickpt::verify {
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::size_t Report::count_severity(Severity severity) const {
+  std::size_t n = 0;
+  for (const Finding& finding : findings)
+    if (finding.severity == severity) ++n;
+  return n;
+}
+
+const Finding* Report::first(std::string_view code) const {
+  for (const Finding& finding : findings)
+    if (finding.code == code) return &finding;
+  return nullptr;
+}
+
+std::size_t Report::count(std::string_view code) const {
+  std::size_t n = 0;
+  for (const Finding& finding : findings)
+    if (finding.code == code) ++n;
+  return n;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream out;
+  out << pass << ": " << summary << " — " << errors() << " error(s), "
+      << warnings() << " warning(s), " << notes() << " note(s)\n";
+  for (const Finding& finding : findings) {
+    out << "  " << severity_name(finding.severity) << " [" << finding.code
+        << "]";
+    if (!finding.position.empty()) out << " at " << finding.position;
+    if (finding.frame_seq >= 0) out << " (frame " << finding.frame_seq << ")";
+    out << ": " << finding.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ickpt::verify

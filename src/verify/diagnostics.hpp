@@ -1,0 +1,88 @@
+// Shared diagnostic vocabulary of the verify passes.
+//
+// Every pass (pattern soundness, object-graph shape, offline stream fsck)
+// emits a Report: a flat list of Findings ordered by discovery, each with a
+// stable machine-readable code, a severity, and a self-contained message.
+// Severity semantics are uniform across passes:
+//
+//   * kError   — running/recovering with this state can corrupt or lose
+//                data (unsound skip, cycle, CRC mismatch, dangling id).
+//   * kWarning — recoverable but suspicious; behaviour depends on options
+//                (shared subobject, duplicate record, incremental-first
+//                chain).
+//   * kNote    — correct but wasteful (over-conservative pattern,
+//                redundant record): a performance bug, not a safety bug.
+//
+// A report is clean() iff it carries no errors; warnings and notes never
+// fail a gate on their own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ickpt::verify {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+struct Finding {
+  Severity severity = Severity::kError;
+  /// Stable slug identifying the check ("unsound-skip", "cycle",
+  /// "frame-decode", ...); tests and tooling match on this, not on message
+  /// text.
+  std::string code;
+  /// Self-contained human-readable description.
+  std::string message;
+  /// Where: a pattern position path ("/1/0") or an object id path
+  /// ("7->9->7"), when the pass has one.
+  std::string position;
+  /// Pattern pass: dense statement index / source line of the refuting
+  /// write (-1 when not applicable).
+  std::int64_t witness_stmt = -1;
+  std::int64_t witness_line = -1;
+  /// Fsck pass: stable-storage frame sequence number (-1 when not
+  /// applicable).
+  std::int64_t frame_seq = -1;
+  /// Graph/fsck passes: the offending object id (kNullObjectId when not
+  /// applicable).
+  ObjectId object_id = kNullObjectId;
+};
+
+struct Report {
+  /// Which pass produced this report ("pattern", "graph", "fsck").
+  std::string pass;
+  /// One-line pass-specific statistics, set by the pass.
+  std::string summary;
+  std::vector<Finding> findings;
+
+  void add(Finding finding) { findings.push_back(std::move(finding)); }
+
+  [[nodiscard]] std::size_t count_severity(Severity severity) const;
+  [[nodiscard]] std::size_t errors() const {
+    return count_severity(Severity::kError);
+  }
+  [[nodiscard]] std::size_t warnings() const {
+    return count_severity(Severity::kWarning);
+  }
+  [[nodiscard]] std::size_t notes() const {
+    return count_severity(Severity::kNote);
+  }
+
+  /// No errors (warnings and notes allowed).
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+
+  /// First finding with `code`, or nullptr.
+  [[nodiscard]] const Finding* first(std::string_view code) const;
+  [[nodiscard]] std::size_t count(std::string_view code) const;
+
+  /// Human-readable multi-line rendering (summary, then one line per
+  /// finding).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace ickpt::verify

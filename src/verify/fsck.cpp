@@ -1,0 +1,186 @@
+#include "verify/fsck.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/recovery.hpp"
+#include "io/stable_storage.hpp"
+
+namespace ickpt::verify {
+
+namespace {
+
+Report fsck_scan(const io::ScanResult& scan,
+                 const core::TypeRegistry& registry) {
+  Report report;
+  report.pass = "fsck";
+
+  if (!scan.clean) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "log-tail";
+    finding.message = "log damaged after " +
+                      std::to_string(scan.frames.size()) +
+                      " valid frame(s): " + scan.stop_reason;
+    report.add(std::move(finding));
+  }
+
+  // State of the current recovery window (most recent full checkpoint and
+  // the incrementals after it). Only the final window feeds recovery, so
+  // closure is judged once, at end of log, over that window.
+  std::unordered_set<ObjectId> defined;
+  std::unordered_map<ObjectId, TypeId> types;
+  // child id -> frame seq of the first reference (dedup: one finding per id)
+  std::unordered_map<ObjectId, std::int64_t> refs;
+
+  core::StreamHeader last_header;
+  bool have_header = false;
+  bool have_epoch = false;
+  Epoch prev_epoch = 0;
+  std::size_t records = 0;
+  std::size_t windows = 0;
+
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    const io::Frame& frame = scan.frames[i];
+    const auto seq = static_cast<std::int64_t>(frame.seq);
+
+    core::StreamHeader header;
+    try {
+      header = core::peek_header(frame.payload);
+    } catch (const Error& e) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "frame-decode";
+      finding.frame_seq = seq;
+      finding.message = e.what();
+      report.add(std::move(finding));
+      continue;
+    }
+
+    if (have_epoch && header.epoch <= prev_epoch) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "epoch-order";
+      finding.frame_seq = seq;
+      finding.message = "epoch " + std::to_string(header.epoch) +
+                        " does not increase over the preceding frame's epoch " +
+                        std::to_string(prev_epoch);
+      report.add(std::move(finding));
+    }
+    prev_epoch = header.epoch;
+    have_epoch = true;
+
+    if (i == 0 && header.mode != core::Mode::kFull) {
+      Finding finding;
+      finding.severity = Severity::kWarning;
+      finding.code = "chain-start";
+      finding.frame_seq = seq;
+      finding.message =
+          "chain begins with an incremental checkpoint; objects unmodified "
+          "since before this log have no record";
+      report.add(std::move(finding));
+    }
+
+    if (header.mode == core::Mode::kFull) {
+      // A full checkpoint re-records everything reachable: new window.
+      defined.clear();
+      types.clear();
+      refs.clear();
+      ++windows;
+    }
+
+    std::unordered_set<ObjectId> in_frame;
+    core::Recovery scanner(registry, core::Recovery::ApplyMode::kScan);
+    scanner.set_record_observer([&](const core::RecordEvent& event) {
+      ++records;
+      if (!in_frame.insert(event.id).second) {
+        Finding finding;
+        finding.severity = Severity::kWarning;
+        finding.code = "dup-record";
+        finding.frame_seq = seq;
+        finding.object_id = event.id;
+        finding.message = "object " + std::to_string(event.id) +
+                          " recorded twice within one frame (unguarded "
+                          "shared subobject?); recovery keeps the last "
+                          "record";
+        report.add(std::move(finding));
+      }
+      auto [it, inserted] = types.emplace(event.id, event.type);
+      if (!inserted && it->second != event.type) {
+        Finding finding;
+        finding.severity = Severity::kError;
+        finding.code = "type-change";
+        finding.frame_seq = seq;
+        finding.object_id = event.id;
+        finding.message = "object " + std::to_string(event.id) +
+                          " changes type (" + std::to_string(it->second) +
+                          " -> " + std::to_string(event.type) +
+                          ") within one recovery window";
+        report.add(std::move(finding));
+      }
+      defined.insert(event.id);
+      for (ObjectId child : event.children) refs.emplace(child, seq);
+    });
+
+    try {
+      io::DataReader reader(frame.payload);
+      header = scanner.apply(reader);
+      last_header = header;
+      have_header = true;
+    } catch (const Error& e) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "frame-decode";
+      finding.frame_seq = seq;
+      finding.message = e.what();
+      report.add(std::move(finding));
+    }
+  }
+
+  // Referential closure of the final recovery window.
+  for (const auto& [child, seq] : refs) {
+    if (defined.count(child) != 0) continue;
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "dangling-child";
+    finding.frame_seq = seq;
+    finding.object_id = child;
+    finding.message = "child reference to object " + std::to_string(child) +
+                      " which no record in the recovery window defines; "
+                      "recovery would fail to link it";
+    report.add(std::move(finding));
+  }
+  if (have_header) {
+    for (ObjectId root : last_header.roots) {
+      if (root == kNullObjectId || defined.count(root) != 0) continue;
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "missing-root";
+      finding.object_id = root;
+      finding.message = "header names root object " + std::to_string(root) +
+                        " but no record in the recovery window defines it";
+      report.add(std::move(finding));
+    }
+  }
+
+  std::ostringstream summary;
+  summary << scan.frames.size() << " frame(s), " << records << " record(s), "
+          << windows << " full-checkpoint window(s)";
+  report.summary = summary.str();
+  return report;
+}
+
+}  // namespace
+
+Report fsck_log(const std::string& path, const core::TypeRegistry& registry) {
+  return fsck_scan(io::StableStorage::scan(path), registry);
+}
+
+Report fsck_bytes(const std::vector<std::uint8_t>& bytes,
+                  const core::TypeRegistry& registry) {
+  return fsck_scan(io::StableStorage::scan_bytes(bytes), registry);
+}
+
+}  // namespace ickpt::verify

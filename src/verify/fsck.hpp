@@ -1,0 +1,49 @@
+// Offline checkpoint-chain fsck: validate a log file without materializing
+// the object graph.
+//
+// `ickptctl verify` answers "can this log be recovered" by actually
+// recovering it — O(live objects) memory and a registry of live classes.
+// This pass answers the same question structurally, streaming every frame
+// through a scan-mode core::Recovery (transient per-record instances, O(1)
+// live objects) and checking the invariants recovery relies on:
+//
+//   frame level   — magic, CRC over seq/length/payload, sequence-number
+//                   monotonicity (a damaged or torn region is "log-tail",
+//                   kError: bytes after it are unreadable).
+//   stream level  — header magic/version/mode, record tags, per-class
+//                   payload validation, no trailing bytes, no null object
+//                   ids ("frame-decode", kError).
+//   chain level   — epochs strictly increasing across frames
+//                   ("epoch-order"); the chain begins with a full
+//                   checkpoint ("chain-start", kWarning); no object changes
+//                   type within a recovery window ("type-change").
+//   id closure    — over the final recovery window (the most recent full
+//                   checkpoint plus its deltas — exactly what
+//                   CheckpointManager::recover replays): every referenced
+//                   child id is defined ("dangling-child"), every named
+//                   root exists ("missing-root"), and an id recorded twice
+//                   within one frame is flagged ("dup-record", kWarning —
+//                   the double-record signature of an unguarded shared
+//                   subobject).
+//
+// Report::clean() (no errors) means replaying the log cannot fail; call it
+// before recovery to refuse a damaged log up front, or from `ickptctl fsck`
+// for offline auditing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/type_registry.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace ickpt::verify {
+
+/// Fsck the log at `path`. A missing or empty file is a clean, empty chain.
+Report fsck_log(const std::string& path, const core::TypeRegistry& registry);
+
+/// Fsck an in-memory log image (fault-injection tests).
+Report fsck_bytes(const std::vector<std::uint8_t>& bytes,
+                  const core::TypeRegistry& registry);
+
+}  // namespace ickpt::verify

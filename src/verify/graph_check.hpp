@@ -1,0 +1,40 @@
+// Object-graph shape checker: verify the paper's structural assumption.
+//
+// Both the generic driver and every specialized plan assume checkpointed
+// graphs are acyclic and unshared (paper §2.1; README "Limits"). With
+// cycle_guard off — the default, because the guard's set insertions distort
+// the benchmarks — a cycle hangs the traversal and a shared subobject is
+// recorded once per path to it. This pass walks the live graph (a dry-run,
+// cycle-guarded traversal via core::VisitHooks — no bytes written, no flags
+// reset) and reports every violation with the id path that reaches it:
+//
+//   * "cycle"  (kError):   a back edge to an object currently on the
+//     traversal stack; an unguarded checkpoint of this graph never
+//     terminates.
+//   * "shared" (kWarning): a cross edge to an object already visited under
+//     another parent; an unguarded checkpoint double-records it (bloat, and
+//     divergence from specialized plans), a guarded one is correct.
+//
+// Run it once after building a structure, or whenever a workload's graph
+// topology is not trusted, before disabling the guard or compiling plans.
+#pragma once
+
+#include <span>
+
+#include "core/checkpoint.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace ickpt::verify {
+
+struct GraphCheckOptions {
+  /// Stop adding findings past this many (the walk still completes);
+  /// suppressed counts appear in the summary.
+  std::size_t max_findings = 64;
+};
+
+/// Walk the graph under `roots` and report shape violations.
+/// Report::clean() means acyclic (sharing alone is a warning).
+Report check_graph(std::span<core::Checkpointable* const> roots,
+                   const GraphCheckOptions& options = {});
+
+}  // namespace ickpt::verify

@@ -1,0 +1,348 @@
+#include "verify/pattern_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/parser.hpp"
+#include "analysis/side_effect.hpp"
+#include "spec/compiler.hpp"
+
+namespace ickpt::verify {
+
+namespace {
+
+std::string path_string(const std::vector<std::size_t>& path) {
+  if (path.empty()) return "/";
+  std::string out;
+  for (std::size_t index : path) out += "/" + std::to_string(index);
+  return out;
+}
+
+void collect_calls_expr(const analysis::Expr& expr, std::vector<int>& out) {
+  if (expr.kind == analysis::ExprKind::kCall) out.push_back(expr.callee_index);
+  for (const auto& operand : expr.operands) collect_calls_expr(*operand, out);
+}
+
+void collect_calls_stmt(const analysis::Stmt& stmt, std::vector<int>& out) {
+  if (stmt.expr1 != nullptr) collect_calls_expr(*stmt.expr1, out);
+  if (stmt.expr3 != nullptr) collect_calls_expr(*stmt.expr3, out);
+  if (stmt.init_stmt != nullptr) collect_calls_stmt(*stmt.init_stmt, out);
+  if (stmt.step_stmt != nullptr) collect_calls_stmt(*stmt.step_stmt, out);
+  for (const auto& child : stmt.body) collect_calls_stmt(*child, out);
+  for (const auto& child : stmt.else_body) collect_calls_stmt(*child, out);
+}
+
+/// Functions transitively reachable from `entry`, entry first.
+std::vector<int> reachable_functions(const analysis::Program& program,
+                                     int entry) {
+  std::vector<bool> seen(program.functions.size(), false);
+  std::vector<int> order;
+  std::vector<int> work{entry};
+  seen[static_cast<std::size_t>(entry)] = true;
+  while (!work.empty()) {
+    int fn = work.back();
+    work.pop_back();
+    order.push_back(fn);
+    std::vector<int> callees;
+    for (const auto& stmt : program.functions[static_cast<std::size_t>(fn)].body)
+      collect_calls_stmt(*stmt, callees);
+    for (int callee : callees) {
+      if (callee < 0 || seen[static_cast<std::size_t>(callee)]) continue;
+      seen[static_cast<std::size_t>(callee)] = true;
+      work.push_back(callee);
+    }
+  }
+  return order;
+}
+
+const analysis::Stmt* find_assign(const analysis::Stmt& stmt, int global) {
+  if (stmt.kind == analysis::StmtKind::kAssign && stmt.symbol == global)
+    return &stmt;
+  const analysis::Stmt* hit = nullptr;
+  auto search = [&](const analysis::Stmt* nested) {
+    if (hit == nullptr && nested != nullptr) hit = find_assign(*nested, global);
+  };
+  search(stmt.init_stmt.get());
+  search(stmt.step_stmt.get());
+  for (const auto& child : stmt.body) search(child.get());
+  for (const auto& child : stmt.else_body) search(child.get());
+  return hit;
+}
+
+/// The statement that proves the phase writes `global`: the first assignment
+/// to it inside any function reachable from the phase entry.
+const analysis::Stmt* find_witness(const analysis::Program& program,
+                                   const std::vector<int>& reachable,
+                                   int global) {
+  for (int fn : reachable) {
+    for (const auto& stmt :
+         program.functions[static_cast<std::size_t>(fn)].body) {
+      const analysis::Stmt* hit = find_assign(*stmt, global);
+      if (hit != nullptr) return hit;
+    }
+  }
+  return nullptr;
+}
+
+/// Effective pattern claim at one position, with the compiler's semantics:
+/// an ancestor skip covers the whole subtree; a missing node under a
+/// partially populated pattern defaults to kMaybeModified.
+struct Claim {
+  bool skipped = false;
+  bool absent = false;
+  spec::ModStatus self = spec::ModStatus::kMaybeModified;
+};
+
+Claim resolve_claim(const spec::PatternNode& pattern,
+                    const std::vector<std::size_t>& path) {
+  Claim claim;
+  const spec::PatternNode* node = &pattern;
+  for (std::size_t index : path) {
+    if (node->skip) claim.skipped = true;
+    if (node->expect_absent) {
+      // Positions below an asserted-absent child cannot exist; treat the
+      // whole subtree as absent.
+      claim.absent = true;
+      return claim;
+    }
+    if (index >= node->children.size()) {
+      // Unpopulated: compiler synthesizes MaybeModified (still under any
+      // ancestor skip collected so far).
+      claim.self = spec::ModStatus::kMaybeModified;
+      return claim;
+    }
+    node = &node->children[index];
+  }
+  if (node->skip) claim.skipped = true;
+  claim.absent = node->expect_absent;
+  claim.self = node->self;
+  return claim;
+}
+
+}  // namespace
+
+Report check_pattern(const analysis::Program& program,
+                     const std::string& phase_function,
+                     const spec::ShapeDescriptor& shape,
+                     const spec::PatternNode& pattern,
+                     const PatternBinding& binding) {
+  Report report;
+  report.pass = "pattern";
+
+  for (const std::string& issue : spec::validate_pattern(shape, pattern)) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "pattern-structure";
+    finding.message = issue;
+    report.add(std::move(finding));
+  }
+
+  int phase_fn = program.find_function(phase_function);
+  if (phase_fn < 0) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "no-phase-function";
+    finding.message =
+        "program defines no function '" + phase_function + "'";
+    report.add(std::move(finding));
+    report.summary = "phase '" + phase_function + "' not found";
+    return report;
+  }
+
+  analysis::SideEffectAnalysis effects(program);
+  while (effects.iterate()) {
+  }
+  const analysis::VarSet& writes = effects.summary(phase_fn).writes;
+  std::vector<int> reachable = reachable_functions(program, phase_fn);
+
+  std::size_t judged = 0;
+  for (const PatternBinding::Entry& entry : binding.entries()) {
+    int global = program.find_global(entry.global);
+    if (global < 0) {
+      Finding finding;
+      finding.severity = Severity::kWarning;
+      finding.code = "unknown-global";
+      finding.position = path_string(entry.path);
+      finding.message = "binding names no program global '" + entry.global +
+                        "'; position not judged";
+      report.add(std::move(finding));
+      continue;
+    }
+    ++judged;
+    const bool written =
+        std::binary_search(writes.begin(), writes.end(), global);
+    Claim claim = resolve_claim(pattern, entry.path);
+
+    Finding finding;
+    finding.position = path_string(entry.path);
+    if (claim.skipped || claim.self == spec::ModStatus::kUnmodified) {
+      if (!written) continue;  // proven: the claim over-approximates.
+      const analysis::Stmt* witness =
+          find_witness(program, reachable, global);
+      finding.severity = Severity::kError;
+      finding.code = claim.skipped ? "unsound-skip" : "unsound-unmodified";
+      std::ostringstream msg;
+      msg << "pattern declares position " << finding.position << " ("
+          << entry.global << ") "
+          << (claim.skipped ? "skipped" : "provably unmodified")
+          << ", but phase '" << phase_function << "' writes " << entry.global;
+      if (witness != nullptr) {
+        finding.witness_stmt = witness->index;
+        finding.witness_line = witness->line;
+        msg << " (witness: statement #" << witness->index << ", line "
+            << witness->line << ")";
+      }
+      msg << "; an incremental checkpoint under this plan would drop the "
+             "modification";
+      finding.message = msg.str();
+    } else if (claim.absent) {
+      if (!written) continue;
+      const analysis::Stmt* witness =
+          find_witness(program, reachable, global);
+      finding.severity = Severity::kWarning;
+      finding.code = "absent-written";
+      if (witness != nullptr) {
+        finding.witness_stmt = witness->index;
+        finding.witness_line = witness->line;
+      }
+      finding.message = "position " + finding.position + " (" + entry.global +
+                        ") is asserted absent but phase '" + phase_function +
+                        "' writes " + entry.global +
+                        "; the runtime null assertion will fail";
+    } else if (claim.self == spec::ModStatus::kMaybeModified) {
+      if (written) continue;  // the test is earning its keep.
+      finding.severity = Severity::kNote;
+      finding.code = "over-conservative";
+      finding.message = "position " + finding.position + " (" + entry.global +
+                        ") keeps a runtime test but phase '" + phase_function +
+                        "' provably never writes " + entry.global +
+                        "; mark it kUnmodified or skip the subtree (perf, "
+                        "not safety)";
+    } else {  // kModified
+      if (written) continue;
+      finding.severity = Severity::kNote;
+      finding.code = "redundant-record";
+      finding.message = "position " + finding.position + " (" + entry.global +
+                        ") is recorded unconditionally but phase '" +
+                        phase_function + "' provably never writes " +
+                        entry.global + "; every record of it is redundant";
+    }
+    report.add(std::move(finding));
+  }
+
+  std::ostringstream summary;
+  summary << "pattern for '" << shape.name << "' vs phase '" << phase_function
+          << "': " << judged << " bound position(s) judged, "
+          << writes.size() << " global(s) in the phase write set";
+  report.summary = summary.str();
+  return report;
+}
+
+std::string phase_model_source() {
+  // One global per Attributes position (paper Fig. 4), one function per
+  // phase; each phase function writes exactly the globals holding the
+  // annotations that phase produces, matching AnalysisEngine's behaviour:
+  // SEA rewrites SEEntry sets, BTA rewrites BT leaves, ETA rewrites ET
+  // leaves, and the entry wrappers plus the Attributes spine are written
+  // only while build() attaches them.
+  return R"(
+int attr = 0;
+int se_sets = 0;
+int bt_entry = 0;
+int bt_annot = 0;
+int et_entry = 0;
+int et_annot = 0;
+
+int merge_sets(int a, int b) { return a + b; }
+
+int build(int n) {
+  attr = n;
+  se_sets = 0;
+  bt_entry = n;
+  bt_annot = 0;
+  et_entry = n;
+  et_annot = 0;
+  return n;
+}
+
+int run_side_effect(int iters) {
+  int i = 0;
+  while (i < iters) {
+    se_sets = merge_sets(se_sets, i);
+    i = i + 1;
+  }
+  return se_sets;
+}
+
+int run_binding_time(int iters) {
+  int i = 0;
+  while (i < iters) {
+    if (se_sets > i) {
+      bt_annot = bt_annot + 1;
+    }
+    i = i + 1;
+  }
+  return bt_annot;
+}
+
+int run_eval_time(int iters) {
+  int i = 0;
+  while (i < iters) {
+    if (bt_annot > i) {
+      et_annot = et_annot + 1;
+    }
+    i = i + 1;
+  }
+  return et_annot;
+}
+
+int main() {
+  int n = build(8);
+  n = n + run_side_effect(n);
+  n = n + run_binding_time(n);
+  n = n + run_eval_time(n);
+  return n;
+}
+)";
+}
+
+PatternBinding attributes_binding() {
+  // Child order of AnalysisShapes::attributes: se(0), bt_entry(1),
+  // et_entry(2); each entry's single child is its annotation leaf.
+  PatternBinding binding;
+  binding.bind({}, "attr");
+  binding.bind({0}, "se_sets");
+  binding.bind({1}, "bt_entry");
+  binding.bind({1, 0}, "bt_annot");
+  binding.bind({2}, "et_entry");
+  binding.bind({2, 0}, "et_annot");
+  return binding;
+}
+
+const char* phase_function_name(analysis::Phase phase) {
+  switch (phase) {
+    case analysis::Phase::kStructureOnly:
+      return "main";
+    case analysis::Phase::kSideEffect:
+      return "run_side_effect";
+    case analysis::Phase::kBindingTime:
+      return "run_binding_time";
+    case analysis::Phase::kEvalTime:
+      return "run_eval_time";
+  }
+  return "main";
+}
+
+Report check_attributes_pattern(analysis::Phase phase,
+                                const spec::PatternNode& pattern) {
+  auto program = analysis::parse_program(phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  return check_pattern(*program, phase_function_name(phase),
+                       *shapes.attributes, pattern, attributes_binding());
+}
+
+Report check_phase_pattern(analysis::Phase phase) {
+  return check_attributes_pattern(phase, analysis::make_phase_pattern(phase));
+}
+
+}  // namespace ickpt::verify

@@ -1,0 +1,106 @@
+// Pattern soundness checker: prove or refute a modification pattern against
+// a program's interprocedural write sets.
+//
+// The specializer's contract (src/spec/pattern.hpp) is that a PatternNode
+// over-approximates the phase's actual mutations: anything marked skip or
+// kUnmodified must never be dirtied while the specialized plan is in use. A
+// stale pattern silently drops modified objects from every incremental
+// checkpoint — the exact corruption the paper's conclusion proposes to
+// prevent by "an analysis of the data modification pattern of the program".
+//
+// This pass implements that analysis statically. The caller supplies the
+// analysis-workload Program, the name of the function whose execution
+// constitutes the phase, the shape/pattern pair, and a PatternBinding that
+// says which program global each shape position stores. The checker runs
+// analysis::SideEffectAnalysis to its fixpoint and compares the phase's
+// transitive write set against the pattern:
+//
+//   * skip / kUnmodified over a written global  -> kError, with a witness
+//     statement (the assignment that refutes the claim).
+//   * expect_absent over a written global       -> kWarning (the runtime
+//     kAssertNull fails loudly, so this is drift, not silent corruption).
+//   * kMaybeModified over a provably clean global -> kNote: the pattern is
+//     over-conservative — a perf bug (useless test), not a safety bug.
+//   * kModified over a provably clean global    -> kNote: the record is
+//     provably redundant.
+//
+// Positions with no binding are not judged; positions absent from a
+// partially populated pattern default to kMaybeModified, mirroring the
+// compiler; skip propagates to the whole subtree, also mirroring the
+// compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ast.hpp"
+#include "analysis/shapes.hpp"
+#include "spec/pattern.hpp"
+#include "spec/shape.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace ickpt::verify {
+
+/// Maps shape-tree positions (paths of child indices from the root; the
+/// empty path is the root itself) to the program global whose state the
+/// object at that position stores.
+class PatternBinding {
+ public:
+  struct Entry {
+    std::vector<std::size_t> path;
+    std::string global;
+  };
+
+  PatternBinding& bind(std::vector<std::size_t> path, std::string global) {
+    entries_.push_back(Entry{std::move(path), std::move(global)});
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Check `pattern` (declared for structures of `shape`) against the write
+/// set of `phase_function` in `program`. Also surfaces
+/// spec::validate_pattern structural issues as errors. Report::clean() means
+/// the pattern is sound: safe to hand to the plan compiler for this phase.
+Report check_pattern(const analysis::Program& program,
+                     const std::string& phase_function,
+                     const spec::ShapeDescriptor& shape,
+                     const spec::PatternNode& pattern,
+                     const PatternBinding& binding);
+
+// ---------------------------------------------------------------------------
+// The paper's workload, modelled for the checker.
+//
+// The three analyses of §4 each write exactly one field family of every
+// Attributes tree. phase_model_source() states that behaviour as a
+// simplified-C program (one function per phase, one global per Attributes
+// position); attributes_binding() ties the Attributes shape to those
+// globals. Together they let check_pattern() prove the paper's phase
+// patterns sound — and refute any pattern that skips a position its phase
+// writes.
+
+/// Simplified-C model of the analysis engine's write behaviour.
+[[nodiscard]] std::string phase_model_source();
+
+/// Binding of AnalysisShapes::attributes positions to the model's globals.
+[[nodiscard]] PatternBinding attributes_binding();
+
+/// Name of the model function standing in for `phase`.
+[[nodiscard]] const char* phase_function_name(analysis::Phase phase);
+
+/// Convenience: check any pattern for the Attributes shape against `phase`
+/// of the model program (parses the model, builds shape and binding).
+Report check_attributes_pattern(analysis::Phase phase,
+                                const spec::PatternNode& pattern);
+
+/// Convenience: check_attributes_pattern over the paper's own pattern for
+/// `phase` (analysis::make_phase_pattern).
+Report check_phase_pattern(analysis::Phase phase);
+
+}  // namespace ickpt::verify

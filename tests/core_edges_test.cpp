@@ -107,6 +107,54 @@ TEST(ManagerEpochs, ResumeAfterRestartAndCompaction) {
   std::remove(path.c_str());
 }
 
+TEST(CycleGuard, SharedSubobjectAcrossRootsRecordedOncePerSession) {
+  // The visited set lives for the whole checkpoint session, not per root
+  // (see CheckpointOptions::cycle_guard): a Leaf reachable from two roots is
+  // recorded under the first root only, and recovery re-links both parents
+  // to the single record.
+  core::Heap heap;
+  Inner* a = heap.make<Inner>();
+  Inner* b = heap.make<Inner>();
+  Leaf* shared = heap.make<Leaf>();
+  a->set_left(shared);
+  b->set_left(shared);
+  shared->set_i32(41);
+  std::vector<core::Checkpointable*> roots{a, b};
+
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  core::CheckpointOptions opts;
+  opts.mode = core::Mode::kFull;
+  opts.cycle_guard = true;
+  auto stats = core::Checkpoint::run(writer, 0, roots, opts);
+  writer.flush();
+  EXPECT_EQ(stats.objects_visited, 3u);
+  EXPECT_EQ(stats.objects_recorded, 3u);
+
+  // Without the guard the shared Leaf is double-recorded.
+  io::VectorSink unguarded_sink;
+  io::DataWriter unguarded_writer(unguarded_sink);
+  opts.cycle_guard = false;
+  auto unguarded = core::Checkpoint::run(unguarded_writer, 1, roots, opts);
+  EXPECT_EQ(unguarded.objects_recorded, 4u);
+
+  // Recovery of the guarded stream rebuilds the sharing.
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(sink.bytes());
+  recovery.apply(reader);
+  auto state = recovery.finish();
+  EXPECT_EQ(state.by_id.size(), 3u);
+  auto* ra = dynamic_cast<Inner*>(state.by_id.at(a->info().id()));
+  auto* rb = dynamic_cast<Inner*>(state.by_id.at(b->info().id()));
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  ASSERT_NE(ra->left, nullptr);
+  EXPECT_EQ(ra->left, rb->left);
+  EXPECT_EQ(ra->left->i32, 41);
+}
+
 TEST(WriteChildId, NullChildEncodesZero) {
   io::VectorSink sink;
   io::DataWriter w(sink);

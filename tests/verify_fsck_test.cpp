@@ -1,0 +1,351 @@
+// Offline stream fsck: clean on every chain the rest of the system produces
+// (manager chains, compacted logs, analysis-engine and synth-workload runs),
+// and each corruption class yields its documented finding code.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/engine.hpp"
+#include "analysis/parser.hpp"
+#include "core/manager.hpp"
+#include "io/stable_storage.hpp"
+#include "synth/workload.hpp"
+#include "tests/test_types.hpp"
+#include "verify/fsck.hpp"
+#include "verify/pattern_check.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+std::string temp_log(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+core::TypeRegistry test_registry() {
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  return registry;
+}
+
+/// A small full+incremental chain over an Inner/Leaf tree.
+std::string make_chain(const char* name, unsigned full_interval = 4,
+                       int epochs = 6) {
+  std::string path = temp_log(name);
+  core::Heap heap;
+  Inner* root = heap.make<Inner>();
+  Leaf* leaf = heap.make<Leaf>();
+  Inner* mid = heap.make<Inner>();
+  root->set_left(leaf);
+  root->set_right(mid);
+  mid->set_left(heap.make<Leaf>());
+  core::CheckpointManager manager(path, {.full_interval = full_interval});
+  for (int i = 0; i < epochs; ++i) {
+    leaf->set_i32(i);
+    mid->set_tag(i);
+    manager.take(*root);
+  }
+  return path;
+}
+
+TEST(Fsck, MissingFileIsCleanEmptyChain) {
+  auto registry = test_registry();
+  auto report = verify::fsck_log(temp_log("fsck_missing.log"), registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Fsck, ManagerChainIsCleanAlsoAfterCompaction) {
+  std::string path = make_chain("fsck_chain.log");
+  auto registry = test_registry();
+  auto report = verify::fsck_log(path, registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+  EXPECT_NE(report.summary.find("2 full-checkpoint window(s)"),
+            std::string::npos)
+      << report.summary;
+
+  core::CheckpointManager::compact(path, registry);
+  report = verify::fsck_log(path, registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_NE(report.summary.find("1 full-checkpoint window(s)"),
+            std::string::npos)
+      << report.summary;
+  std::remove(path.c_str());
+}
+
+TEST(Fsck, AnalysisEngineChainIsClean) {
+  // Checkpoint the annotation graph after every fixpoint iteration of all
+  // three phases — the paper's own workload — then fsck the log.
+  std::string path = temp_log("fsck_analysis.log");
+  auto program = analysis::parse_program(verify::phase_model_source());
+  core::Heap heap;
+  analysis::AnalysisEngine engine(*program, heap);
+  core::CheckpointManager manager(path, {.full_interval = 3});
+  auto hook = [&](int) { manager.take(engine.attr_bases()); };
+  engine.run_side_effect(hook);
+  engine.run_binding_time({.dynamic_globals = {"attr"}}, hook);
+  engine.run_eval_time(hook);
+
+  core::TypeRegistry registry;
+  analysis::register_types(registry);
+  auto report = verify::fsck_log(path, registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+  std::remove(path.c_str());
+}
+
+TEST(Fsck, SynthWorkloadChainIsClean) {
+  std::string path = temp_log("fsck_synth.log");
+  core::Heap heap;
+  synth::SynthConfig config;
+  config.num_structures = 40;
+  synth::SynthWorkload workload(heap, config);
+  core::CheckpointManager manager(path, {.full_interval = 3});
+  for (int i = 0; i < 5; ++i) {
+    manager.take(workload.root_bases());
+    workload.mutate();
+  }
+  core::TypeRegistry registry;
+  synth::register_types(registry);
+  auto report = verify::fsck_log(path, registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+  std::remove(path.c_str());
+}
+
+TEST(Fsck, CorruptedByteIsError) {
+  std::string path = make_chain("fsck_corrupt.log");
+  auto bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_file(path, bytes);
+  auto registry = test_registry();
+  auto report = verify::fsck_log(path, registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  EXPECT_GE(report.errors(), 1u);
+  EXPECT_NE(report.first("log-tail"), nullptr) << report.to_string();
+  std::remove(path.c_str());
+}
+
+// -- hand-crafted payloads for the chain/closure checks ----------------------
+
+std::vector<std::uint8_t> header_only(Epoch epoch, core::Mode mode,
+                                      std::vector<ObjectId> roots) {
+  io::VectorSink sink;
+  io::DataWriter w(sink);
+  w.write_u8(core::kStreamMagic);
+  w.write_u8(core::kFormatVersion);
+  w.write_u8(static_cast<std::uint8_t>(mode));
+  w.write_u64(epoch);
+  w.write_varint(roots.size());
+  for (ObjectId id : roots) w.write_varint(id);
+  w.flush();
+  return sink.take();  // caller appends records + end tag via continuation
+}
+
+void append_leaf_record(io::VectorSink& sink, ObjectId id) {
+  io::DataWriter w(sink);
+  w.write_u8(core::kRecordTag);
+  w.write_varint(Leaf::kTypeId);
+  w.write_varint(id);
+  w.write_i32(0);
+  w.write_i64(0);
+  w.write_f64(0.0);
+  w.write_bool(false);
+  w.flush();
+}
+
+void append_inner_record(io::VectorSink& sink, ObjectId id, ObjectId left,
+                         ObjectId right) {
+  io::DataWriter w(sink);
+  w.write_u8(core::kRecordTag);
+  w.write_varint(Inner::kTypeId);
+  w.write_varint(id);
+  w.write_i32(0);
+  w.write_varint(left);
+  w.write_varint(right);
+  w.flush();
+}
+
+void append_end(io::VectorSink& sink) {
+  io::DataWriter w(sink);
+  w.write_u8(core::kEndTag);
+  w.flush();
+}
+
+std::vector<std::uint8_t> as_log(
+    const std::vector<std::vector<std::uint8_t>>& payloads, const char* name) {
+  std::string path = temp_log(name);
+  {
+    io::StableStorage storage(path);
+    for (const auto& payload : payloads) storage.append(payload);
+  }
+  auto bytes = read_file(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(Fsck, DuplicateRecordInOneFrameIsWarning) {
+  io::VectorSink sink;
+  auto header = header_only(0, core::Mode::kFull, {7});
+  sink.write(header.data(), header.size());
+  append_leaf_record(sink, 7);
+  append_leaf_record(sink, 7);  // shared-subobject double-record signature
+  append_end(sink);
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({sink.take()}, "fsck_dup.log"), registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();  // warning, not error
+  EXPECT_EQ(report.count("dup-record"), 1u) << report.to_string();
+  const verify::Finding* finding = report.first("dup-record");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->object_id, 7u);
+}
+
+TEST(Fsck, DanglingChildIsError) {
+  io::VectorSink sink;
+  auto header = header_only(0, core::Mode::kFull, {7});
+  sink.write(header.data(), header.size());
+  append_inner_record(sink, 7, 8, 999);  // 999 never defined
+  append_leaf_record(sink, 8);
+  append_end(sink);
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({sink.take()}, "fsck_dangle.log"), registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("dangling-child");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->object_id, 999u);
+}
+
+TEST(Fsck, DanglingChildSatisfiedByEarlierWindowFrame) {
+  // An incremental frame may reference ids defined by any frame in the same
+  // recovery window — that is exactly what recovery replays.
+  auto full = [&] {
+    io::VectorSink sink;
+    auto header = header_only(0, core::Mode::kFull, {7});
+    sink.write(header.data(), header.size());
+    append_inner_record(sink, 7, 8, 0);
+    append_leaf_record(sink, 8);
+    append_end(sink);
+    return sink.take();
+  }();
+  auto incr = [&] {
+    io::VectorSink sink;
+    auto header = header_only(1, core::Mode::kIncremental, {7});
+    sink.write(header.data(), header.size());
+    append_inner_record(sink, 7, 8, 0);  // 8 defined by the full frame
+    append_end(sink);
+    return sink.take();
+  }();
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({full, incr}, "fsck_window.log"), registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(Fsck, MissingRootIsError) {
+  io::VectorSink sink;
+  auto header = header_only(0, core::Mode::kFull, {7, 12});
+  sink.write(header.data(), header.size());
+  append_leaf_record(sink, 7);  // 12 never defined
+  append_end(sink);
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({sink.take()}, "fsck_root.log"), registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("missing-root");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->object_id, 12u);
+}
+
+TEST(Fsck, EpochRegressionIsError) {
+  auto frame_at = [&](Epoch epoch) {
+    io::VectorSink sink;
+    auto header = header_only(epoch, core::Mode::kFull, {7});
+    sink.write(header.data(), header.size());
+    append_leaf_record(sink, 7);
+    append_end(sink);
+    return sink.take();
+  };
+  auto registry = test_registry();
+  auto report = verify::fsck_bytes(
+      as_log({frame_at(5), frame_at(3)}, "fsck_epoch.log"), registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.count("epoch-order"), 1u) << report.to_string();
+}
+
+TEST(Fsck, IncrementalFirstChainIsWarning) {
+  io::VectorSink sink;
+  auto header = header_only(0, core::Mode::kIncremental, {7});
+  sink.write(header.data(), header.size());
+  append_leaf_record(sink, 7);
+  append_end(sink);
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({sink.take()}, "fsck_start.log"), registry);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.count("chain-start"), 1u) << report.to_string();
+}
+
+TEST(Fsck, TypeChangeWithinWindowIsError) {
+  auto full = [&] {
+    io::VectorSink sink;
+    auto header = header_only(0, core::Mode::kFull, {7});
+    sink.write(header.data(), header.size());
+    append_leaf_record(sink, 7);
+    append_end(sink);
+    return sink.take();
+  }();
+  auto incr = [&] {
+    io::VectorSink sink;
+    auto header = header_only(1, core::Mode::kIncremental, {7});
+    sink.write(header.data(), header.size());
+    append_inner_record(sink, 7, 0, 0);  // id 7 was a Leaf
+    append_end(sink);
+    return sink.take();
+  }();
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({full, incr}, "fsck_type.log"), registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.count("type-change"), 1u) << report.to_string();
+}
+
+TEST(Fsck, UnknownTypeIdIsFrameDecodeError) {
+  io::VectorSink sink;
+  auto header = header_only(0, core::Mode::kFull, {7});
+  sink.write(header.data(), header.size());
+  {
+    io::DataWriter w(sink);
+    w.write_u8(core::kRecordTag);
+    w.write_varint(7777);  // not registered
+    w.write_varint(7);
+    w.flush();
+  }
+  append_end(sink);
+  auto registry = test_registry();
+  auto report =
+      verify::fsck_bytes(as_log({sink.take()}, "fsck_unknown.log"), registry);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  EXPECT_GE(report.count("frame-decode"), 1u) << report.to_string();
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -1,0 +1,128 @@
+// Object-graph shape checker: trees pass, cycles are errors with the id path
+// of the loop, shared subobjects are warnings with both reaching paths, and
+// the dry-run walk neither writes bytes nor perturbs modified flags.
+#include <gtest/gtest.h>
+
+#include "tests/test_types.hpp"
+#include "verify/graph_check.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+std::string id_str(const core::Checkpointable& o) {
+  return std::to_string(o.info().id());
+}
+
+TEST(GraphCheck, CleanTreeHasNoFindings) {
+  core::Heap heap;
+  Inner* root = heap.make<Inner>();
+  Inner* mid = heap.make<Inner>();
+  root->set_right(mid);
+  root->set_left(heap.make<Leaf>());
+  mid->set_left(heap.make<Leaf>());
+  std::vector<core::Checkpointable*> roots{root};
+  auto report = verify::check_graph(roots);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(GraphCheck, CycleIsErrorWithLoopPath) {
+  core::Heap heap;
+  Inner* a = heap.make<Inner>();
+  Inner* b = heap.make<Inner>();
+  a->set_right(b);
+  b->set_right(a);  // back edge: a -> b -> a
+  std::vector<core::Checkpointable*> roots{a};
+  auto report = verify::check_graph(roots);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("cycle");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, verify::Severity::kError);
+  EXPECT_EQ(finding->object_id, a->info().id());
+  // The loop path names both participants.
+  EXPECT_NE(finding->position.find(id_str(*a)), std::string::npos);
+  EXPECT_NE(finding->position.find(id_str(*b)), std::string::npos);
+}
+
+TEST(GraphCheck, SelfLoopIsCycle) {
+  core::Heap heap;
+  Inner* a = heap.make<Inner>();
+  a->set_right(a);
+  std::vector<core::Checkpointable*> roots{a};
+  auto report = verify::check_graph(roots);
+  EXPECT_EQ(report.count("cycle"), 1u) << report.to_string();
+}
+
+TEST(GraphCheck, SharedSubobjectIsWarningWithBothPaths) {
+  core::Heap heap;
+  Inner* a = heap.make<Inner>();
+  Inner* b = heap.make<Inner>();
+  Leaf* shared = heap.make<Leaf>();
+  a->set_left(shared);
+  b->set_left(shared);
+  std::vector<core::Checkpointable*> roots{a, b};
+  auto report = verify::check_graph(roots);
+  EXPECT_TRUE(report.clean()) << report.to_string();  // warning, not error
+  const verify::Finding* finding = report.first("shared");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, verify::Severity::kWarning);
+  EXPECT_EQ(finding->object_id, shared->info().id());
+  // position carries the revisit path (under b); the message names the
+  // first-seen path (under a) too.
+  EXPECT_NE(finding->position.find(id_str(*b)), std::string::npos);
+  EXPECT_NE(finding->message.find(id_str(*a) + "->" + id_str(*shared)),
+            std::string::npos)
+      << finding->message;
+  EXPECT_EQ(report.count("cycle"), 0u);
+}
+
+TEST(GraphCheck, DiamondWithinOneRootIsShared) {
+  core::Heap heap;
+  Inner* root = heap.make<Inner>();
+  Inner* mid = heap.make<Inner>();
+  Leaf* shared = heap.make<Leaf>();
+  root->set_left(shared);
+  root->set_right(mid);
+  mid->set_left(shared);
+  std::vector<core::Checkpointable*> roots{root};
+  auto report = verify::check_graph(roots);
+  EXPECT_EQ(report.count("shared"), 1u) << report.to_string();
+  EXPECT_EQ(report.count("cycle"), 0u);
+}
+
+TEST(GraphCheck, WalkIsSideEffectFree) {
+  core::Heap heap;
+  Inner* root = heap.make<Inner>();
+  Leaf* leaf = heap.make<Leaf>();
+  root->set_left(leaf);
+  leaf->set_i32(5);
+  ASSERT_TRUE(leaf->info().modified());
+  std::vector<core::Checkpointable*> roots{root};
+  (void)verify::check_graph(roots);
+  // A real checkpoint would have reset the flag; the dry-run walk must not.
+  EXPECT_TRUE(leaf->info().modified());
+  EXPECT_TRUE(root->info().modified());
+}
+
+TEST(GraphCheck, FindingsAreCappedWithSuppressedCount) {
+  core::Heap heap;
+  Leaf* shared = heap.make<Leaf>();
+  std::vector<core::Checkpointable*> roots;
+  Inner* first = heap.make<Inner>();
+  first->set_left(shared);
+  roots.push_back(first);
+  for (int i = 0; i < 4; ++i) {
+    Inner* parent = heap.make<Inner>();
+    parent->set_left(shared);
+    roots.push_back(parent);
+  }
+  verify::GraphCheckOptions options;
+  options.max_findings = 2;
+  auto report = verify::check_graph(roots, options);
+  EXPECT_EQ(report.findings.size(), 2u) << report.to_string();
+  EXPECT_NE(report.summary.find("suppressed"), std::string::npos)
+      << report.summary;
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -1,0 +1,163 @@
+// Pattern soundness checker: the paper's phase patterns are provably sound
+// against the phase model, deliberately unsound patterns are refuted with a
+// witness statement, over-conservative patterns are flagged as perf notes,
+// and the compiler's verify_pattern gate refuses structurally inconsistent
+// patterns.
+#include <gtest/gtest.h>
+
+#include "analysis/parser.hpp"
+#include "analysis/shapes.hpp"
+#include "spec/compiler.hpp"
+#include "verify/pattern_check.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using analysis::Phase;
+using spec::ModStatus;
+using spec::PatternNode;
+
+TEST(PatternCheck, PaperPhasePatternsAreSound) {
+  for (Phase phase : {Phase::kStructureOnly, Phase::kSideEffect,
+                      Phase::kBindingTime, Phase::kEvalTime}) {
+    auto report = verify::check_phase_pattern(phase);
+    EXPECT_TRUE(report.clean()) << report.to_string();
+    EXPECT_EQ(report.count("unsound-skip"), 0u);
+    EXPECT_EQ(report.count("unsound-unmodified"), 0u);
+  }
+}
+
+TEST(PatternCheck, StructureOnlyPatternHasNoFindingsForMain) {
+  // main() transitively writes every global, so the all-tests pattern is
+  // neither unsound nor conservative.
+  auto report = verify::check_phase_pattern(Phase::kStructureOnly);
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(PatternCheck, SkipOverWrittenGlobalIsRefutedWithWitness) {
+  // The binding-time pattern skips the SE subtree; against the side-effect
+  // phase (which rewrites the SE sets) that skip silently drops
+  // modifications.
+  auto report = verify::check_attributes_pattern(
+      Phase::kSideEffect, analysis::make_phase_pattern(Phase::kBindingTime));
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("unsound-skip");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->position, "/0");
+  EXPECT_GE(finding->witness_stmt, 0);
+  EXPECT_GT(finding->witness_line, 0);
+  EXPECT_NE(finding->message.find("se_sets"), std::string::npos);
+}
+
+TEST(PatternCheck, UnmodifiedOverWrittenGlobalIsRefuted) {
+  // Claim the BT leaf provably unmodified during the binding-time phase.
+  PatternNode pattern = analysis::make_phase_pattern(Phase::kBindingTime);
+  pattern.children[1].children[0] = PatternNode::leaf(ModStatus::kUnmodified);
+  auto report = verify::check_attributes_pattern(Phase::kBindingTime, pattern);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("unsound-unmodified");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->position, "/1/0");
+  EXPECT_GE(finding->witness_stmt, 0);
+}
+
+TEST(PatternCheck, OverConservativePatternFlaggedAsPerfNote) {
+  // The all-tests pattern against the side-effect phase keeps runtime tests
+  // on the BT/ET subtrees the phase provably never touches.
+  auto report = verify::check_attributes_pattern(
+      Phase::kSideEffect, analysis::make_phase_pattern(Phase::kStructureOnly));
+  EXPECT_TRUE(report.clean()) << report.to_string();  // perf bug, not safety
+  EXPECT_GE(report.count("over-conservative"), 2u) << report.to_string();
+  const verify::Finding* finding = report.first("over-conservative");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->severity, verify::Severity::kNote);
+}
+
+TEST(PatternCheck, RedundantRecordFlaggedAsPerfNote) {
+  PatternNode pattern = analysis::make_phase_pattern(Phase::kBindingTime);
+  pattern.children[2] = PatternNode::leaf(ModStatus::kModified);
+  pattern.children[2].children.push_back(
+      PatternNode::leaf(ModStatus::kMaybeModified));
+  auto report = verify::check_attributes_pattern(Phase::kBindingTime, pattern);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.count("redundant-record"), 1u) << report.to_string();
+}
+
+TEST(PatternCheck, MissingPhaseFunctionReported) {
+  auto program = analysis::parse_program(verify::phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  auto report = verify::check_pattern(
+      *program, "no_such_phase", *shapes.attributes,
+      analysis::make_phase_pattern(Phase::kSideEffect),
+      verify::attributes_binding());
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.first("no-phase-function"), nullptr);
+}
+
+TEST(PatternCheck, UnknownGlobalBindingIsWarnedNotJudged) {
+  auto program = analysis::parse_program(verify::phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  verify::PatternBinding binding;
+  binding.bind({0}, "no_such_global");
+  auto report = verify::check_pattern(
+      *program, "run_side_effect", *shapes.attributes,
+      analysis::make_phase_pattern(Phase::kSideEffect), binding);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.count("unknown-global"), 1u);
+}
+
+TEST(ValidatePattern, StructuralIssuesAreEnumerated) {
+  auto shapes = analysis::AnalysisShapes::make();
+
+  // Wrong child arity.
+  PatternNode bad_arity;
+  bad_arity.children.push_back(PatternNode::skipped());
+  auto issues = spec::validate_pattern(*shapes.attributes, bad_arity);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("1 child pattern(s)"), std::string::npos);
+
+  // expect_absent contradictions.
+  PatternNode bad_absent = analysis::make_phase_pattern(Phase::kBindingTime);
+  bad_absent.children[0] = PatternNode::absent();
+  bad_absent.children[0].children.push_back(PatternNode::skipped());
+  bad_absent.children[0].skip = true;
+  issues = spec::validate_pattern(*shapes.attributes, bad_absent);
+  EXPECT_EQ(issues.size(), 2u);
+
+  // array_count on a shape with no runtime-counted array.
+  PatternNode bad_array = analysis::make_phase_pattern(Phase::kBindingTime);
+  bad_array.array_count = 7;  // Attributes has only child fields
+  issues = spec::validate_pattern(*shapes.attributes, bad_array);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("array_count"), std::string::npos);
+
+  // The paper's patterns are structurally valid.
+  for (Phase phase : {Phase::kStructureOnly, Phase::kSideEffect,
+                      Phase::kBindingTime, Phase::kEvalTime}) {
+    EXPECT_TRUE(spec::validate_pattern(*shapes.attributes,
+                                       analysis::make_phase_pattern(phase))
+                    .empty());
+  }
+}
+
+TEST(CompilerVerifyGate, RefusesInconsistentPatternAcceptsValidOne) {
+  auto shapes = analysis::AnalysisShapes::make();
+  // An absent child carrying a child pattern: the ungated compiler silently
+  // ignores the contradiction (kAssertNull wins), the gate refuses it.
+  PatternNode fishy = analysis::make_phase_pattern(Phase::kBindingTime);
+  fishy.children[2] = PatternNode::absent();
+  fishy.children[2].children.push_back(PatternNode::skipped());
+
+  spec::PlanCompiler ungated;
+  EXPECT_NO_THROW(ungated.compile(*shapes.attributes, fishy));
+
+  spec::CompileOptions gated_opts;
+  gated_opts.verify_pattern = true;
+  spec::PlanCompiler gated(gated_opts);
+  EXPECT_THROW(gated.compile(*shapes.attributes, fishy), SpecError);
+  EXPECT_NO_THROW(gated.compile(
+      *shapes.attributes, analysis::make_phase_pattern(Phase::kBindingTime)));
+}
+
+}  // namespace
+}  // namespace ickpt::testing

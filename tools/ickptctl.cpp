@@ -8,6 +8,10 @@
 //                            registry and reuse core::inspect_log)
 //   ickptctl verify <log>    full recovery dry-run: reports object count,
 //                            roots, epoch — or the corruption error
+//   ickptctl fsck <log>      offline chain validation without materializing
+//                            objects: frame/CRC integrity, record payloads,
+//                            epoch monotonicity, id referential closure,
+//                            duplicate records, dangling children
 //   ickptctl compact <log>   rewrite the log to a single full checkpoint
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include "core/manager.hpp"
 #include "io/stable_storage.hpp"
 #include "synth/structures.hpp"
+#include "verify/fsck.hpp"
 
 using namespace ickpt;
 
@@ -70,6 +75,13 @@ int cmd_verify(const char* path) {
   return 0;
 }
 
+int cmd_fsck(const char* path) {
+  auto registry = builtin_registry();
+  auto report = verify::fsck_log(path, registry);
+  std::fputs(report.to_string().c_str(), stdout);
+  return report.clean() ? 0 : 2;
+}
+
 int cmd_compact(const char* path) {
   auto registry = builtin_registry();
   auto result = core::CheckpointManager::compact(path, registry);
@@ -80,10 +92,12 @@ int cmd_compact(const char* path) {
 
 int usage() {
   std::fputs(
-      "usage: ickptctl <scan|inspect|verify|compact> <log-file>\n"
+      "usage: ickptctl <scan|inspect|verify|fsck|compact> <log-file>\n"
       "  scan     frame integrity only (no registry)\n"
       "  inspect  per-frame record breakdown (built-in classes)\n"
       "  verify   full recovery dry-run\n"
+      "  fsck     offline chain validation: integrity, id closure, epochs\n"
+      "           (exit 0 clean, 2 on any error-severity finding)\n"
       "  compact  rewrite to a single full checkpoint\n",
       stderr);
   return 64;
@@ -97,6 +111,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "scan") == 0) return cmd_scan(argv[2]);
     if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argv[2]);
     if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argv[2]);
+    if (std::strcmp(argv[1], "fsck") == 0) return cmd_fsck(argv[2]);
     if (std::strcmp(argv[1], "compact") == 0) return cmd_compact(argv[2]);
     return usage();
   } catch (const Error& e) {
