@@ -1,5 +1,9 @@
 #include "core/async_log.hpp"
 
+#include <cstdio>
+
+#include "common/error.hpp"
+
 namespace ickpt::core {
 
 AsyncLog::AsyncLog(io::StableStorage& storage) : storage_(storage) {
@@ -13,13 +17,31 @@ AsyncLog::~AsyncLog() {
   }
   work_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  // Destructors cannot throw; an append failure nobody drained must still
+  // not vanish silently.
+  if (error_ != nullptr && !error_observed_) {
+    try {
+      std::rethrow_exception(error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "ickpt: AsyncLog destroyed with an unobserved append "
+                   "failure (%zu queued payload(s) dropped): %s\n",
+                   dropped_, e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "ickpt: AsyncLog destroyed with an unobserved append "
+                   "failure (%zu queued payload(s) dropped)\n",
+                   dropped_);
+    }
+  }
 }
 
 void AsyncLog::rethrow_locked(std::unique_lock<std::mutex>&) {
+  // The error stays sticky: a lost append leaves a hole in the frame/epoch
+  // correspondence that appending more frames would silently paper over.
   if (error_ != nullptr) {
-    std::exception_ptr error = error_;
-    error_ = nullptr;
-    std::rethrow_exception(error);
+    error_observed_ = true;
+    std::rethrow_exception(error_);
   }
 }
 
@@ -45,6 +67,11 @@ std::size_t AsyncLog::pending() const {
   return queue_.size() + (in_flight_ ? 1 : 0);
 }
 
+bool AsyncLog::poisoned() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return error_ != nullptr;
+}
+
 void AsyncLog::worker() {
   for (;;) {
     std::vector<std::uint8_t> payload;
@@ -59,16 +86,30 @@ void AsyncLog::worker() {
       queue_.pop_front();
       in_flight_ = true;
     }
+    // The seq this frame will carry; appends are FIFO so nothing else can
+    // claim it first.
+    const std::uint64_t seq = storage_.next_seq();
     std::exception_ptr error;
     try {
       storage_.append(payload);
+    } catch (const std::exception& e) {
+      error = std::make_exception_ptr(
+          IoError("async append of frame seq " + std::to_string(seq) +
+                  " failed: " + e.what()));
     } catch (...) {
-      error = std::current_exception();
+      error = std::make_exception_ptr(IoError(
+          "async append of frame seq " + std::to_string(seq) + " failed"));
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       in_flight_ = false;
-      if (error != nullptr && error_ == nullptr) error_ = error;
+      if (error != nullptr && error_ == nullptr) {
+        error_ = error;
+        // Appending the rest would assign them earlier seqs than the
+        // epochs they were taken for; drop them and fail stop.
+        dropped_ = queue_.size();
+        queue_.clear();
+      }
     }
     idle_cv_.notify_all();
   }

@@ -8,8 +8,14 @@
 // Appends happen strictly in submission order, so the on-disk log is
 // identical to what synchronous operation would produce.
 //
-// Errors from the background append are sticky: they re-throw on the next
-// drain()/submit() so a failed write cannot be silently lost.
+// Error contract: a failed background append poisons the log. The error —
+// tagged with the sequence number of the frame that failed — is rethrown
+// from drain() and from every subsequent submit(), and stays sticky: once
+// an append has been lost, silently continuing would punch a hole in the
+// frame/epoch correspondence (later checkpoints would land under earlier
+// sequence numbers), so the queued payloads are discarded and the caller
+// must recover/reopen the log. An error that was never observed is
+// reported on stderr from the destructor — it is never silently dropped.
 #pragma once
 
 #include <condition_variable>
@@ -30,20 +36,23 @@ class AsyncLog {
   AsyncLog(const AsyncLog&) = delete;
   AsyncLog& operator=(const AsyncLog&) = delete;
 
-  /// Drains outstanding appends, then stops the worker. Errors discovered
-  /// during the final drain are swallowed here (call drain() beforehand to
-  /// observe them).
+  /// Drains outstanding appends, then stops the worker. A pending append
+  /// error that no drain()/submit() ever observed is printed to stderr.
   ~AsyncLog();
 
   /// Enqueue one checkpoint payload for appending. Returns immediately.
-  /// Throws a previously deferred append error, if any.
+  /// Throws the deferred append error if the log is poisoned.
   void submit(std::vector<std::uint8_t> payload);
 
   /// Block until every submitted payload is durably appended; rethrows the
-  /// first deferred append error.
+  /// deferred append error (with the failed frame's seq in the message).
   void drain();
 
   [[nodiscard]] std::size_t pending() const;
+
+  /// True once a background append has failed; the log accepts no further
+  /// payloads and every drain()/submit() rethrows the error.
+  [[nodiscard]] bool poisoned() const;
 
  private:
   void worker();
@@ -55,6 +64,8 @@ class AsyncLog {
   std::condition_variable idle_cv_;
   std::deque<std::vector<std::uint8_t>> queue_;
   std::exception_ptr error_;
+  bool error_observed_ = false;
+  std::size_t dropped_ = 0;
   bool in_flight_ = false;
   bool stop_ = false;
   std::thread thread_;

@@ -1,6 +1,7 @@
 #include "core/manager.hpp"
 
 #include <cstdio>
+#include <optional>
 
 #include "common/error.hpp"
 #include "io/byte_sink.hpp"
@@ -10,7 +11,11 @@
 namespace ickpt::core {
 
 CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
-    : opts_(opts), storage_(std::move(path), opts.durable) {
+    : opts_(opts),
+      storage_(std::move(path),
+               io::StorageOptions{.durable = opts.durable,
+                                  .fault = opts.fault_policy,
+                                  .retry = opts.retry}) {
   if (opts_.full_interval == 0)
     throw Error("ManagerOptions.full_interval must be >= 1");
   // Resume epoch numbering after a restart: frames and epochs are appended
@@ -62,42 +67,134 @@ TakeResult CheckpointManager::take_with_mode(
   return result;
 }
 
+namespace {
+
+/// Replay frames [begin, end) of `frames` into a fresh Recovery. On a
+/// decode failure *after* the full checkpoint, trims the window at the
+/// failing frame and replays — the surviving prefix is still consistent
+/// (recovery applies frames in order, so frames before the bad one are
+/// unaffected by it). Returns false when the full checkpoint itself is
+/// undecodable. `note` collects what was dropped.
+bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
+                  std::size_t end_limit, const TypeRegistry& registry,
+                  RecoveredState& out, std::size_t& applied,
+                  std::string& note) {
+  std::size_t end = end_limit;
+  while (end > begin) {
+    Recovery recovery(registry);
+    std::size_t at = begin;
+    std::string what;
+    bool failed = false;
+    for (; at < end; ++at) {
+      try {
+        io::DataReader reader(frames[at].payload);
+        recovery.apply(reader);
+      } catch (const Error& e) {
+        failed = true;
+        what = e.what();
+        break;
+      }
+    }
+    if (!failed) {
+      try {
+        out = recovery.finish();
+        applied = end - begin;
+        return true;
+      } catch (const Error& e) {
+        // A dangling link etc. — dropping the last frame may close the
+        // window again.
+        failed = true;
+        what = e.what();
+        at = end - 1;
+      }
+    }
+    if (at == begin) return false;
+    note += "; frame seq " + std::to_string(frames[at].seq) +
+            " undecodable (" + what + "), dropped " +
+            std::to_string(end_limit - at) + " trailing checkpoint(s)";
+    end = at;
+  }
+  return false;
+}
+
+std::optional<Mode> frame_mode(const io::Frame& frame) {
+  try {
+    return peek_header(frame.payload).mode;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
 RecoverResult CheckpointManager::recover(const std::string& path,
-                                         const TypeRegistry& registry) {
-  io::ScanResult scan = io::StableStorage::scan(path);
+                                         const TypeRegistry& registry,
+                                         RecoverOptions opts) {
+  io::ScanResult scan =
+      io::StableStorage::scan(path, {.salvage = opts.salvage});
   if (scan.frames.empty())
     throw CorruptionError("no recoverable checkpoint in '" + path + "'" +
                           (scan.clean ? "" : " (" + scan.stop_reason + ")"));
 
-  // Locate the most recent full checkpoint.
-  std::optional<std::size_t> full_index;
-  for (std::size_t i = scan.frames.size(); i-- > 0;) {
-    if (peek_header(scan.frames[i].payload).mode == Mode::kFull) {
-      full_index = i;
-      break;
+  RecoverResult result;
+  result.log_clean = scan.clean;
+  result.frames_total = scan.frames.size();
+  result.corrupt_regions = scan.regions_skipped;
+  result.bytes_skipped = scan.bytes_skipped;
+  result.damage_offset = scan.stop_offset;
+
+  // Contiguous runs of frames: a corrupt region (resync frame) starts a new
+  // segment. Incrementals can only be applied onto a full checkpoint from
+  // the *same* segment — across a gap, deltas may be missing.
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 1; i < scan.frames.size(); ++i)
+    if (scan.frames[i].resync) starts.push_back(i);
+  starts.push_back(scan.frames.size());
+
+  std::string trim_note;
+  bool recovered = false;
+  // Newest usable window wins: walk segments from the back, and inside a
+  // segment prefer the latest full checkpoint.
+  for (std::size_t s = starts.size() - 1; s-- > 0 && !recovered;) {
+    const std::size_t seg_begin = starts[s];
+    const std::size_t seg_end = starts[s + 1];
+    for (std::size_t i = seg_end; i-- > seg_begin && !recovered;) {
+      if (frame_mode(scan.frames[i]) != Mode::kFull) continue;
+      std::size_t applied = 0;
+      if (apply_window(scan.frames, i, seg_end, registry, result.state,
+                       applied, trim_note)) {
+        result.checkpoints_applied = applied;
+        recovered = true;
+      }
     }
   }
-  if (!full_index)
-    throw CorruptionError("log '" + path + "' contains no full checkpoint");
+  if (!recovered)
+    throw CorruptionError("log '" + path +
+                          "' contains no usable full checkpoint" +
+                          (scan.clean ? "" : " (" + scan.stop_reason + ")"));
 
-  Recovery recovery(registry);
-  std::size_t applied = 0;
-  for (std::size_t i = *full_index; i < scan.frames.size(); ++i) {
-    io::DataReader reader(scan.frames[i].payload);
-    recovery.apply(reader);
-    ++applied;
+  result.frames_dropped = result.frames_total - result.checkpoints_applied;
+  if (!scan.clean) {
+    result.log_note = scan.stop_reason + " at byte " +
+                      std::to_string(scan.stop_offset);
+    if (scan.regions_skipped > 0)
+      result.log_note += "; salvage skipped " +
+                         std::to_string(scan.regions_skipped) +
+                         " corrupt region(s) (" +
+                         std::to_string(scan.bytes_skipped) + " byte(s))";
   }
-
-  RecoverResult result;
-  result.state = recovery.finish();
-  result.checkpoints_applied = applied;
-  result.log_clean = scan.clean;
-  result.log_note = scan.stop_reason;
+  if (result.frames_dropped > 0) {
+    if (!result.log_note.empty()) result.log_note += "; ";
+    result.log_note += std::to_string(result.frames_dropped) +
+                       " readable checkpoint(s) outside the recovered window";
+  }
+  result.log_note += trim_note;
   return result;
 }
 
 CompactResult CheckpointManager::compact(const std::string& path,
-                                         const TypeRegistry& registry) {
+                                         const TypeRegistry& registry,
+                                         io::FaultPolicy* fault) {
   RecoverResult recovered = recover(path, registry);
 
   CompactResult result;
@@ -108,8 +205,10 @@ CompactResult CheckpointManager::compact(const std::string& path,
     result.bytes_before = 0;
   }
 
-  // One full checkpoint of the recovered state, into a sibling file that
-  // atomically replaces the log. Roots keep their recorded order.
+  // One full checkpoint of the recovered state, built in a sibling file and
+  // atomically published over the log: temp write + fsync + rename +
+  // directory fsync. A crash anywhere in here loses only the compaction;
+  // the original log is not touched until the rename.
   std::vector<Checkpointable*> roots;
   roots.reserve(recovered.state.roots.size());
   for (ObjectId id : recovered.state.roots) {
@@ -120,9 +219,11 @@ CompactResult CheckpointManager::compact(const std::string& path,
   }
 
   const std::string tmp_path = path + ".compact";
+  std::remove(tmp_path.c_str());  // stale leftover of a crashed compaction
   {
-    io::StableStorage fresh(tmp_path);
-    fresh.reset();  // in case a previous compaction crashed midway
+    io::StableStorage fresh(tmp_path,
+                            io::StorageOptions{.durable = true,
+                                               .fault = fault});
     io::VectorSink sink;
     {
       io::DataWriter writer(sink);
@@ -134,8 +235,7 @@ CompactResult CheckpointManager::compact(const std::string& path,
     result.bytes_after = sink.size();
     fresh.append(sink.bytes());
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
-    throw IoError("compaction: rename over '" + path + "' failed");
+  io::rename_durable(tmp_path, path);
   return result;
 }
 

@@ -2,9 +2,13 @@
 // stable storage.
 //
 // Policy: the first checkpoint and every `full_interval`-th one are full;
-// the rest are incremental. recover() locates the most recent full
-// checkpoint in the longest valid log prefix and replays it plus every
-// incremental after it.
+// the rest are incremental. recover() locates the most recent *usable* full
+// checkpoint and replays it plus every incremental after it. With salvage
+// enabled (the default) a mid-log corrupt frame no longer truncates the
+// whole suffix: the scan resynchronizes past the damage, and recovery picks
+// the newest checkpoint window that is contiguous (no corrupt region
+// between its full checkpoint and its last incremental) — so damage costs
+// at most one window, never checkpoints that a later full supersedes.
 #pragma once
 
 #include <optional>
@@ -28,8 +32,14 @@ struct ManagerOptions {
   /// Defer disk appends to a background thread (the paper's copy-on-write
   /// analog: construction still blocks, the copy to stable storage does
   /// not). Call flush() to make every taken checkpoint durable; take()
-  /// reports the seq the frame *will* receive.
+  /// reports the seq the frame *will* receive. A failed background append
+  /// poisons the log: flush() and the next take() rethrow it with the
+  /// failed seq in the message.
   bool async_io = false;
+  /// Fault injection hook threaded into stable storage (tests).
+  io::FaultPolicy* fault_policy = nullptr;
+  /// Transient write-failure retry policy for stable storage.
+  io::RetryPolicy retry{};
 };
 
 struct TakeResult {
@@ -40,12 +50,31 @@ struct TakeResult {
   CheckpointStats stats;
 };
 
+struct RecoverOptions {
+  /// Resynchronize past mid-log corruption instead of truncating the log at
+  /// the first bad byte.
+  bool salvage = true;
+};
+
 struct RecoverResult {
   RecoveredState state;
   std::size_t checkpoints_applied = 0;
-  /// False when the log had a torn/corrupt tail that was dropped.
+  /// False when the log carried damage (torn tail or mid-log corruption).
   bool log_clean = true;
+  /// Structured description of the damage and what salvage did (empty when
+  /// the log is clean).
   std::string log_note;
+  /// Valid frames the scan produced (including ones outside the applied
+  /// window).
+  std::size_t frames_total = 0;
+  /// Valid frames that could not be applied: stranded behind a corrupt
+  /// region without a usable full checkpoint, superseded trims, etc.
+  std::size_t frames_dropped = 0;
+  /// Corrupt regions salvage skipped, and the bytes inside them.
+  std::size_t corrupt_regions = 0;
+  std::uint64_t bytes_skipped = 0;
+  /// Byte offset where the first damage begins (valid when !log_clean).
+  std::uint64_t damage_offset = 0;
 };
 
 struct CompactResult {
@@ -69,18 +98,27 @@ class CheckpointManager {
   [[nodiscard]] Epoch next_epoch() const noexcept { return epoch_; }
 
   /// Drain any asynchronous appends; afterwards every taken checkpoint is
-  /// on stable storage. No-op in synchronous mode.
+  /// on stable storage. No-op in synchronous mode. Rethrows a deferred
+  /// background append failure (never swallowed).
   void flush();
 
-  /// Recover the latest consistent state from a log file.
+  /// Recover the latest consistent state from a log file. Throws
+  /// CorruptionError when no usable full checkpoint exists — never returns
+  /// a partial graph.
   static RecoverResult recover(const std::string& path,
-                               const TypeRegistry& registry);
+                               const TypeRegistry& registry,
+                               RecoverOptions opts = {});
 
   /// Rewrite `path` to a single full checkpoint of its recovered state,
   /// dropping the incremental history (checkpoint-log garbage collection).
-  /// Must not be called while a manager has the log open.
+  /// Crash-atomic: the replacement is built in `<path>.compact`, fsynced,
+  /// and renamed over the log (with a directory fsync) — a crash at any
+  /// point loses at most the compaction, never the original log.
+  /// Must not be called while a manager has the log open. `fault` threads
+  /// an injection policy into the temporary log's writes (tests).
   static CompactResult compact(const std::string& path,
-                               const TypeRegistry& registry);
+                               const TypeRegistry& registry,
+                               io::FaultPolicy* fault = nullptr);
 
  private:
   ManagerOptions opts_;

@@ -1,0 +1,36 @@
+#include "io/fault.hpp"
+
+namespace ickpt::io {
+
+ScriptedFaultPolicy::ScriptedFaultPolicy(FaultKind kind,
+                                         std::uint64_t trigger_offset,
+                                         int transient_errno,
+                                         unsigned transient_count)
+    : kind_(kind),
+      trigger_(trigger_offset),
+      transient_errno_(transient_errno),
+      transients_left_(transient_count) {}
+
+FaultDecision ScriptedFaultPolicy::on_write(std::uint64_t offset,
+                                            std::size_t n) {
+  bytes_seen_ = offset + n > bytes_seen_ ? offset + n : bytes_seen_;
+  if (kind_ == FaultKind::kNone) return {};
+
+  if (kind_ == FaultKind::kTransient) {
+    // Fire on every consultation at/after the trigger until the budget is
+    // spent; the sink's retry loop consumes one decision per attempt.
+    if (transients_left_ == 0 || offset + n <= trigger_) return {};
+    --transients_left_;
+    fired_ = true;
+    return {FaultKind::kTransient, 0, transient_errno_};
+  }
+
+  if (fired_ || trigger_ < offset || trigger_ >= offset + n) return {};
+  fired_ = true;
+  FaultDecision decision;
+  decision.kind = kind_;
+  decision.byte_limit = static_cast<std::size_t>(trigger_ - offset);
+  return decision;
+}
+
+}  // namespace ickpt::io

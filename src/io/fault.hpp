@@ -1,0 +1,100 @@
+// Fault injection and retry policy for the stable-storage write path.
+//
+// Every physical write issued by FileSink first consults an optional
+// FaultPolicy, which can decide to tear the write (partial bytes then an
+// error), shorten it (partial bytes, caller retries the remainder), flip a
+// bit (silent corruption — caught later by the frame CRC), fail transiently
+// (EINTR/ENOSPC; FileSink retries with bounded exponential backoff), or
+// crash the "process" at an exact byte offset (CrashFault: the file keeps
+// whatever was flushed, nothing is rolled back — exactly the state a real
+// crash would leave behind).
+//
+// The crash-matrix tests sweep a ScriptedFaultPolicy across every byte
+// offset of an append/compact run and assert that recovery + fsck always
+// yield a consistent prefix. Production code pays one branch per write when
+// no policy is installed.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace ickpt::io {
+
+enum class FaultKind : std::uint8_t {
+  kNone,        ///< no fault; perform the write normally
+  kTornWrite,   ///< write `byte_limit` bytes, then fail with IoError
+  kShortWrite,  ///< write only `byte_limit` bytes; caller must retry the rest
+  kBitFlip,     ///< flip one bit of byte `byte_limit`, then write all bytes
+  kTransient,   ///< fail with `transient_errno` without writing (retryable)
+  kCrash,       ///< write `byte_limit` bytes, flush, then throw CrashFault
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Byte index within the current write the fault applies to (see kinds).
+  std::size_t byte_limit = 0;
+  /// kTransient: the errno to report (EINTR, ENOSPC, ...).
+  int transient_errno = EINTR;
+};
+
+/// Thrown to simulate process death at a fault point. Deliberately *not* an
+/// IoError: rollback/retry paths must never treat a crash as a recoverable
+/// write failure — the post-crash file state is what recovery gets.
+class CrashFault : public Error {
+ public:
+  explicit CrashFault(const std::string& what) : Error("crash: " + what) {}
+};
+
+/// Injection hook consulted before every physical write.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  /// `offset` is the absolute file offset the write would start at; `n` is
+  /// the number of bytes the caller wants written.
+  virtual FaultDecision on_write(std::uint64_t offset, std::size_t n) = 0;
+};
+
+/// Bounded retry with exponential backoff for the transient fault class
+/// (injected kTransient decisions and real EINTR short writes).
+struct RetryPolicy {
+  unsigned max_attempts = 8;
+  std::chrono::microseconds initial_backoff{100};
+  std::chrono::microseconds max_backoff{100'000};
+};
+
+/// Deterministic one-shot policy for tests and the crash-matrix harness:
+/// arms a single fault of `kind` that fires on the write covering cumulative
+/// file offset `trigger_offset`. kTransient instead fires `transient_count`
+/// consecutive times starting at the first write at/after the trigger.
+class ScriptedFaultPolicy final : public FaultPolicy {
+ public:
+  ScriptedFaultPolicy(FaultKind kind, std::uint64_t trigger_offset,
+                      int transient_errno = EINTR,
+                      unsigned transient_count = 1);
+
+  FaultDecision on_write(std::uint64_t offset, std::size_t n) override;
+
+  /// True once the scripted fault has been delivered (transients: at least
+  /// once). The matrix uses this to detect trigger offsets past end-of-run.
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  /// Total bytes the policy saw flow past (faulted or not).
+  [[nodiscard]] std::uint64_t bytes_seen() const noexcept {
+    return bytes_seen_;
+  }
+
+ private:
+  FaultKind kind_;
+  std::uint64_t trigger_;
+  int transient_errno_;
+  unsigned transients_left_;
+  bool fired_ = false;
+  std::uint64_t bytes_seen_ = 0;
+};
+
+}  // namespace ickpt::io

@@ -2,10 +2,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 
 #ifdef __unix__
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -20,14 +22,105 @@ namespace {
 FileSink::FileSink(const std::string& path, Mode mode) : path_(path) {
   file_ = std::fopen(path.c_str(), mode == Mode::kAppend ? "ab" : "wb");
   if (file_ == nullptr) fail("open", path);
+  if (mode == Mode::kAppend) {
+    // "ab" leaves the position unspecified until the first write; the write
+    // offset we report must be the current file size.
+    if (std::fseek(file_, 0, SEEK_END) != 0) fail("seek", path);
+    long at = std::ftell(file_);
+    if (at < 0) fail("tell", path);
+    offset_ = static_cast<std::uint64_t>(at);
+  }
 }
 
 FileSink::~FileSink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void FileSink::backoff(unsigned attempt) const {
+  if (retry_.initial_backoff.count() <= 0) return;
+  unsigned shift = attempt > 16 ? 16 : attempt;
+  auto delay = retry_.initial_backoff * (1u << shift);
+  if (delay > retry_.max_backoff) delay = retry_.max_backoff;
+  std::this_thread::sleep_for(delay);
+}
+
+void FileSink::write_raw(const std::uint8_t* data, std::size_t n) {
+  unsigned attempts = 0;
+  while (n != 0) {
+    std::size_t written = std::fwrite(data, 1, n, file_);
+    offset_ += written;
+    data += written;
+    n -= written;
+    if (n == 0) break;
+    // Short write: retry the remainder on EINTR (with backoff once the
+    // write stops making progress), fail hard on anything else.
+    if (errno != EINTR) fail("write", path_);
+    std::clearerr(file_);
+    if (written == 0) {
+      if (++attempts > retry_.max_attempts)
+        throw IoError("write '" + path_ + "' failed after " +
+                      std::to_string(attempts) + " attempt(s): " +
+                      std::strerror(EINTR));
+      backoff(attempts - 1);
+    } else {
+      attempts = 0;
+    }
+  }
+}
+
 void FileSink::write(const std::uint8_t* data, std::size_t n) {
-  if (n != 0 && std::fwrite(data, 1, n, file_) != n) fail("write", path_);
+  unsigned transient_attempts = 0;
+  while (n != 0) {
+    FaultDecision d;
+    if (fault_ != nullptr) d = fault_->on_write(offset_, n);
+    switch (d.kind) {
+      case FaultKind::kNone:
+        write_raw(data, n);
+        return;
+      case FaultKind::kTornWrite: {
+        std::size_t k = d.byte_limit < n ? d.byte_limit : n;
+        write_raw(data, k);
+        flush();
+        throw IoError("injected torn write: " + std::to_string(k) + " of " +
+                      std::to_string(k + n) + " byte(s) reached '" + path_ +
+                      "'");
+      }
+      case FaultKind::kShortWrite: {
+        std::size_t k = d.byte_limit < n ? d.byte_limit : n;
+        write_raw(data, k);
+        data += k;
+        n -= k;
+        if (k == 0 && ++transient_attempts > retry_.max_attempts)
+          throw IoError("write '" + path_ + "' made no progress after " +
+                        std::to_string(transient_attempts) + " attempt(s)");
+        break;  // re-consult the policy for the remainder
+      }
+      case FaultKind::kBitFlip: {
+        // Silent corruption: the bytes land, one bit wrong. Only the frame
+        // CRC can catch this later.
+        std::vector<std::uint8_t> copy(data, data + n);
+        std::size_t at = d.byte_limit < n ? d.byte_limit : n - 1;
+        copy[at] ^= 0x01;
+        write_raw(copy.data(), n);
+        return;
+      }
+      case FaultKind::kTransient: {
+        if (++transient_attempts > retry_.max_attempts)
+          throw IoError("write '" + path_ + "' failed after " +
+                        std::to_string(transient_attempts) +
+                        " attempt(s): " + std::strerror(d.transient_errno));
+        backoff(transient_attempts - 1);
+        break;  // retry: consult the policy again
+      }
+      case FaultKind::kCrash: {
+        std::size_t k = d.byte_limit < n ? d.byte_limit : n;
+        write_raw(data, k);
+        flush();
+        throw CrashFault("simulated crash at byte offset " +
+                         std::to_string(offset_) + " of '" + path_ + "'");
+      }
+    }
+  }
 }
 
 void FileSink::flush() {
@@ -39,6 +132,17 @@ void FileSink::durable_flush() {
 #ifdef __unix__
   if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
 #endif
+}
+
+void FileSink::truncate_to(std::uint64_t size) {
+  flush();
+#ifdef __unix__
+  if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0)
+    fail("truncate", path_);
+#else
+  if (size != offset_) fail("truncate unsupported", path_);
+#endif
+  offset_ = size;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -59,6 +163,43 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
   FileSink sink(path);
   sink.write(bytes.data(), bytes.size());
   sink.flush();
+}
+
+void fsync_parent_dir(const std::string& path) {
+#ifdef __unix__
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) fail("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("fsync dir", dir);
+#else
+  (void)path;
+#endif
+}
+
+void rename_durable(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) fail("rename", from);
+  fsync_parent_dir(to);
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+#ifdef __unix__
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    fail("truncate", path);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  auto bytes = read_file(path);
+  if (size > bytes.size()) fail("truncate beyond end", path);
+  bytes.resize(size);
+  write_file(path, bytes);
+#endif
 }
 
 }  // namespace ickpt::io

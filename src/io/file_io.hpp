@@ -4,6 +4,12 @@
 // (fflush + fsync on durable_flush). Checkpoint *construction* benchmarks
 // use VectorSink/CountingSink so that disk speed does not pollute the
 // traversal measurements, exactly as the paper defers the copy task.
+//
+// Crash-consistency hooks: every physical write consults an optional
+// io::FaultPolicy (fault.hpp), transient failures (injected EINTR/ENOSPC
+// and real EINTR short writes) are retried with bounded exponential
+// backoff, and truncate_to() lets StableStorage roll a failed append back
+// to the previous frame boundary.
 #pragma once
 
 #include <cstdio>
@@ -11,6 +17,7 @@
 #include <vector>
 
 #include "io/byte_sink.hpp"
+#include "io/fault.hpp"
 
 namespace ickpt::io {
 
@@ -30,11 +37,30 @@ class FileSink final : public ByteSink {
   /// flush() + fsync: the frame is on stable storage when this returns.
   void durable_flush();
 
+  /// Fault injection hook (not owned; nullptr disables). Tests only.
+  void set_fault_policy(FaultPolicy* policy) noexcept { fault_ = policy; }
+  void set_retry_policy(const RetryPolicy& retry) noexcept { retry_ = retry; }
+
+  /// Bytes in the file including buffered-but-unflushed ones; the file
+  /// offset the next write() starts at.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Shrink the file to `size` bytes (rollback of a partially written
+  /// frame). Flushes first; throws IoError on failure.
+  void truncate_to(std::uint64_t size);
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
+  /// Write exactly `n` bytes, retrying real EINTR short writes.
+  void write_raw(const std::uint8_t* data, std::size_t n);
+  void backoff(unsigned attempt) const;
+
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;
+  FaultPolicy* fault_ = nullptr;
+  RetryPolicy retry_;
 };
 
 /// Read an entire file into memory. Throws IoError if unreadable.
@@ -42,5 +68,16 @@ std::vector<std::uint8_t> read_file(const std::string& path);
 
 /// Write a buffer to a file (truncating). Throws IoError on failure.
 void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// fsync the directory containing `path`, persisting a rename/create/unlink
+/// of that entry. No-op on platforms without directory fsync.
+void fsync_parent_dir(const std::string& path);
+
+/// rename(from, to) + fsync of to's directory: the atomic publish step of
+/// write-to-temp + rename. Throws IoError on failure.
+void rename_durable(const std::string& from, const std::string& to);
+
+/// Shrink the file at `path` to `size` bytes and persist the new length.
+void truncate_file(const std::string& path, std::uint64_t size);
 
 }  // namespace ickpt::io

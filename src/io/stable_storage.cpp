@@ -1,7 +1,9 @@
 #include "io/stable_storage.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <cstring>
+#include <iterator>
 #include <utility>
 
 #include "common/error.hpp"
@@ -16,6 +18,8 @@ constexpr std::uint32_t kMagic = 0x49434B46;  // "ICKF"
 constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 4;
 // Backstop against absurd lengths from corrupt headers.
 constexpr std::uint32_t kMaxPayload = 1u << 30;
+// Big-endian byte pattern of kMagic, for salvage resynchronization.
+constexpr std::uint8_t kMagicBytes[4] = {0x49, 0x43, 0x4B, 0x46};
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
@@ -44,22 +48,281 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 }  // namespace
 
+// --- FrameIterator ----------------------------------------------------------
+
+struct FrameIterator::Impl {
+  ScanOptions opts;
+
+  std::FILE* file = nullptr;          // file mode (nullptr once closed/missing)
+  const std::uint8_t* mem = nullptr;  // memory mode
+  std::size_t mem_size = 0;
+  std::size_t mem_pos = 0;
+  bool eof = false;
+
+  // Sliding window of unconsumed bytes. buf[head] is at file offset
+  // `base + head`; the window never exceeds one frame plus refill chunk.
+  std::vector<std::uint8_t> buf;
+  std::size_t head = 0;
+  std::uint64_t base = 0;
+
+  // Parse state.
+  std::uint64_t prev_seq = 0;
+  bool first_frame = true;
+  std::uint64_t pending_skip = 0;  // bytes skipped since the last good frame
+
+  // End-of-scan bookkeeping.
+  bool done = false;
+  bool damaged = false;
+  std::string stop_reason;
+  std::uint64_t stop_offset = 0;
+  std::uint64_t valid_prefix = 0;
+  std::size_t regions_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+
+  ~Impl() {
+    if (file != nullptr) std::fclose(file);
+  }
+
+  [[nodiscard]] std::uint64_t offset() const { return base + head; }
+  [[nodiscard]] std::size_t available() const { return buf.size() - head; }
+
+  void consume(std::size_t n) { head += n; }
+
+  void fill(std::size_t want) {
+    if (eof || available() >= want) return;
+    if (head > (1u << 20)) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+      base += head;
+      head = 0;
+    }
+    while (!eof && available() < want) {
+      if (file != nullptr) {
+        std::uint8_t tmp[1 << 16];
+        std::size_t n = std::fread(tmp, 1, sizeof(tmp), file);
+        if (n == 0) {
+          // A read error mid-scan is damage, not a crash: report it as the
+          // stop reason rather than throwing out of an integrity pass.
+          if (std::ferror(file) != 0) record_damage("log read error");
+          eof = true;
+        } else {
+          buf.insert(buf.end(), tmp, tmp + n);
+        }
+      } else {
+        std::size_t n = mem_size - mem_pos;
+        if (n > (1u << 16)) n = 1u << 16;
+        if (n == 0) {
+          eof = true;
+        } else {
+          buf.insert(buf.end(), mem + mem_pos, mem + mem_pos + n);
+          mem_pos += n;
+        }
+      }
+    }
+  }
+
+  void record_damage(const char* why) {
+    if (damaged) return;
+    damaged = true;
+    stop_reason = why;
+    stop_offset = offset();
+  }
+
+  /// Advance at least one byte, then position `head` on the next candidate
+  /// magic sequence (or end of input). Skipped bytes accumulate into
+  /// pending_skip.
+  void seek_next_magic() {
+    pending_skip += 1;
+    consume(1);
+    for (;;) {
+      fill(sizeof(kMagicBytes));
+      if (available() < sizeof(kMagicBytes)) {
+        pending_skip += available();
+        consume(available());
+        return;
+      }
+      const std::uint8_t* begin = buf.data() + head;
+      const std::uint8_t* end = buf.data() + buf.size();
+      const std::uint8_t* hit = std::search(
+          begin, end, std::begin(kMagicBytes), std::end(kMagicBytes));
+      if (hit != end) {
+        pending_skip += static_cast<std::uint64_t>(hit - begin);
+        consume(static_cast<std::size_t>(hit - begin));
+        return;
+      }
+      // No magic in the window; keep the last 3 bytes (a magic prefix may
+      // straddle the chunk boundary) and read more.
+      std::size_t drop = available() - (sizeof(kMagicBytes) - 1);
+      pending_skip += drop;
+      consume(drop);
+      if (eof) {
+        pending_skip += available();
+        consume(available());
+        return;
+      }
+    }
+  }
+
+  void finish() {
+    done = true;
+    if (pending_skip > 0) {
+      ++regions_skipped;
+      bytes_skipped += pending_skip;
+      pending_skip = 0;
+    }
+  }
+
+  bool next(Frame& out) {
+    if (done) return false;
+    for (;;) {
+      fill(kHeaderSize);
+      if (available() == 0) {
+        finish();
+        return false;
+      }
+      const char* why = nullptr;
+      std::uint64_t seq = 0;
+      std::uint32_t len = 0;
+      if (available() < kHeaderSize) {
+        why = "torn frame header";
+      } else {
+        const std::uint8_t* p = buf.data() + head;
+        if (get_u32(p) != kMagic) {
+          why = "bad frame magic";
+        } else {
+          seq = get_u64(p + 4);
+          len = get_u32(p + 12);
+          if (len > kMaxPayload) {
+            why = "implausible frame length";
+          } else {
+            fill(kHeaderSize + len);
+            if (available() < kHeaderSize + len) {
+              why = "torn frame payload";
+            } else {
+              p = buf.data() + head;  // fill() may have reallocated
+              Crc32 check;
+              check.update(p + 4, 12);  // seq + length
+              check.update(p + kHeaderSize, len);
+              if (check.value() != get_u32(p + 16)) {
+                why = "frame CRC mismatch";
+              } else if (!first_frame && seq <= prev_seq) {
+                why = "non-increasing sequence number";
+              }
+            }
+          }
+        }
+      }
+
+      if (why == nullptr) {
+        const std::uint8_t* p = buf.data() + head;
+        out.seq = seq;
+        out.offset = offset();
+        out.payload.assign(p + kHeaderSize, p + kHeaderSize + len);
+        out.resync = pending_skip > 0;
+        if (pending_skip > 0) {
+          ++regions_skipped;
+          bytes_skipped += pending_skip;
+          pending_skip = 0;
+        }
+        first_frame = false;
+        prev_seq = seq;
+        consume(kHeaderSize + len);
+        if (!damaged) valid_prefix = offset();
+        return true;
+      }
+
+      record_damage(why);
+      if (!opts.salvage) {
+        done = true;
+        return false;
+      }
+      seek_next_magic();
+    }
+  }
+};
+
+FrameIterator::FrameIterator(const std::string& path, ScanOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  impl_->file = std::fopen(path.c_str(), "rb");
+  if (impl_->file == nullptr) impl_->eof = true;  // missing file == empty log
+}
+
+FrameIterator::FrameIterator(const std::uint8_t* data, std::size_t size,
+                             ScanOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  impl_->mem = data;
+  impl_->mem_size = size;
+}
+
+FrameIterator::~FrameIterator() = default;
+
+bool FrameIterator::next(Frame& out) { return impl_->next(out); }
+bool FrameIterator::clean() const { return !impl_->damaged; }
+const std::string& FrameIterator::stop_reason() const {
+  return impl_->stop_reason;
+}
+std::uint64_t FrameIterator::stop_offset() const {
+  return impl_->damaged ? impl_->stop_offset : impl_->valid_prefix;
+}
+std::uint64_t FrameIterator::valid_prefix_bytes() const {
+  return impl_->valid_prefix;
+}
+std::size_t FrameIterator::regions_skipped() const {
+  return impl_->regions_skipped;
+}
+std::uint64_t FrameIterator::bytes_skipped() const {
+  return impl_->bytes_skipped;
+}
+
+namespace {
+
+ScanResult collect(FrameIterator& it) {
+  ScanResult result;
+  Frame frame;
+  while (it.next(frame)) result.frames.push_back(frame);
+  result.clean = it.clean();
+  result.stop_reason = it.stop_reason();
+  result.stop_offset = it.stop_offset();
+  result.valid_prefix_bytes = it.valid_prefix_bytes();
+  result.regions_skipped = it.regions_skipped();
+  result.bytes_skipped = it.bytes_skipped();
+  return result;
+}
+
+}  // namespace
+
+// --- StableStorage ----------------------------------------------------------
+
 struct StableStorage::Impl {
   std::unique_ptr<FileSink> sink;
 };
 
-StableStorage::StableStorage(std::string path, bool durable)
-    : path_(std::move(path)), durable_(durable), impl_(new Impl) {
-  // Resume sequence numbering after any valid prefix already on disk.
-  ScanResult existing = scan(path_);
-  if (!existing.frames.empty()) next_seq_ = existing.frames.back().seq + 1;
+StableStorage::StableStorage(std::string path, StorageOptions opts)
+    : path_(std::move(path)), opts_(opts), impl_(new Impl) {
+  // Never append behind unreadable bytes: truncate a damaged tail to the
+  // longest valid prefix first (the removed bytes go to <path>.bak).
+  repair(path_);
+  // Resume sequence numbering above anything a salvage scan can still see,
+  // so frames stranded beyond a (pre-repair) corrupt region can never share
+  // a sequence number with a new frame.
+  ScanResult prefix = scan(path_);
+  if (!prefix.frames.empty()) next_seq_ = prefix.frames.back().seq + 1;
+  ScanResult salvaged = scan(path_ + ".bak", {.salvage = true});
+  if (!salvaged.frames.empty())
+    next_seq_ = std::max(next_seq_, salvaged.frames.back().seq + 1);
   open_for_append();
 }
+
+StableStorage::StableStorage(std::string path, bool durable)
+    : StableStorage(std::move(path), StorageOptions{.durable = durable}) {}
 
 StableStorage::~StableStorage() { delete impl_; }
 
 void StableStorage::open_for_append() {
   impl_->sink = std::make_unique<FileSink>(path_, FileSink::Mode::kAppend);
+  impl_->sink->set_fault_policy(opts_.fault);
+  impl_->sink->set_retry_policy(opts_.retry);
 }
 
 std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
@@ -68,7 +331,7 @@ std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> header;
   header.reserve(kHeaderSize);
   put_u32(header, kMagic);
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq_;
   put_u64(header, seq);
   put_u32(header, static_cast<std::uint32_t>(payload.size()));
   // The CRC covers seq, length, and payload, so a corrupted header field is
@@ -77,13 +340,29 @@ std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
   crc.update(header.data() + 4, 12);
   crc.update(payload.data(), payload.size());
   put_u32(header, crc.value());
-  impl_->sink->write(header.data(), header.size());
-  impl_->sink->write(payload.data(), payload.size());
-  if (durable_)
-    impl_->sink->durable_flush();
-  else
-    impl_->sink->flush();
-  return seq;
+  const std::uint64_t frame_start = impl_->sink->offset();
+  try {
+    impl_->sink->write(header.data(), header.size());
+    impl_->sink->write(payload.data(), payload.size());
+    if (opts_.durable)
+      impl_->sink->durable_flush();
+    else
+      impl_->sink->flush();
+  } catch (const CrashFault&) {
+    // The "process" died mid-frame; leave the torn bytes exactly as a real
+    // crash would. Recovery truncates them on the next open.
+    throw;
+  } catch (const IoError&) {
+    // Roll the file back to the frame boundary so the log stays valid for
+    // subsequent appends; if even that fails, the torn tail is repaired on
+    // the next open.
+    try {
+      impl_->sink->truncate_to(frame_start);
+    } catch (const IoError&) {
+    }
+    throw;
+  }
+  return next_seq_++;
 }
 
 void StableStorage::reset() {
@@ -93,65 +372,41 @@ void StableStorage::reset() {
   open_for_append();
 }
 
-ScanResult StableStorage::scan(const std::string& path) {
-  std::vector<std::uint8_t> bytes;
-  try {
-    bytes = read_file(path);
-  } catch (const IoError&) {
-    return {};  // missing file == empty log
-  }
-  return scan_bytes(bytes);
+ScanResult StableStorage::scan(const std::string& path, ScanOptions opts) {
+  FrameIterator it(path, opts);
+  return collect(it);
 }
 
-ScanResult StableStorage::scan_bytes(const std::vector<std::uint8_t>& bytes) {
-  ScanResult result;
-  std::size_t off = 0;
-  std::uint64_t prev_seq = 0;
-  bool first = true;
-  while (off < bytes.size()) {
-    if (bytes.size() - off < kHeaderSize) {
-      result.clean = false;
-      result.stop_reason = "torn frame header";
-      return result;
-    }
-    const std::uint8_t* p = bytes.data() + off;
-    if (get_u32(p) != kMagic) {
-      result.clean = false;
-      result.stop_reason = "bad frame magic";
-      return result;
-    }
-    std::uint64_t seq = get_u64(p + 4);
-    std::uint32_t len = get_u32(p + 12);
-    std::uint32_t crc = get_u32(p + 16);
-    if (len > kMaxPayload) {
-      result.clean = false;
-      result.stop_reason = "implausible frame length";
-      return result;
-    }
-    if (bytes.size() - off - kHeaderSize < len) {
-      result.clean = false;
-      result.stop_reason = "torn frame payload";
-      return result;
-    }
-    const std::uint8_t* payload = p + kHeaderSize;
-    Crc32 check;
-    check.update(p + 4, 12);  // seq + length
-    check.update(payload, len);
-    if (check.value() != crc) {
-      result.clean = false;
-      result.stop_reason = "frame CRC mismatch";
-      return result;
-    }
-    if (!first && seq <= prev_seq) {
-      result.clean = false;
-      result.stop_reason = "non-increasing sequence number";
-      return result;
-    }
-    first = false;
-    prev_seq = seq;
-    result.frames.push_back(Frame{seq, {payload, payload + len}});
-    off += kHeaderSize + len;
+ScanResult StableStorage::scan_bytes(const std::vector<std::uint8_t>& bytes,
+                                     ScanOptions opts) {
+  FrameIterator it(bytes.data(), bytes.size(), opts);
+  return collect(it);
+}
+
+RepairResult StableStorage::repair(const std::string& path) {
+  RepairResult result;
+  ScanResult scan_result = scan(path);
+  if (scan_result.clean) {
+    result.frames_kept = scan_result.frames.size();
+    return result;
   }
+  result.reason = scan_result.stop_reason;
+  result.frames_kept = scan_result.frames.size();
+
+  // Save the bytes being removed before touching the log, so a crash during
+  // repair can lose the .bak (re-creatable) but never log bytes.
+  std::vector<std::uint8_t> all = read_file(path);
+  const std::uint64_t keep = scan_result.valid_prefix_bytes;
+  result.bytes_removed = all.size() - keep;
+  result.bak_path = path + ".bak";
+  {
+    FileSink bak(result.bak_path, FileSink::Mode::kTruncate);
+    bak.write(all.data() + keep, all.size() - keep);
+    bak.durable_flush();
+  }
+  fsync_parent_dir(result.bak_path);
+  truncate_file(path, keep);
+  result.repaired = true;
   return result;
 }
 

@@ -4,44 +4,137 @@
 //
 //   [u32 magic][u64 seq][u32 payload_len][u32 payload_crc][payload bytes]
 //
-// all integers big-endian. The scan stops at the first frame that is short,
-// has a bad magic/CRC, or a non-increasing sequence number; everything before
-// it is the longest valid prefix and is safe to recover from. A torn final
-// write therefore costs at most the checkpoint that was being written when
-// the crash happened — never an earlier one.
+// all integers big-endian. A plain scan stops at the first frame that is
+// short, has a bad magic/CRC, or a non-increasing sequence number;
+// everything before it is the longest valid prefix and is safe to recover
+// from. A *salvage* scan (ScanOptions::salvage) additionally skips over the
+// corrupt region and resynchronizes on the next valid [magic][seq] boundary,
+// so a mid-log bad frame strands one checkpoint window instead of the whole
+// suffix; frames found after a skip carry `resync = true` so recovery can
+// tell which windows are contiguous.
+//
+// Crash consistency of the writer: a failed append is rolled back to the
+// previous frame boundary (the log stays clean for later appends), except
+// when the failure is a CrashFault — then the torn bytes stay, exactly as a
+// real crash would leave them. Opening a log whose tail is torn truncates
+// the tail to the longest valid prefix first (saving the removed bytes to
+// `<path>.bak`), so post-crash appends never land behind unreadable bytes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "io/fault.hpp"
 
 namespace ickpt::io {
 
 struct Frame {
   std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload;
+  /// Byte offset of the frame header within the log.
+  std::uint64_t offset = 0;
+  /// True when this frame was reached by salvage resynchronization (i.e. a
+  /// corrupt region lies between it and the preceding frame).
+  bool resync = false;
+};
+
+struct ScanOptions {
+  /// Skip corrupt regions and resynchronize on the next valid frame instead
+  /// of stopping at the first bad byte.
+  bool salvage = false;
 };
 
 struct ScanResult {
   std::vector<Frame> frames;
-  /// True when the file ended exactly on a frame boundary.
+  /// True when every byte of the file decoded as valid frames.
   bool clean = true;
-  /// Human-readable reason the scan stopped early (empty when clean).
+  /// Human-readable reason for the *first* damage met (empty when clean).
   std::string stop_reason;
+  /// Byte offset where the first damage begins (== valid_prefix_bytes; the
+  /// file size when clean).
+  std::uint64_t stop_offset = 0;
+  /// Length of the longest valid prefix: every byte before this decoded as
+  /// valid frames. `fsck --repair` truncates to this.
+  std::uint64_t valid_prefix_bytes = 0;
+  /// Salvage only: corrupt regions skipped and the bytes inside them.
+  std::size_t regions_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+};
+
+/// Streaming frame reader: O(largest frame) memory regardless of log size.
+/// Drive with next() until it returns false, then read the end-of-scan
+/// state (clean()/stop_reason()/...). scan()/scan_bytes() are thin wrappers
+/// that collect every frame into a ScanResult.
+class FrameIterator {
+ public:
+  /// Stream from a file. A missing file reads as an empty, clean log.
+  explicit FrameIterator(const std::string& path, ScanOptions opts = {});
+  /// Read from an in-memory image (not copied; must outlive the iterator).
+  FrameIterator(const std::uint8_t* data, std::size_t size,
+                ScanOptions opts = {});
+  ~FrameIterator();
+
+  FrameIterator(const FrameIterator&) = delete;
+  FrameIterator& operator=(const FrameIterator&) = delete;
+
+  /// Produce the next frame into `out` (reusing its payload buffer).
+  /// Returns false at end of log.
+  bool next(Frame& out);
+
+  // End-of-scan state; meaningful once next() has returned false.
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] const std::string& stop_reason() const;
+  [[nodiscard]] std::uint64_t stop_offset() const;
+  [[nodiscard]] std::uint64_t valid_prefix_bytes() const;
+  [[nodiscard]] std::size_t regions_skipped() const;
+  [[nodiscard]] std::uint64_t bytes_skipped() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct StorageOptions {
+  /// fsync each appended frame before append() returns.
+  bool durable = false;
+  /// Fault injection hook threaded into the underlying FileSink (tests).
+  FaultPolicy* fault = nullptr;
+  /// Transient-failure retry policy for the underlying FileSink.
+  RetryPolicy retry{};
+};
+
+struct RepairResult {
+  /// False when the log was already clean (nothing was changed).
+  bool repaired = false;
+  std::size_t frames_kept = 0;
+  std::uint64_t bytes_removed = 0;
+  /// Where the removed bytes were saved ("" when nothing was removed).
+  std::string bak_path;
+  /// The scan's stop_reason for the damage that was truncated.
+  std::string reason;
 };
 
 class StableStorage {
  public:
-  /// Opens (creating if absent) the log at `path` for appending.
-  /// `durable` controls whether append() fsyncs each frame.
+  /// Opens (creating if absent) the log at `path` for appending. If the
+  /// log's tail is damaged it is first truncated to the longest valid
+  /// prefix (removed bytes saved to `<path>.bak`); sequence numbering
+  /// resumes above every frame a salvage scan can see, so even stranded
+  /// frames can never collide with new ones.
+  explicit StableStorage(std::string path, StorageOptions opts);
   explicit StableStorage(std::string path, bool durable = false);
 
   StableStorage(const StableStorage&) = delete;
   StableStorage& operator=(const StableStorage&) = delete;
   ~StableStorage();
 
-  /// Append one checkpoint payload; returns its sequence number.
+  /// Append one checkpoint payload; returns its sequence number. On a
+  /// write failure the partial frame is rolled back (truncated away) and
+  /// the error rethrown; the log remains valid. A CrashFault is never
+  /// rolled back.
   std::uint64_t append(const std::vector<std::uint8_t>& payload);
 
   /// Delete all frames (restart the log). Sequence numbering continues.
@@ -50,17 +143,25 @@ class StableStorage {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
 
-  /// Scan a log file into frames, tolerating a torn tail.
-  static ScanResult scan(const std::string& path);
+  /// Scan a log file into frames, tolerating a torn tail (and, with
+  /// opts.salvage, mid-log corruption). Streams: O(largest frame) memory
+  /// plus the collected frames.
+  static ScanResult scan(const std::string& path, ScanOptions opts = {});
 
   /// Scan an in-memory image of a log (used by fault-injection tests).
-  static ScanResult scan_bytes(const std::vector<std::uint8_t>& bytes);
+  static ScanResult scan_bytes(const std::vector<std::uint8_t>& bytes,
+                               ScanOptions opts = {});
+
+  /// Truncate a damaged log to its longest valid prefix, saving the removed
+  /// bytes to `<path>.bak` (overwriting a previous .bak). The truncation is
+  /// durable before repair() returns. A clean log is left untouched.
+  static RepairResult repair(const std::string& path);
 
  private:
   void open_for_append();
 
   std::string path_;
-  bool durable_;
+  StorageOptions opts_;
   std::uint64_t next_seq_ = 0;
   struct Impl;
   Impl* impl_ = nullptr;

@@ -44,7 +44,13 @@ std::string Report::to_string() const {
     out << "  " << severity_name(finding.severity) << " [" << finding.code
         << "]";
     if (!finding.position.empty()) out << " at " << finding.position;
-    if (finding.frame_seq >= 0) out << " (frame " << finding.frame_seq << ")";
+    if (finding.frame_seq >= 0) {
+      out << " (frame " << finding.frame_seq;
+      if (finding.byte_offset >= 0) out << " @ byte " << finding.byte_offset;
+      out << ")";
+    } else if (finding.byte_offset >= 0) {
+      out << " (byte " << finding.byte_offset << ")";
+    }
     out << ": " << finding.message << "\n";
   }
   return out.str();

@@ -48,6 +48,9 @@ struct Finding {
   /// Fsck pass: stable-storage frame sequence number (-1 when not
   /// applicable).
   std::int64_t frame_seq = -1;
+  /// Fsck pass: byte offset within the log file of the frame (or, for
+  /// "log-tail", of the first damaged byte); -1 when not applicable.
+  std::int64_t byte_offset = -1;
   /// Graph/fsck passes: the offending object id (kNullObjectId when not
   /// applicable).
   ObjectId object_id = kNullObjectId;

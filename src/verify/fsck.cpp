@@ -12,20 +12,14 @@ namespace ickpt::verify {
 
 namespace {
 
-Report fsck_scan(const io::ScanResult& scan,
-                 const core::TypeRegistry& registry) {
+// Streams frames one at a time off the iterator, so fsck memory is
+// O(largest frame) + O(ids in the final recovery window) — never the whole
+// log (io::FrameIterator reads the file in chunks; frames are validated and
+// discarded as they pass).
+Report fsck_frames(io::FrameIterator& frames,
+                   const core::TypeRegistry& registry) {
   Report report;
   report.pass = "fsck";
-
-  if (!scan.clean) {
-    Finding finding;
-    finding.severity = Severity::kError;
-    finding.code = "log-tail";
-    finding.message = "log damaged after " +
-                      std::to_string(scan.frames.size()) +
-                      " valid frame(s): " + scan.stop_reason;
-    report.add(std::move(finding));
-  }
 
   // State of the current recovery window (most recent full checkpoint and
   // the incrementals after it). Only the final window feeds recovery, so
@@ -41,10 +35,13 @@ Report fsck_scan(const io::ScanResult& scan,
   Epoch prev_epoch = 0;
   std::size_t records = 0;
   std::size_t windows = 0;
+  std::size_t frame_count = 0;
 
-  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
-    const io::Frame& frame = scan.frames[i];
+  io::Frame frame;
+  for (bool first = true; frames.next(frame); first = false) {
+    ++frame_count;
     const auto seq = static_cast<std::int64_t>(frame.seq);
+    const auto at = static_cast<std::int64_t>(frame.offset);
 
     core::StreamHeader header;
     try {
@@ -54,6 +51,7 @@ Report fsck_scan(const io::ScanResult& scan,
       finding.severity = Severity::kError;
       finding.code = "frame-decode";
       finding.frame_seq = seq;
+      finding.byte_offset = at;
       finding.message = e.what();
       report.add(std::move(finding));
       continue;
@@ -64,6 +62,7 @@ Report fsck_scan(const io::ScanResult& scan,
       finding.severity = Severity::kError;
       finding.code = "epoch-order";
       finding.frame_seq = seq;
+      finding.byte_offset = at;
       finding.message = "epoch " + std::to_string(header.epoch) +
                         " does not increase over the preceding frame's epoch " +
                         std::to_string(prev_epoch);
@@ -72,11 +71,12 @@ Report fsck_scan(const io::ScanResult& scan,
     prev_epoch = header.epoch;
     have_epoch = true;
 
-    if (i == 0 && header.mode != core::Mode::kFull) {
+    if (first && header.mode != core::Mode::kFull) {
       Finding finding;
       finding.severity = Severity::kWarning;
       finding.code = "chain-start";
       finding.frame_seq = seq;
+      finding.byte_offset = at;
       finding.message =
           "chain begins with an incremental checkpoint; objects unmodified "
           "since before this log have no record";
@@ -100,6 +100,7 @@ Report fsck_scan(const io::ScanResult& scan,
         finding.severity = Severity::kWarning;
         finding.code = "dup-record";
         finding.frame_seq = seq;
+        finding.byte_offset = at;
         finding.object_id = event.id;
         finding.message = "object " + std::to_string(event.id) +
                           " recorded twice within one frame (unguarded "
@@ -113,6 +114,7 @@ Report fsck_scan(const io::ScanResult& scan,
         finding.severity = Severity::kError;
         finding.code = "type-change";
         finding.frame_seq = seq;
+        finding.byte_offset = at;
         finding.object_id = event.id;
         finding.message = "object " + std::to_string(event.id) +
                           " changes type (" + std::to_string(it->second) +
@@ -134,9 +136,21 @@ Report fsck_scan(const io::ScanResult& scan,
       finding.severity = Severity::kError;
       finding.code = "frame-decode";
       finding.frame_seq = seq;
+      finding.byte_offset = at;
       finding.message = e.what();
       report.add(std::move(finding));
     }
+  }
+
+  if (!frames.clean()) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "log-tail";
+    finding.byte_offset = static_cast<std::int64_t>(frames.stop_offset());
+    finding.message = "log damaged after " + std::to_string(frame_count) +
+                      " valid frame(s): " + frames.stop_reason() +
+                      " at byte " + std::to_string(frames.stop_offset());
+    report.add(std::move(finding));
   }
 
   // Referential closure of the final recovery window.
@@ -166,7 +180,7 @@ Report fsck_scan(const io::ScanResult& scan,
   }
 
   std::ostringstream summary;
-  summary << scan.frames.size() << " frame(s), " << records << " record(s), "
+  summary << frame_count << " frame(s), " << records << " record(s), "
           << windows << " full-checkpoint window(s)";
   report.summary = summary.str();
   return report;
@@ -175,12 +189,14 @@ Report fsck_scan(const io::ScanResult& scan,
 }  // namespace
 
 Report fsck_log(const std::string& path, const core::TypeRegistry& registry) {
-  return fsck_scan(io::StableStorage::scan(path), registry);
+  io::FrameIterator frames(path);
+  return fsck_frames(frames, registry);
 }
 
 Report fsck_bytes(const std::vector<std::uint8_t>& bytes,
                   const core::TypeRegistry& registry) {
-  return fsck_scan(io::StableStorage::scan_bytes(bytes), registry);
+  io::FrameIterator frames(bytes.data(), bytes.size());
+  return fsck_frames(frames, registry);
 }
 
 }  // namespace ickpt::verify

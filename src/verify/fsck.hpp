@@ -3,13 +3,16 @@
 //
 // `ickptctl verify` answers "can this log be recovered" by actually
 // recovering it — O(live objects) memory and a registry of live classes.
-// This pass answers the same question structurally, streaming every frame
-// through a scan-mode core::Recovery (transient per-record instances, O(1)
-// live objects) and checking the invariants recovery relies on:
+// This pass answers the same question structurally, pulling frames one at a
+// time off an io::FrameIterator (O(largest frame) memory — the log is never
+// buffered whole) and pushing each through a scan-mode core::Recovery
+// (transient per-record instances, O(1) live objects), checking the
+// invariants recovery relies on:
 //
 //   frame level   — magic, CRC over seq/length/payload, sequence-number
 //                   monotonicity (a damaged or torn region is "log-tail",
-//                   kError: bytes after it are unreadable).
+//                   kError, with the byte offset of the first damaged byte;
+//                   `ickptctl fsck --repair` truncates there).
 //   stream level  — header magic/version/mode, record tags, per-class
 //                   payload validation, no trailing bytes, no null object
 //                   ids ("frame-decode", kError).

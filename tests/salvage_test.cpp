@@ -1,0 +1,264 @@
+// Salvage recovery and repair: mid-log corruption costs one checkpoint
+// window instead of the whole suffix, a corrupt most-recent full falls back
+// to the prior window (or a clean CorruptionError — never a partial graph),
+// FrameIterator streams frames with byte offsets, and
+// StableStorage::repair / reopen-time auto-repair truncate a torn tail to
+// the longest valid prefix with the removed bytes preserved in .bak.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/manager.hpp"
+#include "io/file_io.hpp"
+#include "io/stable_storage.hpp"
+#include "tests/test_types.hpp"
+#include "verify/fsck.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using core::CheckpointManager;
+using core::ManagerOptions;
+using core::RecoverOptions;
+using core::TypeRegistry;
+using io::StableStorage;
+
+// Raw-log helpers: 16-byte payloads => every frame is 20 + 16 = 36 bytes.
+constexpr std::size_t kFrameBytes = 36;
+
+std::vector<std::uint8_t> payload_of(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(16, fill);
+}
+
+class SalvageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ickpt_salvage_test.log";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    register_test_types(registry_);
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+  }
+
+  /// Take `n` checkpoints of one leaf (value 10+i at epoch i) and return
+  /// the frame table of the resulting clean log.
+  std::vector<io::Frame> build_manager_log(unsigned full_interval, int n) {
+    core::Heap heap;
+    Leaf* leaf = heap.make<Leaf>();
+    ManagerOptions opts;
+    opts.full_interval = full_interval;
+    CheckpointManager manager(path_, opts);
+    for (int i = 0; i < n; ++i) {
+      leaf->set_i32(10 + i);
+      manager.take(*leaf);
+    }
+    auto scan = StableStorage::scan(path_);
+    EXPECT_TRUE(scan.clean);
+    EXPECT_EQ(scan.frames.size(), static_cast<std::size_t>(n));
+    return scan.frames;
+  }
+
+  /// Flip the first payload byte of the frame starting at `frame_offset`.
+  void corrupt_payload_at(std::uint64_t frame_offset) {
+    auto bytes = io::read_file(path_);
+    ASSERT_LT(frame_offset + 20, bytes.size());
+    bytes[frame_offset + 20] ^= 0xFF;
+    io::write_file(path_, bytes);
+  }
+
+  std::string path_;
+  TypeRegistry registry_;
+};
+
+TEST_F(SalvageTest, SalvageScanResyncsPastMidLogCorruption) {
+  {
+    StableStorage storage(path_);
+    for (std::uint8_t i = 0; i < 4; ++i) storage.append(payload_of(i));
+  }
+  corrupt_payload_at(kFrameBytes);  // frame 1
+
+  auto plain = StableStorage::scan(path_);
+  EXPECT_FALSE(plain.clean);
+  ASSERT_EQ(plain.frames.size(), 1u);
+  EXPECT_EQ(plain.stop_offset, kFrameBytes);
+  EXPECT_EQ(plain.valid_prefix_bytes, kFrameBytes);
+
+  auto salvaged = StableStorage::scan(path_, {.salvage = true});
+  EXPECT_FALSE(salvaged.clean);
+  ASSERT_EQ(salvaged.frames.size(), 3u);
+  EXPECT_EQ(salvaged.frames[0].seq, 0u);
+  EXPECT_EQ(salvaged.frames[1].seq, 2u);
+  EXPECT_EQ(salvaged.frames[2].seq, 3u);
+  EXPECT_FALSE(salvaged.frames[0].resync);
+  EXPECT_TRUE(salvaged.frames[1].resync);
+  EXPECT_FALSE(salvaged.frames[2].resync);
+  EXPECT_EQ(salvaged.frames[1].offset, 2 * kFrameBytes);
+  EXPECT_EQ(salvaged.stop_offset, kFrameBytes);
+  EXPECT_EQ(salvaged.regions_skipped, 1u);
+  EXPECT_EQ(salvaged.bytes_skipped, kFrameBytes);
+}
+
+TEST_F(SalvageTest, FrameIteratorStreamsFramesWithOffsets) {
+  {
+    StableStorage storage(path_);
+    for (std::uint8_t i = 0; i < 3; ++i) storage.append(payload_of(i));
+  }
+  io::FrameIterator it(path_);
+  io::Frame frame;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(it.next(frame));
+    EXPECT_EQ(frame.seq, i);
+    EXPECT_EQ(frame.offset, i * kFrameBytes);
+    EXPECT_EQ(frame.payload, payload_of(static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_FALSE(it.next(frame));
+  EXPECT_TRUE(it.clean());
+  EXPECT_EQ(it.valid_prefix_bytes(), 3 * kFrameBytes);
+
+  // The in-memory iterator sees the identical stream.
+  auto bytes = io::read_file(path_);
+  io::FrameIterator mem(bytes.data(), bytes.size());
+  std::size_t count = 0;
+  while (mem.next(frame)) ++count;
+  EXPECT_EQ(count, 3u);
+  EXPECT_TRUE(mem.clean());
+
+  // A missing file is an empty, clean log.
+  io::FrameIterator missing(path_ + ".does-not-exist");
+  EXPECT_FALSE(missing.next(frame));
+  EXPECT_TRUE(missing.clean());
+  EXPECT_EQ(missing.valid_prefix_bytes(), 0u);
+}
+
+// Regression for the pre-salvage behavior: the same damaged log recovered
+// with salvage off (old truncation semantics) and on (new), asserting both
+// counts. One corrupt incremental used to cost every later checkpoint,
+// including two fulls that supersede it.
+TEST_F(SalvageTest, RecoverSalvagesSuffixAfterMidLogCorruption) {
+  auto frames = build_manager_log(/*full_interval=*/2, /*n=*/6);
+  corrupt_payload_at(frames[1].offset);  // incremental at epoch 1
+
+  auto truncated = CheckpointManager::recover(path_, registry_,
+                                              RecoverOptions{.salvage = false});
+  EXPECT_FALSE(truncated.log_clean);
+  EXPECT_EQ(truncated.checkpoints_applied, 1u);  // only the epoch-0 full
+  EXPECT_EQ(truncated.state.root_as<Leaf>()->i32, 10);
+  EXPECT_EQ(truncated.state.epoch, 0u);
+
+  auto salvaged = CheckpointManager::recover(path_, registry_);
+  EXPECT_FALSE(salvaged.log_clean);
+  // Resync found frames 2..5; the newest window is the epoch-4 full plus
+  // the epoch-5 incremental.
+  EXPECT_EQ(salvaged.checkpoints_applied, 2u);
+  EXPECT_EQ(salvaged.state.root_as<Leaf>()->i32, 15);
+  EXPECT_EQ(salvaged.state.epoch, 5u);
+  EXPECT_EQ(salvaged.frames_total, 5u);
+  EXPECT_EQ(salvaged.frames_dropped, 3u);
+  EXPECT_EQ(salvaged.corrupt_regions, 1u);
+  EXPECT_EQ(salvaged.damage_offset, frames[1].offset);
+  EXPECT_GT(salvaged.bytes_skipped, 0u);
+  EXPECT_FALSE(salvaged.log_note.empty());
+  EXPECT_NE(salvaged.log_note.find("at byte"), std::string::npos)
+      << salvaged.log_note;
+}
+
+TEST_F(SalvageTest, CorruptMostRecentFullFallsBackToPriorWindow) {
+  auto frames = build_manager_log(/*full_interval=*/3, /*n=*/7);
+  // Fulls at epochs 0, 3, 6; kill the most recent one.
+  corrupt_payload_at(frames[6].offset);
+
+  auto result = CheckpointManager::recover(path_, registry_);
+  EXPECT_FALSE(result.log_clean);
+  // Falls back to the epoch-3 full plus incrementals 4 and 5.
+  EXPECT_EQ(result.checkpoints_applied, 3u);
+  EXPECT_EQ(result.state.root_as<Leaf>()->i32, 15);
+  EXPECT_EQ(result.state.epoch, 5u);
+}
+
+TEST_F(SalvageTest, CorruptOnlyFullThrowsCorruptionError) {
+  auto frames = build_manager_log(/*full_interval=*/100, /*n=*/5);
+  corrupt_payload_at(frames[0].offset);  // the only full checkpoint
+  // Incrementals alone cannot reconstruct the graph: a clean error, never a
+  // partial state.
+  try {
+    CheckpointManager::recover(path_, registry_);
+    FAIL() << "recovery without a usable full checkpoint must throw";
+  } catch (const CorruptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("full checkpoint"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SalvageTest, RepairTruncatesTornTailAndFsckGoesClean) {
+  auto frames = build_manager_log(/*full_interval=*/100, /*n=*/4);
+  auto bytes = io::read_file(path_);
+  const std::uint64_t torn_at = frames[3].offset;
+  const std::uint64_t torn_bytes = bytes.size() - torn_at - 7;
+  bytes.resize(bytes.size() - 7);  // tear the final frame
+  io::write_file(path_, bytes);
+
+  auto before = verify::fsck_log(path_, registry_);
+  EXPECT_FALSE(before.clean());
+  const auto* tail = before.first("log-tail");
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->byte_offset, static_cast<std::int64_t>(torn_at));
+
+  auto repaired = StableStorage::repair(path_);
+  EXPECT_TRUE(repaired.repaired);
+  EXPECT_EQ(repaired.frames_kept, 3u);
+  EXPECT_EQ(repaired.bytes_removed, torn_bytes);
+  EXPECT_FALSE(repaired.reason.empty());
+  EXPECT_EQ(repaired.bak_path, path_ + ".bak");
+  EXPECT_EQ(io::read_file(repaired.bak_path).size(), torn_bytes);
+
+  auto after = verify::fsck_log(path_, registry_);
+  EXPECT_TRUE(after.clean()) << after.to_string();
+  auto result = CheckpointManager::recover(path_, registry_);
+  EXPECT_TRUE(result.log_clean);
+  EXPECT_EQ(result.state.epoch, 2u);
+  EXPECT_EQ(result.state.root_as<Leaf>()->i32, 12);
+}
+
+TEST_F(SalvageTest, RepairOnCleanLogIsNoOp) {
+  auto size_before = [&] {
+    build_manager_log(/*full_interval=*/4, /*n=*/3);
+    return io::read_file(path_).size();
+  }();
+  auto repaired = StableStorage::repair(path_);
+  EXPECT_FALSE(repaired.repaired);
+  EXPECT_EQ(repaired.bytes_removed, 0u);
+  EXPECT_EQ(io::read_file(path_).size(), size_before);
+}
+
+TEST_F(SalvageTest, ReopenAfterMidLogDamageNeverReusesStrandedSeqs) {
+  {
+    StableStorage storage(path_);
+    for (std::uint8_t i = 0; i < 3; ++i) storage.append(payload_of(i));
+  }
+  // Corrupt frame 1: the longest valid prefix is frame 0, but frame 2
+  // (seq 2) is still readable inside the truncated tail.
+  corrupt_payload_at(kFrameBytes);
+
+  StableStorage reopened(path_);
+  // Seq numbering resumes above the stranded frame 2, not above the prefix.
+  EXPECT_EQ(reopened.next_seq(), 3u);
+  EXPECT_EQ(reopened.append(payload_of(9)), 3u);
+
+  auto scan = StableStorage::scan(path_);
+  EXPECT_TRUE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 2u);
+  EXPECT_EQ(scan.frames[0].seq, 0u);
+  EXPECT_EQ(scan.frames[1].seq, 3u);
+  // The stranded bytes (corrupt frame 1 + valid frame 2) are in the .bak.
+  EXPECT_EQ(io::read_file(path_ + ".bak").size(), 2 * kFrameBytes);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

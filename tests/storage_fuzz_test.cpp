@@ -97,14 +97,22 @@ TEST(AsyncLogErrors, FailedAppendSurfacesOnDrain) {
   StableStorage storage(path);
   core::AsyncLog log(storage);
   // Oversized payload: the worker's append throws; the error must be
-  // sticky and surface on drain.
+  // sticky, surface on drain, and carry the seq of the lost frame.
   log.submit(std::vector<std::uint8_t>((1u << 30) + 1));
-  EXPECT_THROW(log.drain(), IoError);
-  // After the error is consumed, the log keeps working.
-  log.submit(std::vector<std::uint8_t>(16, 0x42));
-  log.drain();
+  try {
+    log.drain();
+    FAIL() << "drain() must rethrow the background append failure";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("seq 0"), std::string::npos)
+        << e.what();
+  }
+  // A lost append would leave a hole in the frame/epoch correspondence, so
+  // the log is poisoned: further submits rethrow instead of writing frames
+  // under the wrong sequence numbers.
+  EXPECT_TRUE(log.poisoned());
+  EXPECT_THROW(log.submit(std::vector<std::uint8_t>(16, 0x42)), IoError);
   auto scan = StableStorage::scan(path);
-  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_TRUE(scan.frames.empty());
   std::remove(path.c_str());
 }
 

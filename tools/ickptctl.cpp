@@ -1,20 +1,28 @@
 // ickptctl — command-line operations on checkpoint logs.
 //
-//   ickptctl scan <log>      frame-level integrity check (no type registry
-//                            needed): frames, sizes, torn-tail status
+//   ickptctl scan [--salvage] <log>
+//                            frame-level integrity check (no type registry
+//                            needed): frames, sizes, torn-tail status; with
+//                            --salvage, resynchronizes past mid-log damage
 //   ickptctl inspect <log>   decode records per frame (uses the built-in
 //                            registry: the synth and analysis classes this
 //                            repo ships; applications link their own
 //                            registry and reuse core::inspect_log)
 //   ickptctl verify <log>    full recovery dry-run: reports object count,
-//                            roots, epoch — or the corruption error
-//   ickptctl fsck <log>      offline chain validation without materializing
+//                            roots, epoch, salvage notes — or the
+//                            corruption error
+//   ickptctl fsck [--repair] <log>
+//                            offline chain validation without materializing
 //                            objects: frame/CRC integrity, record payloads,
 //                            epoch monotonicity, id referential closure,
-//                            duplicate records, dangling children
+//                            duplicate records, dangling children; --repair
+//                            truncates a torn tail to the longest valid
+//                            prefix (removed bytes saved to <log>.bak)
 //   ickptctl compact <log>   rewrite the log to a single full checkpoint
+//                            (crash-atomic: temp + fsync + rename)
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "analysis/attributes.hpp"
 #include "common/error.hpp"
@@ -35,18 +43,28 @@ core::TypeRegistry builtin_registry() {
   return registry;
 }
 
-int cmd_scan(const char* path) {
-  io::ScanResult scan = io::StableStorage::scan(path);
+int cmd_scan(const char* path, bool salvage) {
+  io::ScanResult scan =
+      io::StableStorage::scan(path, {.salvage = salvage});
   std::size_t total = 0;
   for (const io::Frame& frame : scan.frames) {
-    std::printf("seq %llu: %zu bytes\n", (unsigned long long)frame.seq,
-                frame.payload.size());
+    std::printf("seq %llu @ byte %llu: %zu bytes%s\n",
+                (unsigned long long)frame.seq,
+                (unsigned long long)frame.offset, frame.payload.size(),
+                frame.resync ? " (resynchronized after corrupt region)" : "");
     total += frame.payload.size();
   }
   std::printf("%zu frame(s), %zu payload bytes, %s\n", scan.frames.size(),
               total,
-              scan.clean ? "clean"
-                         : ("tail dropped: " + scan.stop_reason).c_str());
+              scan.clean
+                  ? "clean"
+                  : (scan.stop_reason + " at byte " +
+                     std::to_string(scan.stop_offset))
+                        .c_str());
+  if (scan.regions_skipped > 0)
+    std::printf("salvage: skipped %zu corrupt region(s), %llu byte(s)\n",
+                scan.regions_skipped,
+                (unsigned long long)scan.bytes_skipped);
   return scan.clean ? 0 : 2;
 }
 
@@ -65,8 +83,7 @@ int cmd_verify(const char* path) {
               result.state.by_id.size(), result.checkpoints_applied,
               result.state.roots.size(),
               (unsigned long long)result.state.epoch,
-              result.log_clean ? "clean"
-                               : ("tail dropped: " + result.log_note).c_str());
+              result.log_clean ? "clean" : result.log_note.c_str());
   std::size_t dropped = result.state.prune_unreachable();
   if (dropped != 0)
     std::printf("note: %zu recovered object(s) unreachable from the roots "
@@ -75,9 +92,26 @@ int cmd_verify(const char* path) {
   return 0;
 }
 
-int cmd_fsck(const char* path) {
+int cmd_fsck(const char* path, bool repair) {
   auto registry = builtin_registry();
   auto report = verify::fsck_log(path, registry);
+  std::fputs(report.to_string().c_str(), stdout);
+  if (!repair || report.clean()) return report.clean() ? 0 : 2;
+
+  // Only frame-level tail/mid-log damage is repairable by truncation;
+  // chain-level findings (dangling ids, type changes) are not.
+  auto repaired = io::StableStorage::repair(path);
+  if (repaired.repaired) {
+    std::printf("repair: truncated %llu byte(s) (%s) to the longest valid "
+                "prefix of %zu frame(s); removed bytes saved to %s\n",
+                (unsigned long long)repaired.bytes_removed,
+                repaired.reason.c_str(), repaired.frames_kept,
+                repaired.bak_path.c_str());
+  } else {
+    std::printf("repair: no torn tail to truncate (damage is inside the "
+                "frames, not after them)\n");
+  }
+  report = verify::fsck_log(path, registry);
   std::fputs(report.to_string().c_str(), stdout);
   return report.clean() ? 0 : 2;
 }
@@ -92,13 +126,16 @@ int cmd_compact(const char* path) {
 
 int usage() {
   std::fputs(
-      "usage: ickptctl <scan|inspect|verify|fsck|compact> <log-file>\n"
-      "  scan     frame integrity only (no registry)\n"
-      "  inspect  per-frame record breakdown (built-in classes)\n"
-      "  verify   full recovery dry-run\n"
-      "  fsck     offline chain validation: integrity, id closure, epochs\n"
-      "           (exit 0 clean, 2 on any error-severity finding)\n"
-      "  compact  rewrite to a single full checkpoint\n",
+      "usage: ickptctl <command> [flags] <log-file>\n"
+      "  scan [--salvage]   frame integrity only (no registry); --salvage\n"
+      "                     resynchronizes past mid-log corruption\n"
+      "  inspect            per-frame record breakdown (built-in classes)\n"
+      "  verify             full recovery dry-run (salvages by default)\n"
+      "  fsck [--repair]    offline chain validation: integrity, id closure,\n"
+      "                     epochs (exit 0 clean, 2 on any error finding);\n"
+      "                     --repair truncates a torn tail to the longest\n"
+      "                     valid prefix, saving removed bytes to <log>.bak\n"
+      "  compact            rewrite to a single full checkpoint\n",
       stderr);
   return 64;
 }
@@ -106,13 +143,29 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return usage();
+  if (argc < 3) return usage();
+  const char* command = argv[1];
+  bool repair = false;
+  bool salvage = false;
+  const char* path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
   try {
-    if (std::strcmp(argv[1], "scan") == 0) return cmd_scan(argv[2]);
-    if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argv[2]);
-    if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argv[2]);
-    if (std::strcmp(argv[1], "fsck") == 0) return cmd_fsck(argv[2]);
-    if (std::strcmp(argv[1], "compact") == 0) return cmd_compact(argv[2]);
+    if (std::strcmp(command, "scan") == 0) return cmd_scan(path, salvage);
+    if (std::strcmp(command, "inspect") == 0) return cmd_inspect(path);
+    if (std::strcmp(command, "verify") == 0) return cmd_verify(path);
+    if (std::strcmp(command, "fsck") == 0) return cmd_fsck(path, repair);
+    if (std::strcmp(command, "compact") == 0) return cmd_compact(path);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "ickptctl: %s\n", e.what());
