@@ -14,8 +14,8 @@ using namespace ickpt::bench;
 int main() {
   print_header("Figure 7: incremental vs full checkpointing (speedup)");
   std::printf("structures=%zu reps=%d\n\n", bench_structures(), bench_reps());
-  print_row({"L", "ints/elem", "%modified", "full", "incremental",
-             "ckpt size", "speedup"});
+  print_row({"L", "ints/elem", "%modified", "full", "incr", "incr-p50",
+             "incr-p95", "incr-max", "ckpt size", "speedup"});
 
   for (int list_length : {1, 5}) {
     for (int values : {1, 10}) {
@@ -37,8 +37,17 @@ int main() {
 
         print_row({std::to_string(list_length), std::to_string(values),
                    std::to_string(percent), fmt_ms(full.seconds),
-                   fmt_ms(incr.seconds), fmt_mb(incr.bytes),
-                   fmt_x(full.seconds / incr.seconds)});
+                   fmt_ms(incr.seconds), fmt_ms(incr.stats.p50),
+                   fmt_ms(incr.stats.p95), fmt_ms(incr.stats.max),
+                   fmt_mb(incr.bytes), fmt_x(full.seconds / incr.seconds)});
+
+        const std::string grid = "L=" + std::to_string(list_length) +
+                                 " v=" + std::to_string(values) +
+                                 " pct=" + std::to_string(percent);
+        JsonReport::instance().add("fig07", grid + " mode=full", full.stats,
+                                   full.bytes);
+        JsonReport::instance().add("fig07", grid + " mode=incremental",
+                                   incr.stats, incr.bytes);
       }
     }
   }

@@ -44,17 +44,16 @@ int main() {
         auto flags = workload.save_flags();
 
         spec::PlanCompiler compiler;
-        double unspec = 0;
-        double specialized = 0;
+        Measured unspec;
+        Measured specialized;
         if (std::string(engine) == "virtual") {
-          unspec = measure_generic(workload, core::Mode::kIncremental, flags)
-                       .seconds;
+          unspec = measure_generic(workload, core::Mode::kIncremental, flags);
           spec::Plan plan = compiler.compile(
               *shapes.compound,
               synth::make_synth_pattern(synth::SpecLevel::kPositions,
                                         list_length, values, mod_lists));
           spec::PlanExecutor exec(plan);
-          specialized = measure_plan(workload, exec, flags).seconds;
+          specialized = measure_plan(workload, exec, flags);
         } else if (std::string(engine) == "plan") {
           spec::Plan uniform = compiler.compile(
               *shapes.compound,
@@ -66,22 +65,28 @@ int main() {
                                         list_length, values, mod_lists));
           spec::PlanExecutor uexec(uniform);
           spec::PlanExecutor fexec(full);
-          unspec = measure_plan(workload, uexec, flags).seconds;
-          specialized = measure_plan(workload, fexec, flags).seconds;
+          unspec = measure_plan(workload, uexec, flags);
+          specialized = measure_plan(workload, fexec, flags);
         } else {
           unspec = measure_residual(
-                       workload,
-                       synth::residual::uniform_fn(list_length, values), flags)
-                       .seconds;
-          specialized =
-              measure_residual(workload,
-                               synth::residual::specialized_fn(
-                                   list_length, values, mod_lists, true),
-                               flags)
-                  .seconds;
+              workload, synth::residual::uniform_fn(list_length, values),
+              flags);
+          specialized = measure_residual(
+              workload,
+              synth::residual::specialized_fn(list_length, values, mod_lists,
+                                              true),
+              flags);
         }
-        cells.push_back(fmt_ms(unspec));
-        spec_cells.push_back(fmt_ms(specialized));
+        cells.push_back(fmt_ms(unspec.seconds));
+        spec_cells.push_back(fmt_ms(specialized.seconds));
+
+        const std::string grid = std::string("engine=") + engine +
+                                 " mod_lists=" + std::to_string(mod_lists) +
+                                 " pct=" + std::to_string(percent);
+        JsonReport::instance().add("table2", grid + " code=unspec",
+                                   unspec.stats, unspec.bytes);
+        JsonReport::instance().add("table2", grid + " code=spec",
+                                   specialized.stats, specialized.bytes);
       }
       cells.insert(cells.end(), spec_cells.begin(), spec_cells.end());
       print_row(cells, 13);

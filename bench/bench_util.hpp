@@ -3,10 +3,14 @@
 // Methodology: every timed quantity is the wall-clock time of constructing
 // one checkpoint into a CountingSink (pure construction cost, no disk — the
 // paper likewise defers the copy to stable storage). Flags are snapshotted
-// and replayed so that each engine measures the identical dirty state, and
-// each measurement reports the minimum over `reps` runs (best-of, to shed
-// scheduler noise). Workload scale defaults to the paper's 20,000 compound
-// structures; set ICKPT_BENCH_STRUCTURES to shrink it on slow machines.
+// and replayed so that each engine measures the identical dirty state.
+// Each measurement records every rep into an obs::Histogram and reports
+// best/p50/p95/max/mean — best-of sheds scheduler noise for the headline
+// number, the quantiles show how noisy the run actually was. Workload scale
+// defaults to the paper's 20,000 compound structures; set
+// ICKPT_BENCH_STRUCTURES to shrink it on slow machines. Benchmarks that
+// call JsonReport::add additionally write their rows to BENCH_obs.json
+// (path overridable via ICKPT_BENCH_JSON) when the process exits.
 #pragma once
 
 #include <chrono>
@@ -19,6 +23,7 @@
 #include "core/checkpoint.hpp"
 #include "io/byte_sink.hpp"
 #include "io/data_writer.hpp"
+#include "obs/metrics.hpp"
 #include "spec/compiler.hpp"
 #include "spec/executor.hpp"
 #include "synth/residual_dispatch.hpp"
@@ -43,27 +48,65 @@ inline int bench_reps() {
   return 5;
 }
 
-/// Seconds for one invocation of `fn`, minimized over reps (+1 warmup).
-/// `prepare` restores the pre-measurement state before every run.
-inline double time_best(const std::function<void()>& prepare,
-                        const std::function<void()>& fn,
-                        int reps = bench_reps()) {
+/// Distribution of one measurement's reps. best/max/mean are exact;
+/// p50/p95 are histogram quantiles (obs::Histogram, fine exponential
+/// buckets), so they carry the bucket interpolation error — good enough to
+/// see noise, not for sub-bucket comparisons.
+struct TimingStats {
+  double best = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+/// Time `fn` over `reps` runs (+1 warmup). `prepare` restores the
+/// pre-measurement state before every run. Uses a private (uninstalled)
+/// obs::Registry, so it neither requires nor disturbs process telemetry.
+inline TimingStats time_stats(const std::function<void()>& prepare,
+                              const std::function<void()>& fn,
+                              int reps = bench_reps()) {
   using clock = std::chrono::steady_clock;
-  double best = 1e100;
+  obs::Registry local;
+  obs::Histogram hist = local.histogram(
+      "bench_seconds", {}, obs::Histogram::exponential_bounds(1e-7, 1.3, 96));
+  TimingStats stats;
+  stats.best = 1e100;
+  double sum = 0;
   for (int r = 0; r <= reps; ++r) {
     prepare();
     auto t0 = clock::now();
     fn();
     auto t1 = clock::now();
     double s = std::chrono::duration<double>(t1 - t0).count();
-    if (r > 0 && s < best) best = s;  // run 0 is warmup
+    if (r == 0) continue;  // run 0 is warmup
+    hist.observe(s);
+    sum += s;
+    if (s < stats.best) stats.best = s;
+    if (s > stats.max) stats.max = s;
   }
-  return best;
+  if (reps > 0) stats.mean = sum / reps;
+  if (stats.best > 1e99) stats.best = 0;
+  obs::Snapshot snap = local.snapshot();
+  if (const obs::MetricSnapshot* m = snap.find("bench_seconds")) {
+    stats.p50 = m->quantile(0.5);
+    stats.p95 = m->quantile(0.95);
+  }
+  return stats;
+}
+
+/// Seconds for one invocation of `fn`, minimized over reps (+1 warmup).
+inline double time_best(const std::function<void()>& prepare,
+                        const std::function<void()>& fn,
+                        int reps = bench_reps()) {
+  return time_stats(prepare, fn, reps).best;
 }
 
 struct Measured {
+  /// Best-of-reps seconds (the headline number, == stats.best).
   double seconds = 0;
   std::size_t bytes = 0;
+  TimingStats stats;
 };
 
 /// Checkpoint `workload` with the generic driver; bytes counted, not stored.
@@ -80,7 +123,8 @@ inline Measured measure_generic(synth::SynthWorkload& workload,
     writer.flush();
     m.bytes = sink.count();
   };
-  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  m.stats = time_stats([&] { workload.restore_flags(flags); }, body);
+  m.seconds = m.stats.best;
   return m;
 }
 
@@ -95,7 +139,8 @@ inline Measured measure_plan(synth::SynthWorkload& workload,
     writer.flush();
     m.bytes = sink.count();
   };
-  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  m.stats = time_stats([&] { workload.restore_flags(flags); }, body);
+  m.seconds = m.stats.best;
   return m;
 }
 
@@ -112,9 +157,66 @@ inline Measured measure_residual(synth::SynthWorkload& workload,
     writer.flush();
     m.bytes = sink.count();
   };
-  m.seconds = time_best([&] { workload.restore_flags(flags); }, body);
+  m.stats = time_stats([&] { workload.restore_flags(flags); }, body);
+  m.seconds = m.stats.best;
   return m;
 }
+
+// --- machine-readable report -------------------------------------------------
+
+/// Accumulates benchmark rows and writes them as a JSON array to
+/// BENCH_obs.json (or $ICKPT_BENCH_JSON) when the process exits. One
+/// instance per process; benchmarks just call JsonReport::add.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// One measured configuration. `bench` names the benchmark, `config`
+  /// the grid point (e.g. "L=5 v=10 pct=25 engine=plan").
+  void add(const std::string& bench, const std::string& config,
+           const TimingStats& stats, std::size_t bytes) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                  "\"best_s\": %.9g, \"p50_s\": %.9g, \"p95_s\": %.9g, "
+                  "\"max_s\": %.9g, \"mean_s\": %.9g, \"bytes\": %zu}",
+                  escape(bench).c_str(), escape(config).c_str(), stats.best,
+                  stats.p50, stats.p95, stats.max, stats.mean, bytes);
+    rows_.push_back(buf);
+  }
+
+  ~JsonReport() {
+    if (rows_.empty()) return;
+    const char* path = std::getenv("ICKPT_BENCH_JSON");
+    if (path == nullptr) path = "BENCH_obs.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;  // best-effort: a report must not fail a bench
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("\nwrote %zu row(s) to %s\n", rows_.size(), path);
+  }
+
+ private:
+  JsonReport() = default;
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::string> rows_;
+};
 
 // --- tiny fixed-width table printer ------------------------------------------
 

@@ -1,12 +1,18 @@
 #include "core/async_log.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ickpt::core {
 
-AsyncLog::AsyncLog(io::StableStorage& storage) : storage_(storage) {
+AsyncLog::AsyncLog(io::StableStorage& storage)
+    : storage_(storage),
+      obs_depth_(obs::gauge("ickpt_async_queue_depth")),
+      obs_appends_(obs::counter("ickpt_async_appends_total")),
+      obs_append_seconds_(obs::histogram("ickpt_async_append_seconds")) {
   thread_ = std::thread([this] { worker(); });
 }
 
@@ -18,16 +24,21 @@ AsyncLog::~AsyncLog() {
   work_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   // Destructors cannot throw; an append failure nobody drained must still
-  // not vanish silently.
+  // not vanish silently. It is counted and traced for the telemetry
+  // pipeline *and* printed to stderr — an operator without a registry
+  // installed still sees it.
   if (error_ != nullptr && !error_observed_) {
+    obs::counter("ickpt_async_unobserved_errors_total").inc();
     try {
       std::rethrow_exception(error_);
     } catch (const std::exception& e) {
+      obs::instant("async.unobserved_error", "async", e.what());
       std::fprintf(stderr,
                    "ickpt: AsyncLog destroyed with an unobserved append "
                    "failure (%zu queued payload(s) dropped): %s\n",
                    dropped_, e.what());
     } catch (...) {
+      obs::instant("async.unobserved_error", "async");
       std::fprintf(stderr,
                    "ickpt: AsyncLog destroyed with an unobserved append "
                    "failure (%zu queued payload(s) dropped)\n",
@@ -50,15 +61,28 @@ void AsyncLog::submit(std::vector<std::uint8_t> payload) {
     std::unique_lock<std::mutex> lock(mutex_);
     rethrow_locked(lock);
     queue_.push_back(std::move(payload));
+    obs_depth_.set(static_cast<std::int64_t>(queue_.size() +
+                                             (in_flight_ ? 1 : 0)));
   }
   work_cv_.notify_one();
 }
 
 void AsyncLog::drain() {
+  obs::Span span("async.drain", "async");
+  // drain() is a cold synchronization point, so the flush-latency histogram
+  // is looked up per call (also correct under late registry install).
+  obs::Histogram flush_seconds = obs::histogram("ickpt_async_flush_seconds");
+  const bool timed = flush_seconds.live();
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] {
     return (queue_.empty() && !in_flight_) || error_ != nullptr;
   });
+  if (timed)
+    flush_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
   rethrow_locked(lock);
 }
 
@@ -90,8 +114,12 @@ void AsyncLog::worker() {
     // claim it first.
     const std::uint64_t seq = storage_.next_seq();
     std::exception_ptr error;
+    const bool timed = obs_append_seconds_.live();
+    std::chrono::steady_clock::time_point t0;
+    if (timed) t0 = std::chrono::steady_clock::now();
     try {
       storage_.append(payload);
+      obs_appends_.inc();
     } catch (const std::exception& e) {
       error = std::make_exception_ptr(
           IoError("async append of frame seq " + std::to_string(seq) +
@@ -100,6 +128,12 @@ void AsyncLog::worker() {
       error = std::make_exception_ptr(IoError(
           "async append of frame seq " + std::to_string(seq) + " failed"));
     }
+    if (timed)
+      obs_append_seconds_.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    bool poisoned_now = false;
+    std::size_t dropped_now = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       in_flight_ = false;
@@ -109,7 +143,21 @@ void AsyncLog::worker() {
         // epochs they were taken for; drop them and fail stop.
         dropped_ = queue_.size();
         queue_.clear();
+        poisoned_now = true;
+        dropped_now = dropped_;
       }
+      obs_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (poisoned_now) {
+      // Poisoning is a once-per-log event; per-call lookups keep the hot
+      // path free of it.
+      obs::counter("ickpt_async_poisoned_total").inc();
+      if (dropped_now > 0)
+        obs::counter("ickpt_async_dropped_payloads_total").inc(dropped_now);
+      obs::instant("async.poisoned", "async",
+                   "frame seq " + std::to_string(seq) + ", " +
+                       std::to_string(dropped_now) +
+                       " queued payload(s) dropped");
     }
     idle_cv_.notify_all();
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "io/stable_storage.hpp"
+#include "obs/metrics.hpp"
 
 namespace ickpt::core {
 
@@ -59,6 +60,11 @@ class AsyncLog {
   void rethrow_locked(std::unique_lock<std::mutex>& lock);
 
   io::StableStorage& storage_;
+  /// Null no-op handles when no obs::Registry is installed (one pointer
+  /// test per use). Captured at construction.
+  obs::Gauge obs_depth_;
+  obs::Counter obs_appends_;
+  obs::Histogram obs_append_seconds_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

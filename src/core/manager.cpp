@@ -1,14 +1,35 @@
 #include "core/manager.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 
 #include "common/error.hpp"
+#include "core/recovery_note.hpp"
 #include "io/byte_sink.hpp"
 #include "io/file_io.hpp"
 #include "io/data_writer.hpp"
+#include "obs/trace.hpp"
 
 namespace ickpt::core {
+
+CheckpointManager::Metrics::Metrics()
+    : checkpoints_full(
+          obs::counter("ickpt_checkpoints_total", {{"mode", "full"}})),
+      checkpoints_incremental(
+          obs::counter("ickpt_checkpoints_total", {{"mode", "incremental"}})),
+      objects_visited(obs::counter("ickpt_checkpoint_objects_total",
+                                   {{"result", "visited"}})),
+      objects_recorded(obs::counter("ickpt_checkpoint_objects_total",
+                                    {{"result", "recorded"}})),
+      objects_skipped(obs::counter("ickpt_checkpoint_objects_total",
+                                   {{"result", "skipped"}})),
+      bytes_full(
+          obs::counter("ickpt_checkpoint_bytes_total", {{"mode", "full"}})),
+      bytes_incremental(obs::counter("ickpt_checkpoint_bytes_total",
+                                     {{"mode", "incremental"}})),
+      build_seconds(obs::histogram("ickpt_checkpoint_build_seconds")),
+      epoch(obs::gauge("ickpt_epoch")) {}
 
 CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
     : opts_(opts),
@@ -41,8 +62,13 @@ TakeResult CheckpointManager::take(Checkpointable& root) {
 
 TakeResult CheckpointManager::take_with_mode(
     std::span<Checkpointable* const> roots, Mode mode) {
+  obs::Span span("checkpoint.take", "checkpoint");
   io::VectorSink sink;
   CheckpointStats stats;
+  // The clock costs nothing unless a histogram cell is actually installed.
+  const bool timed = metrics_.build_seconds.live();
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
   {
     io::DataWriter writer(sink);
     CheckpointOptions copts;
@@ -51,11 +77,31 @@ TakeResult CheckpointManager::take_with_mode(
     stats = Checkpoint::run(writer, epoch_, roots, copts);
     writer.flush();
   }
+  if (timed)
+    metrics_.build_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  (mode == Mode::kFull ? metrics_.checkpoints_full
+                       : metrics_.checkpoints_incremental)
+      .inc();
+  (mode == Mode::kFull ? metrics_.bytes_full : metrics_.bytes_incremental)
+      .inc(sink.size());
+  metrics_.objects_visited.inc(stats.objects_visited);
+  metrics_.objects_recorded.inc(stats.objects_recorded);
+  metrics_.objects_skipped.inc(stats.objects_visited -
+                               stats.objects_recorded);
+  metrics_.epoch.set(static_cast<std::int64_t>(epoch_));
   TakeResult result;
   result.epoch = epoch_++;
   result.mode = mode;
   result.bytes = sink.size();
   result.stats = stats;
+  if (span.active())
+    span.note(std::string(mode == Mode::kFull ? "full" : "incremental") +
+              " epoch " + std::to_string(result.epoch) + ", " +
+              std::to_string(result.bytes) + " byte(s), " +
+              std::to_string(stats.objects_recorded) + "/" +
+              std::to_string(stats.objects_visited) + " recorded");
   if (async_ != nullptr) {
     // Appends are FIFO and 1:1 with epochs, so the frame will carry the
     // epoch as its sequence number.
@@ -74,21 +120,25 @@ namespace {
 /// failing frame and replays — the surviving prefix is still consistent
 /// (recovery applies frames in order, so frames before the bad one are
 /// unaffected by it). Returns false when the full checkpoint itself is
-/// undecodable. `note` collects what was dropped.
+/// undecodable. Trims are collected into `note`; `records` receives the
+/// record count of the finally-applied window.
 bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
                   std::size_t end_limit, const TypeRegistry& registry,
                   RecoveredState& out, std::size_t& applied,
-                  std::string& note) {
+                  RecoveryNote& note, std::size_t& records) {
   std::size_t end = end_limit;
   while (end > begin) {
     Recovery recovery(registry);
     std::size_t at = begin;
     std::string what;
     bool failed = false;
+    ApplyStats window_stats;
     for (; at < end; ++at) {
       try {
         io::DataReader reader(frames[at].payload);
-        recovery.apply(reader);
+        ApplyStats frame_stats;
+        recovery.apply(reader, &frame_stats);
+        window_stats.records += frame_stats.records;
       } catch (const Error& e) {
         failed = true;
         what = e.what();
@@ -99,6 +149,7 @@ bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
       try {
         out = recovery.finish();
         applied = end - begin;
+        records = window_stats.records;
         return true;
       } catch (const Error& e) {
         // A dangling link etc. — dropping the last frame may close the
@@ -109,9 +160,8 @@ bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
       }
     }
     if (at == begin) return false;
-    note += "; frame seq " + std::to_string(frames[at].seq) +
-            " undecodable (" + what + "), dropped " +
-            std::to_string(end_limit - at) + " trailing checkpoint(s)";
+    note.trims.push_back(RecoveryNote::Trim{
+        frames[at].seq, what, end_limit - at});
     end = at;
   }
   return false;
@@ -130,6 +180,7 @@ std::optional<Mode> frame_mode(const io::Frame& frame) {
 RecoverResult CheckpointManager::recover(const std::string& path,
                                          const TypeRegistry& registry,
                                          RecoverOptions opts) {
+  obs::Span span("checkpoint.recover", "recovery");
   io::ScanResult scan =
       io::StableStorage::scan(path, {.salvage = opts.salvage});
   if (scan.frames.empty())
@@ -143,6 +194,19 @@ RecoverResult CheckpointManager::recover(const std::string& path,
   result.bytes_skipped = scan.bytes_skipped;
   result.damage_offset = scan.stop_offset;
 
+  RecoveryNote note;
+  if (!scan.clean) {
+    note.stop_reason = scan.stop_reason;
+    note.damage_offset = scan.stop_offset;
+    note.regions_skipped = scan.regions_skipped;
+    note.bytes_skipped = scan.bytes_skipped;
+    obs::instant("recover.salvage", "recovery",
+                 scan.stop_reason + " at byte " +
+                     std::to_string(scan.stop_offset) + ", " +
+                     std::to_string(scan.regions_skipped) +
+                     " region(s) skipped");
+  }
+
   // Contiguous runs of frames: a corrupt region (resync frame) starts a new
   // segment. Incrementals can only be applied onto a full checkpoint from
   // the *same* segment — across a gap, deltas may be missing.
@@ -151,8 +215,8 @@ RecoverResult CheckpointManager::recover(const std::string& path,
     if (scan.frames[i].resync) starts.push_back(i);
   starts.push_back(scan.frames.size());
 
-  std::string trim_note;
   bool recovered = false;
+  std::size_t records_applied = 0;
   // Newest usable window wins: walk segments from the back, and inside a
   // segment prefer the latest full checkpoint.
   for (std::size_t s = starts.size() - 1; s-- > 0 && !recovered;) {
@@ -161,8 +225,9 @@ RecoverResult CheckpointManager::recover(const std::string& path,
     for (std::size_t i = seg_end; i-- > seg_begin && !recovered;) {
       if (frame_mode(scan.frames[i]) != Mode::kFull) continue;
       std::size_t applied = 0;
+      obs::Span apply_span("recover.apply_window", "recovery");
       if (apply_window(scan.frames, i, seg_end, registry, result.state,
-                       applied, trim_note)) {
+                       applied, note, records_applied)) {
         result.checkpoints_applied = applied;
         recovered = true;
       }
@@ -174,27 +239,40 @@ RecoverResult CheckpointManager::recover(const std::string& path,
                           (scan.clean ? "" : " (" + scan.stop_reason + ")"));
 
   result.frames_dropped = result.frames_total - result.checkpoints_applied;
-  if (!scan.clean) {
-    result.log_note = scan.stop_reason + " at byte " +
-                      std::to_string(scan.stop_offset);
-    if (scan.regions_skipped > 0)
-      result.log_note += "; salvage skipped " +
-                         std::to_string(scan.regions_skipped) +
-                         " corrupt region(s) (" +
-                         std::to_string(scan.bytes_skipped) + " byte(s))";
+  note.frames_outside_window = result.frames_dropped;
+  result.log_note = note.render();
+
+  obs::counter("ickpt_recoveries_total",
+               {{"log", scan.clean ? "clean" : "damaged"}})
+      .inc();
+  obs::counter("ickpt_recover_frames_total", {{"result", "applied"}})
+      .inc(result.checkpoints_applied);
+  obs::counter("ickpt_recover_frames_total", {{"result", "dropped"}})
+      .inc(result.frames_dropped);
+  obs::counter("ickpt_recover_records_total").inc(records_applied);
+  if (result.corrupt_regions > 0) {
+    obs::counter("ickpt_recover_salvage_regions_total")
+        .inc(result.corrupt_regions);
+    obs::counter("ickpt_recover_salvage_bytes_total")
+        .inc(result.bytes_skipped);
   }
-  if (result.frames_dropped > 0) {
-    if (!result.log_note.empty()) result.log_note += "; ";
-    result.log_note += std::to_string(result.frames_dropped) +
-                       " readable checkpoint(s) outside the recovered window";
-  }
-  result.log_note += trim_note;
+  if (span.active())
+    span.note(std::to_string(result.checkpoints_applied) +
+              " checkpoint(s) applied, " +
+              std::to_string(result.state.by_id.size()) + " object(s); " +
+              note.trace_note());
   return result;
 }
 
 CompactResult CheckpointManager::compact(const std::string& path,
                                          const TypeRegistry& registry,
                                          io::FaultPolicy* fault) {
+  obs::Span span("checkpoint.compact", "checkpoint");
+  obs::Histogram compact_seconds = obs::histogram("ickpt_compact_seconds");
+  const bool timed = compact_seconds.live();
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
+
   RecoverResult recovered = recover(path, registry);
 
   CompactResult result;
@@ -236,6 +314,15 @@ CompactResult CheckpointManager::compact(const std::string& path,
     fresh.append(sink.bytes());
   }
   io::rename_durable(tmp_path, path);
+  obs::counter("ickpt_compacts_total").inc();
+  if (timed)
+    compact_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  if (span.active())
+    span.note(std::to_string(result.objects) + " object(s), " +
+              std::to_string(result.bytes_before) + " -> " +
+              std::to_string(result.bytes_after) + " byte(s)");
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "core/checkpoint.hpp"
 #include "core/recovery.hpp"
 #include "io/stable_storage.hpp"
+#include "obs/metrics.hpp"
 
 namespace ickpt::core {
 
@@ -121,10 +122,28 @@ class CheckpointManager {
                                io::FaultPolicy* fault = nullptr);
 
  private:
+  /// Handles into the installed obs::Registry, captured at construction
+  /// (null no-op handles when none is installed — the whole struct then
+  /// costs one pointer test per use). recover()/compact() are static and
+  /// look their handles up per call instead.
+  struct Metrics {
+    Metrics();
+    obs::Counter checkpoints_full;
+    obs::Counter checkpoints_incremental;
+    obs::Counter objects_visited;
+    obs::Counter objects_recorded;
+    obs::Counter objects_skipped;
+    obs::Counter bytes_full;
+    obs::Counter bytes_incremental;
+    obs::Histogram build_seconds;
+    obs::Gauge epoch;
+  };
+
   ManagerOptions opts_;
   io::StableStorage storage_;
   std::unique_ptr<AsyncLog> async_;
   Epoch epoch_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace ickpt::core

@@ -1,0 +1,78 @@
+// RecoveryNote: structured description of what recovery found wrong and
+// what salvage did about it.
+//
+// CheckpointManager::recover used to assemble its human-readable log_note
+// by string concatenation in three separate places; the observability work
+// needs the same facts a second time (as trace-event annotations and
+// counter increments), so the facts now live in one struct and both the
+// note text and the trace note are rendered from it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ickpt::core {
+
+struct RecoveryNote {
+  /// First damage met by the scan ("" when the log was clean).
+  std::string stop_reason;
+  std::uint64_t damage_offset = 0;
+  /// Corrupt regions salvage skipped, and the bytes inside them.
+  std::size_t regions_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+  /// Readable frames outside the recovered window (stranded, superseded).
+  std::size_t frames_outside_window = 0;
+
+  /// One window trim: a frame that decoded but could not be applied, plus
+  /// the trailing checkpoints dropped with it.
+  struct Trim {
+    std::uint64_t seq = 0;
+    std::string what;
+    std::size_t dropped = 0;
+  };
+  std::vector<Trim> trims;
+
+  [[nodiscard]] bool empty() const {
+    return stop_reason.empty() && frames_outside_window == 0 && trims.empty();
+  }
+
+  /// The RecoverResult::log_note text ("" when there is nothing to say).
+  [[nodiscard]] std::string render() const {
+    std::string out;
+    if (!stop_reason.empty()) {
+      out += stop_reason + " at byte " + std::to_string(damage_offset);
+      if (regions_skipped > 0)
+        out += "; salvage skipped " + std::to_string(regions_skipped) +
+               " corrupt region(s) (" + std::to_string(bytes_skipped) +
+               " byte(s))";
+    }
+    if (frames_outside_window > 0) {
+      if (!out.empty()) out += "; ";
+      out += std::to_string(frames_outside_window) +
+             " readable checkpoint(s) outside the recovered window";
+    }
+    for (const Trim& trim : trims)
+      out += "; frame seq " + std::to_string(trim.seq) + " undecodable (" +
+             trim.what + "), dropped " + std::to_string(trim.dropped) +
+             " trailing checkpoint(s)";
+    return out;
+  }
+
+  /// Compact single-line form for a trace-event annotation.
+  [[nodiscard]] std::string trace_note() const {
+    if (empty()) return "clean";
+    std::string out = stop_reason.empty() ? "clean scan" : stop_reason;
+    if (regions_skipped > 0)
+      out += ", " + std::to_string(regions_skipped) + " region(s)/" +
+             std::to_string(bytes_skipped) + "B salvaged";
+    if (frames_outside_window > 0)
+      out += ", " + std::to_string(frames_outside_window) +
+             " frame(s) outside window";
+    if (!trims.empty())
+      out += ", " + std::to_string(trims.size()) + " trim(s)";
+    return out;
+  }
+};
+
+}  // namespace ickpt::core

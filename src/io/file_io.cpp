@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 #ifdef __unix__
 #include <fcntl.h>
@@ -17,9 +18,52 @@ namespace {
 [[noreturn]] void fail(const std::string& op, const std::string& path) {
   throw IoError(op + " '" + path + "': " + std::strerror(errno));
 }
+
+std::string errno_label(int err) {
+  switch (err) {
+    case EINTR:
+      return "EINTR";
+    case ENOSPC:
+      return "ENOSPC";
+    case EIO:
+      return "EIO";
+    default:
+      return std::to_string(err);
+  }
+}
+
+// Fault/retry paths are cold (injection and real transient errors only), so
+// they look the counters up per event — correct even if the registry was
+// installed after the sink was built.
+void count_retry(int err) {
+  obs::counter("ickpt_storage_retries_total", {{"errno", errno_label(err)}})
+      .inc();
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
 }  // namespace
 
-FileSink::FileSink(const std::string& path, Mode mode) : path_(path) {
+FileSink::FileSink(const std::string& path, Mode mode)
+    : path_(path),
+      obs_bytes_(obs::counter("ickpt_storage_bytes_written_total")),
+      obs_fsyncs_(obs::counter("ickpt_storage_fsyncs_total")) {
   file_ = std::fopen(path.c_str(), mode == Mode::kAppend ? "ab" : "wb");
   if (file_ == nullptr) fail("open", path);
   if (mode == Mode::kAppend) {
@@ -49,12 +93,14 @@ void FileSink::write_raw(const std::uint8_t* data, std::size_t n) {
   while (n != 0) {
     std::size_t written = std::fwrite(data, 1, n, file_);
     offset_ += written;
+    obs_bytes_.inc(written);
     data += written;
     n -= written;
     if (n == 0) break;
     // Short write: retry the remainder on EINTR (with backoff once the
     // write stops making progress), fail hard on anything else.
     if (errno != EINTR) fail("write", path_);
+    count_retry(EINTR);
     std::clearerr(file_);
     if (written == 0) {
       if (++attempts > retry_.max_attempts)
@@ -73,6 +119,12 @@ void FileSink::write(const std::uint8_t* data, std::size_t n) {
   while (n != 0) {
     FaultDecision d;
     if (fault_ != nullptr) d = fault_->on_write(offset_, n);
+    if (d.kind != FaultKind::kNone) {
+      obs::counter("ickpt_storage_faults_total",
+                   {{"kind", fault_kind_name(d.kind)}})
+          .inc();
+      obs::instant("storage.fault", "io", fault_kind_name(d.kind));
+    }
     switch (d.kind) {
       case FaultKind::kNone:
         write_raw(data, n);
@@ -109,6 +161,7 @@ void FileSink::write(const std::uint8_t* data, std::size_t n) {
           throw IoError("write '" + path_ + "' failed after " +
                         std::to_string(transient_attempts) +
                         " attempt(s): " + std::strerror(d.transient_errno));
+        count_retry(d.transient_errno);
         backoff(transient_attempts - 1);
         break;  // retry: consult the policy again
       }
@@ -132,6 +185,7 @@ void FileSink::durable_flush() {
 #ifdef __unix__
   if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
 #endif
+  obs_fsyncs_.inc();
 }
 
 void FileSink::truncate_to(std::uint64_t size) {

@@ -18,6 +18,7 @@
 
 #include "io/byte_sink.hpp"
 #include "io/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace ickpt::io {
 
@@ -61,6 +62,10 @@ class FileSink final : public ByteSink {
   std::uint64_t offset_ = 0;
   FaultPolicy* fault_ = nullptr;
   RetryPolicy retry_;
+  // Null handles (one pointer test per op) unless a registry is installed
+  // when the sink is constructed; see docs/OBSERVABILITY.md.
+  obs::Counter obs_bytes_;
+  obs::Counter obs_fsyncs_;
 };
 
 /// Read an entire file into memory. Throws IoError if unreadable.

@@ -9,6 +9,8 @@
 #include "common/error.hpp"
 #include "io/crc32.hpp"
 #include "io/file_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ickpt::io {
 
@@ -290,12 +292,30 @@ ScanResult collect(FrameIterator& it) {
   return result;
 }
 
+/// Feed a completed scan's counters into the installed registry — the
+/// ScanResult fields stop being write-only the moment observability is on.
+/// Cold path: scans happen at open/recover/fsck time, so per-call lookups
+/// are fine (and stay correct under late registry installation).
+void publish_scan(const ScanResult& result) {
+  obs::counter("ickpt_scans_total",
+               {{"result", result.clean ? "clean" : "damaged"}})
+      .inc();
+  obs::counter("ickpt_scan_frames_total").inc(result.frames.size());
+  if (result.regions_skipped > 0)
+    obs::counter("ickpt_scan_corrupt_regions_total")
+        .inc(result.regions_skipped);
+  if (result.bytes_skipped > 0)
+    obs::counter("ickpt_scan_bytes_skipped_total").inc(result.bytes_skipped);
+}
+
 }  // namespace
 
 // --- StableStorage ----------------------------------------------------------
 
 struct StableStorage::Impl {
   std::unique_ptr<FileSink> sink;
+  obs::Counter obs_appends = obs::counter("ickpt_storage_appends_total");
+  obs::Counter obs_rollbacks = obs::counter("ickpt_storage_rollbacks_total");
 };
 
 StableStorage::StableStorage(std::string path, StorageOptions opts)
@@ -341,6 +361,7 @@ std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
   crc.update(payload.data(), payload.size());
   put_u32(header, crc.value());
   const std::uint64_t frame_start = impl_->sink->offset();
+  obs::Span span("storage.append", "io");
   try {
     impl_->sink->write(header.data(), header.size());
     impl_->sink->write(payload.data(), payload.size());
@@ -356,12 +377,17 @@ std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {
     // Roll the file back to the frame boundary so the log stays valid for
     // subsequent appends; if even that fails, the torn tail is repaired on
     // the next open.
+    impl_->obs_rollbacks.inc();
     try {
       impl_->sink->truncate_to(frame_start);
     } catch (const IoError&) {
     }
     throw;
   }
+  impl_->obs_appends.inc();
+  if (span.active())
+    span.note("seq " + std::to_string(seq) + ", " +
+              std::to_string(payload.size()) + " payload byte(s)");
   return next_seq_++;
 }
 
@@ -373,14 +399,19 @@ void StableStorage::reset() {
 }
 
 ScanResult StableStorage::scan(const std::string& path, ScanOptions opts) {
+  obs::Span span("storage.scan", "io");
   FrameIterator it(path, opts);
-  return collect(it);
+  ScanResult result = collect(it);
+  publish_scan(result);
+  return result;
 }
 
 ScanResult StableStorage::scan_bytes(const std::vector<std::uint8_t>& bytes,
                                      ScanOptions opts) {
   FrameIterator it(bytes.data(), bytes.size(), opts);
-  return collect(it);
+  ScanResult result = collect(it);
+  publish_scan(result);
+  return result;
 }
 
 RepairResult StableStorage::repair(const std::string& path) {
@@ -407,6 +438,10 @@ RepairResult StableStorage::repair(const std::string& path) {
   fsync_parent_dir(result.bak_path);
   truncate_file(path, keep);
   result.repaired = true;
+  obs::counter("ickpt_storage_repairs_total").inc();
+  obs::instant("storage.repair", "io",
+               result.reason + ", " + std::to_string(result.bytes_removed) +
+                   " byte(s) truncated");
   return result;
 }
 

@@ -1,0 +1,410 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ickpt::obs {
+
+// --- Histogram cells --------------------------------------------------------
+
+struct Histogram::Impl {
+  std::vector<double> bounds;            // ascending upper bounds
+  std::unique_ptr<Cell[]> buckets;       // bounds.size() + 1 (+Inf at back)
+  Cell sum_bits;                         // bit pattern of a double
+  Cell count;
+};
+
+void Histogram::observe(double v) const noexcept {
+  if (impl_ == nullptr) return;
+  const auto& bounds = impl_->bounds;
+  std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  // upper_bound gives the first bound > v; Prometheus buckets are `le`, so
+  // land v == bound in that bucket.
+  if (i > 0 && v <= bounds[i - 1]) i -= 1;
+  impl_->buckets[i].v.fetch_add(1, std::memory_order_relaxed);
+  impl_->count.v.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = impl_->sum_bits.v.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v);
+    if (impl_->sum_bits.v.compare_exchange_weak(old, next,
+                                                std::memory_order_relaxed))
+      break;
+  }
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::latency_seconds_bounds() {
+  return exponential_bounds(1e-6, 2.0, 24);  // 1us .. ~8.4s
+}
+
+// --- Registry ---------------------------------------------------------------
+
+namespace {
+
+struct Metric {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind;
+  Cell cell;  // counter / gauge
+  Histogram::Impl hist;
+};
+
+std::string metric_key(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+LabelSet sorted(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::atomic<Registry*> g_registry{nullptr};
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;  // guards the maps, never the cells
+  std::map<std::string, std::unique_ptr<Metric>> metrics;
+  // A metric name has one kind across every label set (Prometheus contract),
+  // so the collision check is keyed on the bare name.
+  std::map<std::string, MetricKind, std::less<>> kinds;
+
+  Metric& get(std::string_view name, const LabelSet& labels,
+              MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto kind_it = kinds.find(name);
+    if (kind_it != kinds.end()) {
+      if (kind_it->second != kind)
+        throw Error("obs: metric '" + std::string(name) +
+                    "' already registered as " + kind_name(kind_it->second) +
+                    ", requested as " + kind_name(kind));
+    } else {
+      kinds.emplace(std::string(name), kind);
+    }
+    LabelSet norm = sorted(labels);
+    std::string key = metric_key(name, norm);
+    auto it = metrics.find(key);
+    if (it != metrics.end()) return *it->second;
+    auto metric = std::make_unique<Metric>();
+    metric->name = std::string(name);
+    metric->labels = std::move(norm);
+    metric->kind = kind;
+    Metric& ref = *metric;
+    metrics.emplace(std::move(key), std::move(metric));
+    return ref;
+  }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+
+Registry::~Registry() {
+  // Leaving a destroyed registry installed would hand out dangling handles.
+  Registry* self = this;
+  g_registry.compare_exchange_strong(self, nullptr);
+}
+
+Counter Registry::counter(std::string_view name, const LabelSet& labels) {
+  return Counter(&impl_->get(name, labels, MetricKind::kCounter).cell);
+}
+
+Gauge Registry::gauge(std::string_view name, const LabelSet& labels) {
+  return Gauge(&impl_->get(name, labels, MetricKind::kGauge).cell);
+}
+
+Histogram Registry::histogram(std::string_view name, const LabelSet& labels,
+                              std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  Metric& metric = impl_->get(name, labels, MetricKind::kHistogram);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (metric.hist.buckets == nullptr) {
+      metric.hist.bounds = std::move(bounds);
+      metric.hist.buckets =
+          std::make_unique<Cell[]>(metric.hist.bounds.size() + 1);
+    }
+    // else: first registration's bounds win (documented).
+  }
+  return Histogram(&metric.hist);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.metrics.reserve(impl_->metrics.size());
+  for (const auto& [key, metric] : impl_->metrics) {
+    MetricSnapshot m;
+    m.name = metric->name;
+    m.labels = metric->labels;
+    m.kind = metric->kind;
+    switch (metric->kind) {
+      case MetricKind::kCounter:
+        m.counter_value = metric->cell.v.load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge:
+        m.gauge_value = static_cast<std::int64_t>(
+            metric->cell.v.load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        m.bounds = metric->hist.bounds;
+        m.bucket_counts.resize(m.bounds.size() + 1);
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i)
+          m.bucket_counts[i] =
+              metric->hist.buckets[i].v.load(std::memory_order_relaxed);
+        m.sum = std::bit_cast<double>(
+            metric->hist.sum_bits.v.load(std::memory_order_relaxed));
+        m.count = metric->hist.count.v.load(std::memory_order_relaxed);
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void Registry::install(Registry* r) noexcept {
+  g_registry.store(r, std::memory_order_release);
+}
+
+Registry* Registry::installed() noexcept {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+Counter counter(std::string_view name, const LabelSet& labels) {
+  Registry* r = Registry::installed();
+  return r == nullptr ? Counter() : r->counter(name, labels);
+}
+
+Gauge gauge(std::string_view name, const LabelSet& labels) {
+  Registry* r = Registry::installed();
+  return r == nullptr ? Gauge() : r->gauge(name, labels);
+}
+
+Histogram histogram(std::string_view name, const LabelSet& labels,
+                    std::vector<double> bounds) {
+  Registry* r = Registry::installed();
+  return r == nullptr ? Histogram()
+                      : r->histogram(name, labels, std::move(bounds));
+}
+
+// --- Snapshot queries and exposition ---------------------------------------
+
+double MetricSnapshot::quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    seen += bucket_counts[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i >= bounds.size())  // +Inf bucket: best estimate is the last bound
+      return bounds.empty() ? 0 : bounds.back();
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0 : bounds[i - 1];
+    const std::uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) return hi;
+    const double into =
+        rank - static_cast<double>(seen - in_bucket);
+    return lo + (hi - lo) * (into / static_cast<double>(in_bucket));
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const MetricSnapshot* Snapshot::find(std::string_view name,
+                                     const LabelSet& labels) const {
+  LabelSet norm = sorted(labels);
+  for (const MetricSnapshot& m : metrics)
+    if (m.name == name && m.labels == norm) return &m;
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_sum(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const MetricSnapshot& m : metrics)
+    if (m.name == name && m.kind == MetricKind::kCounter)
+      total += m.counter_value;
+  return total;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string label_block(const LabelSet& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name != last_family) {
+      out += "# TYPE " + m.name + " " + kind_name(m.kind) + "\n";
+      last_family = m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += m.name + label_block(m.labels) + " " +
+               std::to_string(m.counter_value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += m.name + label_block(m.labels) + " " +
+               std::to_string(m.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          cumulative += m.bucket_counts[i];
+          const std::string le =
+              i < m.bounds.size() ? fmt_double(m.bounds[i]) : "+Inf";
+          out += m.name + "_bucket" + label_block(m.labels, "le", le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += m.name + "_sum" + label_block(m.labels) + " " +
+               fmt_double(m.sum) + "\n";
+        out += m.name + "_count" + label_block(m.labels) + " " +
+               std::to_string(m.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "[";
+  bool first_metric = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first_metric) out += ',';
+    first_metric = false;
+    out += "\n  {\"name\":\"";
+    append_escaped(out, m.name);
+    out += "\",\"type\":\"";
+    out += kind_name(m.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      append_escaped(out, k);
+      out += "\":\"";
+      append_escaped(out, v);
+      out += '"';
+    }
+    out += '}';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(m.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(m.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":" + std::to_string(m.count) +
+               ",\"sum\":" + fmt_double(m.sum) + ",\"buckets\":[";
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          if (i != 0) out += ',';
+          out += "{\"le\":";
+          out += i < m.bounds.size() ? ("\"" + fmt_double(m.bounds[i]) + "\"")
+                                     : std::string("\"+Inf\"");
+          out += ",\"n\":" + std::to_string(m.bucket_counts[i]) + "}";
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace ickpt::obs

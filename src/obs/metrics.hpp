@@ -1,0 +1,205 @@
+// Process-wide metrics registry: the quantitative half of src/obs/.
+//
+// The paper's argument is quantitative — specialization pays because it
+// deletes per-object tests, dispatches, and traversals — and this registry
+// is what lets the runtime report those quantities live instead of only
+// inside bench harnesses. Three instrument kinds, all backed by
+// cache-line-padded atomics so concurrent writers never share a line and
+// never take a lock:
+//
+//   Counter    monotonically increasing u64 (events, bytes, objects)
+//   Gauge      settable i64 (queue depth, current epoch)
+//   Histogram  fixed-bucket distribution of doubles (latencies, sizes)
+//
+// Handles are cheap POD-ish values pointing at registry-owned cells. The
+// *null handle* is the zero-cost switch: a default-constructed handle (or
+// one obtained from the free functions while no registry is installed)
+// carries a null cell pointer, and every operation on it is a single
+// pointer test — so instrumented code pays one predictable branch when
+// observability is off. Handles must not outlive the Registry that issued
+// them; install the registry before constructing instrumented components
+// (CheckpointManager, FileSink, PlanExecutor, ...), which capture their
+// handles at construction.
+//
+// snapshot() reads the atomic cells without stopping writers: it locks out
+// concurrent *registration* only, so a snapshot taken under load sees a
+// consistent set of metrics whose values are each atomically read (the
+// snapshot is not a cross-metric transaction, which exposition formats do
+// not require).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ickpt::obs {
+
+/// Sorted key/value metric labels, Prometheus-style.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// One atomic on its own cache line: two hot counters updated by different
+/// threads never false-share.
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+class Registry;
+
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) const noexcept {
+    if (cell_ != nullptr) cell_->v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// True when bound to a live registry cell.
+  [[nodiscard]] bool live() const noexcept { return cell_ != nullptr; }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cell_ == nullptr ? 0 : cell_->v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) const noexcept {
+    if (cell_ != nullptr)
+      cell_->v.store(static_cast<std::uint64_t>(v),
+                     std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) const noexcept {
+    if (cell_ != nullptr)
+      cell_->v.fetch_add(static_cast<std::uint64_t>(d),
+                         std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d) const noexcept { add(-d); }
+  [[nodiscard]] bool live() const noexcept { return cell_ != nullptr; }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return cell_ == nullptr
+               ? 0
+               : static_cast<std::int64_t>(
+                     cell_->v.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Record one observation. Lock-free: one bucket fetch_add, one count
+  /// fetch_add, one CAS loop for the (double) sum.
+  void observe(double v) const noexcept;
+  [[nodiscard]] bool live() const noexcept { return impl_ != nullptr; }
+
+  /// Bucket upper bounds start, start*factor, start*factor^2, ... (`count`
+  /// finite buckets; an implicit +Inf bucket is always appended).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+  /// Default layout for second-denominated latencies: 1us .. ~8s, 2x steps.
+  static std::vector<double> latency_seconds_bounds();
+
+  /// Registry-owned cells; opaque to users (public only so the registry's
+  /// internal metric table can embed it).
+  struct Impl;
+
+ private:
+  friend class Registry;
+  explicit Histogram(Impl* impl) : impl_(impl) {}
+  Impl* impl_ = nullptr;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one registered metric.
+struct MetricSnapshot {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter_value = 0;  // kCounter
+  std::int64_t gauge_value = 0;     // kGauge
+  // kHistogram: per-bucket (non-cumulative) counts aligned with `bounds`,
+  // plus the +Inf bucket at the back.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  double sum = 0;
+  std::uint64_t count = 0;
+
+  /// Approximate quantile (0..1) by linear interpolation inside the bucket
+  /// that crosses the target rank (Prometheus histogram_quantile rules; the
+  /// +Inf bucket reports the largest finite bound). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// nullptr when the metric is absent.
+  [[nodiscard]] const MetricSnapshot* find(std::string_view name,
+                                           const LabelSet& labels = {}) const;
+  /// Sum of counter_value over every label combination of `name`.
+  [[nodiscard]] std::uint64_t counter_sum(std::string_view name) const;
+
+  /// Prometheus text exposition format (one # TYPE line per family).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// JSON array of {name, labels, type, value...} objects.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Owns the metric cells. Handle getters register on first use and return
+/// the same cell for the same (name, labels) afterwards, so independent
+/// components feed one logical metric. Re-registering a name under a
+/// different kind throws ickpt::Error; re-registering a histogram keeps the
+/// first registration's bucket bounds.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter counter(std::string_view name, const LabelSet& labels = {});
+  Gauge gauge(std::string_view name, const LabelSet& labels = {});
+  Histogram histogram(std::string_view name, const LabelSet& labels = {},
+                      std::vector<double> bounds =
+                          Histogram::latency_seconds_bounds());
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Install `r` as the process-wide registry consulted by the free handle
+  /// getters below (nullptr uninstalls). The caller keeps ownership and
+  /// must uninstall before destroying the registry; handles bound to it
+  /// must not be used past its lifetime.
+  static void install(Registry* r) noexcept;
+  [[nodiscard]] static Registry* installed() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Handle from the installed registry; the null (no-op) handle when none is
+/// installed. Instrumentation sites call these at component construction.
+Counter counter(std::string_view name, const LabelSet& labels = {});
+Gauge gauge(std::string_view name, const LabelSet& labels = {});
+Histogram histogram(std::string_view name, const LabelSet& labels = {},
+                    std::vector<double> bounds =
+                        Histogram::latency_seconds_bounds());
+
+}  // namespace ickpt::obs

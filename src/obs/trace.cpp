@@ -1,0 +1,258 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace ickpt::obs {
+
+namespace {
+
+void copy_capped(char* dst, std::size_t cap, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::size_t n = std::strlen(src);
+  if (n >= cap) n = cap - 1;
+  std::memcpy(dst, src, n);
+  dst[n] = '\0';
+}
+
+/// Fixed-capacity drop-oldest ring. The owning thread pushes with try_lock
+/// (a miss means the collector holds the lock; the event is dropped, the
+/// thread never waits). The collector locks to drain.
+struct TraceRing {
+  explicit TraceRing(std::size_t capacity, std::uint32_t tid_)
+      : slots(capacity), tid(tid_) {}
+
+  void push(const TraceEvent& ev) {
+    if (!mu.try_lock()) {
+      dropped_contended.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (size == slots.size()) {
+      // Overwrite the oldest event: head is the oldest slot when full.
+      dropped_overwritten += 1;
+      slots[head] = ev;
+      head = (head + 1) % slots.size();
+    } else {
+      slots[(head + size) % slots.size()] = ev;
+      size += 1;
+    }
+    mu.unlock();
+  }
+
+  std::mutex mu;
+  std::vector<TraceEvent> slots;
+  std::size_t head = 0;        // oldest event when size > 0
+  std::size_t size = 0;
+  std::uint64_t dropped_overwritten = 0;  // guarded by mu
+  std::atomic<std::uint64_t> dropped_contended{0};
+  const std::uint32_t tid;
+};
+
+/// Every ring ever created, so the collector can drain threads that have
+/// since exited. Rings are shared_ptr-owned jointly by this registry and
+/// the creating thread's thread_local.
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* reg = new RingRegistry();  // leaked: threads may
+  return *reg;                                    // outlive static dtors
+}
+
+std::atomic<TraceCollector*> g_collector{nullptr};
+
+TraceRing& ring_for_thread() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    RingRegistry& reg = ring_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    TraceCollector* c = g_collector.load(std::memory_order_acquire);
+    const std::size_t capacity =
+        c != nullptr ? c->options().ring_capacity : 4096;
+    auto r = std::make_shared<TraceRing>(capacity, reg.next_tid++);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+// --- TraceCollector ---------------------------------------------------------
+
+TraceCollector::TraceCollector() : TraceCollector(Options{}) {}
+
+TraceCollector::TraceCollector(Options opts) : opts_(opts) {
+  trace_epoch();  // pin the epoch before the first span
+}
+
+TraceCollector::~TraceCollector() {
+  TraceCollector* self = this;
+  g_collector.compare_exchange_strong(self, nullptr);
+}
+
+void TraceCollector::install(TraceCollector* c) noexcept {
+  g_collector.store(c, std::memory_order_release);
+}
+
+TraceCollector* TraceCollector::installed() noexcept {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+std::vector<TraceEvent> TraceCollector::drain() {
+  std::vector<TraceEvent> out;
+  RingRegistry& reg = ring_registry();
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings = reg.rings;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    for (std::size_t i = 0; i < ring->size; ++i)
+      out.push_back(ring->slots[(ring->head + i) % ring->slots.size()]);
+    ring->head = 0;
+    ring->size = 0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::uint64_t total = 0;
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    total += ring->dropped_contended.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped_overwritten;
+  }
+  return total;
+}
+
+std::string TraceCollector::to_chrome_json(
+    const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    char head[160];
+    // Chrome wants microseconds; keep ns precision via fractions.
+    std::snprintf(head, sizeof(head),
+                  "\n {\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                  ev.phase, ev.tid, static_cast<double>(ev.ts_ns) / 1e3);
+    out += head;
+    if (ev.phase == 'X') {
+      std::snprintf(head, sizeof(head), ",\"dur\":%.3f",
+                    static_cast<double>(ev.dur_ns) / 1e3);
+      out += head;
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"name\":\"";
+    append_json_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, ev.cat);
+    out += '"';
+    if (ev.note[0] != '\0') {
+      out += ",\"args\":{\"note\":\"";
+      append_json_escaped(out, ev.note);
+      out += "\"}";
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// --- Span / instant ---------------------------------------------------------
+
+Span::Span(const char* name, const char* cat) {
+  if (TraceCollector::installed() == nullptr) return;
+  active_ = true;
+  copy_capped(ev_.name, TraceEvent::kNameCap, name);
+  copy_capped(ev_.cat, TraceEvent::kCatCap, cat);
+  ev_.phase = 'X';
+  ev_.ts_ns = trace_now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ev_.dur_ns = trace_now_ns() - ev_.ts_ns;
+  TraceRing& ring = ring_for_thread();
+  ev_.tid = ring.tid;
+  ring.push(ev_);
+}
+
+void Span::note(const std::string& text) noexcept { note(text.c_str()); }
+
+void Span::note(const char* text) noexcept {
+  if (active_) copy_capped(ev_.note, TraceEvent::kNoteCap, text);
+}
+
+void instant(const char* name, const char* cat, const char* note) {
+  if (TraceCollector::installed() == nullptr) return;
+  TraceEvent ev;
+  copy_capped(ev.name, TraceEvent::kNameCap, name);
+  copy_capped(ev.cat, TraceEvent::kCatCap, cat);
+  copy_capped(ev.note, TraceEvent::kNoteCap, note);
+  ev.phase = 'i';
+  ev.ts_ns = trace_now_ns();
+  TraceRing& ring = ring_for_thread();
+  ev.tid = ring.tid;
+  ring.push(ev);
+}
+
+void instant(const char* name, const char* cat, const std::string& note) {
+  instant(name, cat, note.c_str());
+}
+
+}  // namespace ickpt::obs

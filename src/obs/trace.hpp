@@ -1,0 +1,106 @@
+// Span tracing: the time-dimension half of src/obs/.
+//
+// RAII Span objects record [start, end) intervals (and instant() records
+// point events) into a bounded per-thread ring buffer. The hot path never
+// blocks: each ring is guarded by a try_lock — if the collector happens to
+// be draining the ring at that instant the event is counted as dropped
+// instead of waiting — and a full ring overwrites its oldest event
+// (drop-oldest), so a burst of spans costs memory bounded by
+// ring_capacity * sizeof(TraceEvent) per thread, never a stall.
+//
+// Cost when disabled: a Span constructed while no TraceCollector is
+// installed is inert — one atomic load, no clock read, no ring write — so
+// instrumentation can stay compiled into the checkpoint hot paths.
+//
+// The TraceCollector drains every thread's ring (rings of exited threads
+// included: they stay registered until drained) and renders the events as
+// Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ickpt::obs {
+
+/// One fixed-size trace record; PODs only so ring slots never allocate.
+struct TraceEvent {
+  static constexpr std::size_t kNameCap = 48;
+  static constexpr std::size_t kCatCap = 16;
+  static constexpr std::size_t kNoteCap = 112;
+
+  char name[kNameCap] = {};
+  char cat[kCatCap] = {};
+  /// Free-form annotation, emitted as args.note in the Chrome JSON.
+  char note[kNoteCap] = {};
+  std::uint64_t ts_ns = 0;   // start, relative to the process trace epoch
+  std::uint64_t dur_ns = 0;  // 0 for instants
+  std::uint32_t tid = 0;     // small per-thread ordinal, stable per thread
+  char phase = 'X';          // 'X' complete span, 'i' instant
+};
+
+class TraceCollector {
+ public:
+  struct Options {
+    /// Events retained per thread between drains (drop-oldest beyond it).
+    std::size_t ring_capacity = 4096;
+  };
+
+  TraceCollector();
+  explicit TraceCollector(Options opts);
+  ~TraceCollector();  // uninstalls itself if still installed
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Install `c` as the process-wide collector; spans record only while one
+  /// is installed (nullptr uninstalls).
+  static void install(TraceCollector* c) noexcept;
+  [[nodiscard]] static TraceCollector* installed() noexcept;
+
+  /// Collect and clear every thread's ring; events sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Events lost so far: ring overwrites (drop-oldest) plus try_lock misses.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// Render events as a Chrome trace_event JSON document.
+  static std::string to_chrome_json(const std::vector<TraceEvent>& events);
+
+ private:
+  Options opts_;
+};
+
+/// RAII interval: construction stamps the start, destruction stamps the end
+/// and pushes the event into this thread's ring. Inert (single atomic load)
+/// when no collector is installed.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "ickpt");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach/replace the free-form note (truncated to TraceEvent::kNoteCap).
+  void note(const std::string& text) noexcept;
+  void note(const char* text) noexcept;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  TraceEvent ev_;
+  bool active_ = false;
+};
+
+/// Record a point event ('i' phase) — salvage hits, poisonings, faults.
+void instant(const char* name, const char* cat = "ickpt",
+             const char* note = nullptr);
+void instant(const char* name, const char* cat, const std::string& note);
+
+/// Monotonic nanoseconds since the process trace epoch (first obs use).
+std::uint64_t trace_now_ns() noexcept;
+
+}  // namespace ickpt::obs

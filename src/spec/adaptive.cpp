@@ -1,6 +1,8 @@
 #include "spec/adaptive.hpp"
 
 #include "io/byte_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ickpt::spec {
 
@@ -67,6 +69,11 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
     // simplest sound choice is to re-run generically over a full-mode
     // checkpoint for this epoch.
     ++fallbacks_;
+    obs::counter("ickpt_adaptive_fallbacks_total", {{"shape", shape_->name}})
+        .inc();
+    obs::instant("adaptive.fallback", "spec",
+                 shape_->name + ": structure drifted from learned pattern, "
+                                "re-learning");
     relearn();
     core::CheckpointOptions copts;
     copts.mode = core::Mode::kFull;  // sound despite half-reset flags
@@ -89,6 +96,13 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
     plan_ = PlanCompiler(opts_.compile).compile(*shape_, pattern);
     executor_ = std::make_unique<PlanExecutor>(plan_);
     stage_ = Stage::kSpecialized;
+    obs::counter("ickpt_adaptive_specializations_total",
+                 {{"shape", shape_->name}})
+        .inc();
+    obs::instant("adaptive.specialize", "spec",
+                 shape_->name + ": plan of " +
+                     std::to_string(plan_.ops.size()) + " op(s) after " +
+                     std::to_string(epochs_observed_) + " epoch(s)");
   }
   return result;
 }

@@ -28,6 +28,17 @@ OpCode scalar_op(ScalarKind kind, bool varint_scalars) {
   throw SpecError("unknown scalar kind");
 }
 
+/// Nodes a pattern subtree spans: the subtree root plus every present
+/// descendant the pattern describes. This is how many nodes the generic
+/// driver would test when visiting the subtree — the currency of the
+/// plan's nodes_covered accounting.
+std::size_t pattern_extent(const PatternNode& pattern) {
+  std::size_t n = 1;
+  for (const PatternNode& child : pattern.children)
+    if (!child.expect_absent) n += pattern_extent(child);
+  return n;
+}
+
 class Compiler {
  public:
   Compiler(const CompileOptions& opts) : opts_(opts) {}
@@ -40,6 +51,7 @@ class Compiler {
     plan.max_depth = max_depth_;
     plan.root_info_offset = shape.info_offset;
     plan.shape_name = shape.name;
+    plan.nodes_covered = nodes_covered_;
     return plan;
   }
 
@@ -86,7 +98,13 @@ class Compiler {
     // degraded skips; with test pruning disabled, every status degrades to
     // the generic MaybeModified test.
     bool skip = pattern.skip;
-    if (skip && opts_.prune_traversal) return;
+    if (skip && opts_.prune_traversal) {
+      // The whole subtree is pruned from the op stream but still covered:
+      // the pattern proves it unmodified, tests and all.
+      nodes_covered_ += pattern_extent(pattern);
+      return;
+    }
+    ++nodes_covered_;
 
     ModStatus self = pattern.self;
     if (skip) self = ModStatus::kUnmodified;  // prune_traversal off
@@ -164,7 +182,10 @@ class Compiler {
         emit(OpCode::kAssertNull, static_cast<std::uint32_t>(child->offset));
         continue;
       }
-      if (child_pattern->skip && opts_.prune_traversal) continue;
+      if (child_pattern->skip && opts_.prune_traversal) {
+        nodes_covered_ += pattern_extent(*child_pattern);
+        continue;
+      }
       const std::size_t push_ip = ops_.size();
       emit(OpCode::kPushChild, static_cast<std::uint32_t>(child->offset), 0);
 
@@ -187,6 +208,17 @@ class Compiler {
                static_cast<std::uint32_t>(next_field->offset), 0);
         ops_.back().b += 1;
         ++hops;
+        // The hopped-through node is covered test-free, and so are any
+        // sibling subtrees its pattern proved skippable.
+        ++nodes_covered_;
+        if (!node_pattern->children.empty()) {
+          std::size_t hop_index = 0;
+          for (const Field& hop_field : node_shape->fields) {
+            if (std::get_if<ChildField>(&hop_field) == nullptr) continue;
+            const PatternNode& cp = node_pattern->children[hop_index++];
+            if (cp.skip) nodes_covered_ += pattern_extent(cp);
+          }
+        }
         node_shape = next_field->shape;
         node_pattern = next_pattern;
         ++depth;
@@ -242,6 +274,7 @@ class Compiler {
   const CompileOptions& opts_;
   std::vector<Op> ops_;
   std::uint32_t max_depth_ = 0;
+  std::size_t nodes_covered_ = 0;
 };
 
 void validate_node(const ShapeDescriptor& shape, const PatternNode& pattern,

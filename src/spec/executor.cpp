@@ -24,12 +24,23 @@ core::CheckpointInfo& info_at(char* base, std::uint32_t offset) {
 
 }  // namespace
 
-PlanExecutor::PlanExecutor(const Plan& plan) : plan_(&plan) {
+PlanExecutor::PlanExecutor(const Plan& plan)
+    : plan_(&plan),
+      obs_runs_(obs::counter("ickpt_plan_runs_total",
+                             {{"plan", plan.shape_name}})),
+      obs_tests_performed_(obs::counter("ickpt_plan_tests_performed_total",
+                                        {{"plan", plan.shape_name}})),
+      obs_tests_elided_(obs::counter("ickpt_plan_tests_elided_total",
+                                     {{"plan", plan.shape_name}})) {
   if (plan.max_depth + 1 >= kMaxStack)
     throw SpecError("plan nests deeper than the executor stack (" +
                     std::to_string(plan.max_depth) + ")");
   if (plan.ops.empty() || plan.ops.back().code != OpCode::kEnd)
     throw SpecError("malformed plan: missing end op");
+  for (const Op& op : plan.ops)
+    if (op.code == OpCode::kTestSkip) ++tests_per_run_;
+  if (plan.nodes_covered > tests_per_run_)
+    elided_per_run_ = plan.nodes_covered - tests_per_run_;
 }
 
 void PlanExecutor::run(void* root, io::DataWriter& d) const {
@@ -132,6 +143,9 @@ void PlanExecutor::run(void* root, io::DataWriter& d) const {
               plan_->shape_name + ")");
         break;
       case OpCode::kEnd:
+        obs_runs_.inc();
+        obs_tests_performed_.inc(tests_per_run_);
+        obs_tests_elided_.inc(elided_per_run_);
         return;
     }
   }

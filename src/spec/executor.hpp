@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "core/checkpoint_format.hpp"
 #include "io/data_writer.hpp"
+#include "obs/metrics.hpp"
 #include "spec/plan.hpp"
 
 namespace ickpt::spec {
@@ -32,6 +33,14 @@ class PlanExecutor {
 
  private:
   const Plan* plan_;
+  /// Per-plan telemetry, labeled {plan=shape_name}; null no-op handles when
+  /// no obs::Registry is installed. The per-run deltas are computed once
+  /// here so run() pays three relaxed adds, not a walk of the op stream.
+  obs::Counter obs_runs_;
+  obs::Counter obs_tests_performed_;
+  obs::Counter obs_tests_elided_;
+  std::uint64_t tests_per_run_ = 0;
+  std::uint64_t elided_per_run_ = 0;
 };
 
 /// Full specialized checkpoint: stream header + plan over every root + end

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/checkpoint_info.hpp"
+#include "obs/metrics.hpp"
 
 namespace ickpt::spec {
 
@@ -100,6 +101,10 @@ void PatternInferencer::observe(const void* root) {
   if (root == nullptr) throw SpecError("observe: null root");
   observe_node(*root_, root);
   ++observations_;
+  // Observation runs only during learning epochs; a per-call lookup keeps
+  // the inferencer free of handle state.
+  obs::counter("ickpt_infer_observations_total", {{"shape", shape_->name}})
+      .inc();
 }
 
 PatternNode PatternInferencer::infer(const InferOptions& opts) const {

@@ -64,6 +64,12 @@ struct Plan {
   std::vector<Op> ops;
   /// Deepest kPushChild nesting; the executor sizes its stack from this.
   std::uint32_t max_depth = 0;
+  /// Structure nodes the pattern covers per instance — including
+  /// skip-pruned subtrees and fused follow hops, i.e. the nodes the generic
+  /// driver would have to test. nodes_covered minus the plan's kTestSkip
+  /// count is the per-run number of modification tests specialization
+  /// elided (paper Table 1's argument, observable at runtime).
+  std::size_t nodes_covered = 0;
   /// info offset of the root object (for writing root ids in the header).
   std::size_t root_info_offset = 0;
   std::string shape_name;

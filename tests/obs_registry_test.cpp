@@ -1,0 +1,246 @@
+// Metrics registry: concurrent-increment exactness, snapshot-under-load,
+// name/kind collision behavior, histogram quantiles, exposition formats,
+// and the null-handle zero-cost contract.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+using namespace ickpt;
+
+namespace {
+
+/// Installs a registry for the test body and uninstalls on exit, so the
+/// process-global slot never leaks between tests.
+struct ScopedInstall {
+  explicit ScopedInstall(obs::Registry& r) { obs::Registry::install(&r); }
+  ~ScopedInstall() { obs::Registry::install(nullptr); }
+};
+
+TEST(ObsRegistry, NullHandlesAreInertAndFree) {
+  ASSERT_EQ(obs::Registry::installed(), nullptr);
+  obs::Counter c = obs::counter("ickpt_test_nowhere");
+  obs::Gauge g = obs::gauge("ickpt_test_nowhere_g");
+  obs::Histogram h = obs::histogram("ickpt_test_nowhere_h");
+  EXPECT_FALSE(c.live());
+  EXPECT_FALSE(g.live());
+  EXPECT_FALSE(h.live());
+  c.inc(5);       // all no-ops, must not crash
+  g.set(7);
+  g.add(1);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsRegistry, CounterAndGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("requests_total");
+  obs::Gauge g = reg.gauge("depth");
+  c.inc();
+  c.inc(41);
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(g.value(), 12);
+
+  // Same (name, labels) -> same cell, from either the registry or the free
+  // function while installed.
+  ScopedInstall scoped(reg);
+  obs::counter("requests_total").inc(8);
+  EXPECT_EQ(c.value(), 50u);
+}
+
+TEST(ObsRegistry, LabelsSeparateCellsAndOrderDoesNot) {
+  obs::Registry reg;
+  obs::Counter ab = reg.counter("ops", {{"a", "1"}, {"b", "2"}});
+  obs::Counter ba = reg.counter("ops", {{"b", "2"}, {"a", "1"}});
+  obs::Counter other = reg.counter("ops", {{"a", "1"}, {"b", "3"}});
+  ab.inc(3);
+  ba.inc(4);  // same logical series: labels are sorted before keying
+  other.inc(5);
+  EXPECT_EQ(ab.value(), 7u);
+  EXPECT_EQ(other.value(), 5u);
+
+  obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_sum("ops"), 12u);
+  const obs::MetricSnapshot* m =
+      snap.find("ops", {{"a", "1"}, {"b", "2"}});
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->counter_value, 7u);
+}
+
+TEST(ObsRegistry, KindCollisionThrows) {
+  obs::Registry reg;
+  (void)reg.counter("mixed_up");
+  EXPECT_THROW((void)reg.gauge("mixed_up"), Error);
+  EXPECT_THROW((void)reg.histogram("mixed_up"), Error);
+  // Same name under the same kind is fine (it is the same metric).
+  EXPECT_NO_THROW((void)reg.counter("mixed_up"));
+  // Distinct label sets of one name must still agree on the kind.
+  EXPECT_THROW((void)reg.gauge("mixed_up", {{"l", "v"}}), Error);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("hot");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(ObsRegistry, SnapshotUnderLoadNeverGoesBackwards) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("load");
+  obs::Histogram h = reg.histogram("load_seconds");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc();
+        h.observe(0.001);
+      }
+    });
+
+  // Registration of *new* metrics while snapshots run must also be safe.
+  std::thread registrar([&reg, &stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      reg.counter("registered_live", {{"i", std::to_string(i++ % 16)}})
+          .inc();
+  });
+
+  std::uint64_t last = 0;
+  std::uint64_t last_hist = 0;
+  for (int i = 0; i < 200; ++i) {
+    obs::Snapshot snap = reg.snapshot();
+    const obs::MetricSnapshot* m = snap.find("load");
+    ASSERT_NE(m, nullptr);
+    EXPECT_GE(m->counter_value, last);
+    last = m->counter_value;
+    const obs::MetricSnapshot* hist = snap.find("load_seconds");
+    ASSERT_NE(hist, nullptr);
+    // Bucket cells and the count are separate relaxed atomics, so a
+    // snapshot racing an observe() may see them skewed by the writers that
+    // are mid-flight — but never going backwards.
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : hist->bucket_counts) bucket_total += b;
+    EXPECT_GE(bucket_total, last_hist);
+    last_hist = bucket_total;
+  }
+  // 200 snapshots can finish before the OS even schedules the writers —
+  // don't stop them until they have demonstrably run.
+  while (c.value() == 0) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  registrar.join();
+  EXPECT_GT(c.value(), 0u);
+
+  // At quiescence the invariant is exact.
+  obs::Snapshot final_snap = reg.snapshot();
+  const obs::MetricSnapshot* hist = final_snap.find("load_seconds");
+  ASSERT_NE(hist, nullptr);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : hist->bucket_counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist->count);
+  EXPECT_EQ(hist->count, c.value());
+}
+
+TEST(ObsRegistry, HistogramBucketsAndQuantiles) {
+  obs::Registry reg;
+  obs::Histogram h =
+      reg.histogram("sizes", {}, {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);   // bucket le=1
+  for (int i = 0; i < 40; ++i) h.observe(3.0);   // bucket le=4
+  for (int i = 0; i < 10; ++i) h.observe(100.0); // +Inf bucket
+
+  obs::Snapshot snap = reg.snapshot();
+  const obs::MetricSnapshot* m = snap.find("sizes");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->bucket_counts.size(), 5u);  // 4 finite + Inf
+  EXPECT_EQ(m->bucket_counts[0], 50u);
+  EXPECT_EQ(m->bucket_counts[2], 40u);
+  EXPECT_EQ(m->bucket_counts[4], 10u);
+  EXPECT_EQ(m->count, 100u);
+  EXPECT_DOUBLE_EQ(m->sum, 50 * 0.5 + 40 * 3.0 + 10 * 100.0);
+
+  // p50 falls in the first bucket (rank 50 of 100), p95 in +Inf, which
+  // reports the largest finite bound.
+  EXPECT_LE(m->quantile(0.25), 1.0);
+  EXPECT_GT(m->quantile(0.75), 1.0);
+  EXPECT_LE(m->quantile(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(m->quantile(0.99), 8.0);
+}
+
+TEST(ObsRegistry, HistogramConcurrentObserveKeepsCountConsistent) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("conc_seconds");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < 20000; ++i)
+        h.observe(1e-6 * static_cast<double>((t + 1) * (i % 100 + 1)));
+    });
+  for (std::thread& t : threads) t.join();
+  obs::Snapshot snap = reg.snapshot();
+  const obs::MetricSnapshot* m = snap.find("conc_seconds");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 80000u);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : m->bucket_counts) total += b;
+  EXPECT_EQ(total, 80000u);
+  EXPECT_GT(m->sum, 0.0);
+}
+
+TEST(ObsRegistry, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("ickpt_things_total", {{"kind", "a\"b"}}).inc(3);
+  reg.gauge("ickpt_depth").set(-2);
+  reg.histogram("ickpt_lat", {}, {0.5, 1.0}).observe(0.7);
+  std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE ickpt_things_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ickpt_things_total{kind=\"a\\\"b\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ickpt_depth -2"), std::string::npos);
+  // Cumulative buckets: le=1 includes the le=0.5 count.
+  EXPECT_NE(text.find("ickpt_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ickpt_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ickpt_lat_count 1"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonExposition) {
+  obs::Registry reg;
+  reg.counter("a_total").inc(7);
+  reg.gauge("g").set(9);
+  std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ObsRegistry, DestructorUninstallsItself) {
+  {
+    obs::Registry reg;
+    obs::Registry::install(&reg);
+    EXPECT_EQ(obs::Registry::installed(), &reg);
+  }
+  EXPECT_EQ(obs::Registry::installed(), nullptr);
+}
+
+}  // namespace
