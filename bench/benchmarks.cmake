@@ -15,7 +15,8 @@ set(ICKPT_BENCHES
 foreach(name ${ICKPT_BENCHES})
   add_executable(${name} bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    ickpt_analysis ickpt_synth ickpt_spec ickpt_pagetrack ickpt_core ickpt_io)
+    ickpt_verify ickpt_analysis ickpt_synth ickpt_spec ickpt_pagetrack
+    ickpt_core ickpt_io)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -20,6 +20,18 @@ void varset_insert(VarSet& set, std::int32_t id) {
 SideEffectAnalysis::SideEffectAnalysis(const Program& program)
     : program_(&program), summaries_(program.functions.size()) {}
 
+SideEffectAnalysis SideEffectAnalysis::fixpoint(const Program& program) {
+  SideEffectAnalysis effects(program);
+  while (effects.iterate()) {
+  }
+  return effects;
+}
+
+bool SideEffectAnalysis::writes_global(int fn, std::int32_t global) const {
+  const VarSet& writes = writes_of(fn);
+  return std::binary_search(writes.begin(), writes.end(), global);
+}
+
 void SideEffectAnalysis::collect_expr(const Expr& expr, VarSet& reads,
                                       VarSet& writes) const {
   switch (expr.kind) {

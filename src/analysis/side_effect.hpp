@@ -25,9 +25,23 @@ class SideEffectAnalysis {
  public:
   explicit SideEffectAnalysis(const Program& program);
 
+  /// Run the analysis on `program` to its fixpoint and return it — the
+  /// query surface the verify passes build on (check_pattern refutes
+  /// against it, infer_pattern constructs from it).
+  static SideEffectAnalysis fixpoint(const Program& program);
+
   /// One pass: recompute every function summary from the current summaries.
   /// Returns true when any summary changed (fixpoint not yet reached).
   bool iterate();
+
+  /// Transitive write set of `fn` (its body plus every callee) under the
+  /// current summaries — exact at fixpoint.
+  [[nodiscard]] const VarSet& writes_of(int fn) const {
+    return summary(fn).writes;
+  }
+
+  /// True when `fn` may (transitively) write the global `global`.
+  [[nodiscard]] bool writes_global(int fn, std::int32_t global) const;
 
   /// Per-statement effect under the current summaries. Valid between
   /// iterations; transitively includes nested statements and callees.

@@ -115,17 +115,81 @@ TakeResult CheckpointManager::take_with_mode(
 
 namespace {
 
-/// Replay frames [begin, end) of `frames` into a fresh Recovery. On a
-/// decode failure *after* the full checkpoint, trims the window at the
-/// failing frame and replays — the surviving prefix is still consistent
-/// (recovery applies frames in order, so frames before the bad one are
-/// unaffected by it). Returns false when the full checkpoint itself is
-/// undecodable. Trims are collected into `note`; `records` receives the
-/// record count of the finally-applied window.
-bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
+/// Payload-free record of one frame, built by the indexing pass. Holding
+/// only these (16-ish bytes each) instead of io::Frame payloads is what
+/// bounds recovery memory by the largest frame rather than the log size.
+struct FrameMeta {
+  std::uint64_t seq = 0;
+  bool resync = false;
+  /// Mode peeked from the payload while it was streaming past; nullopt when
+  /// even the stream header is undecodable (such a frame cannot anchor a
+  /// window).
+  std::optional<Mode> mode;
+};
+
+/// End-of-scan state of the indexing pass (mirrors io::ScanResult minus the
+/// frames).
+struct LogIndex {
+  std::vector<FrameMeta> frames;
+  bool clean = true;
+  std::string stop_reason;
+  std::uint64_t stop_offset = 0;
+  std::size_t regions_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+};
+
+LogIndex index_log(const std::string& path, const io::ScanOptions& sopts) {
+  obs::Span span("storage.scan", "io");
+  LogIndex index;
+  io::FrameIterator it(path, sopts);
+  io::Frame frame;
+  while (it.next(frame)) {
+    FrameMeta meta;
+    meta.seq = frame.seq;
+    meta.resync = frame.resync;
+    try {
+      meta.mode = peek_header(frame.payload).mode;
+    } catch (const Error&) {
+      meta.mode = std::nullopt;
+    }
+    index.frames.push_back(meta);
+  }
+  index.clean = it.clean();
+  index.stop_reason = it.stop_reason();
+  index.stop_offset = it.stop_offset();
+  index.regions_skipped = it.regions_skipped();
+  index.bytes_skipped = it.bytes_skipped();
+  // recover() used to obtain its frames through StableStorage::scan, which
+  // feeds the scan counters; keep feeding them now that it streams the log
+  // itself (ickptctl stats --self-test checks these stay live). Cold path:
+  // per-call lookups are fine.
+  obs::counter("ickpt_scans_total",
+               {{"result", index.clean ? "clean" : "damaged"}})
+      .inc();
+  obs::counter("ickpt_scan_frames_total").inc(index.frames.size());
+  if (index.regions_skipped > 0)
+    obs::counter("ickpt_scan_corrupt_regions_total")
+        .inc(index.regions_skipped);
+  if (index.bytes_skipped > 0)
+    obs::counter("ickpt_scan_bytes_skipped_total").inc(index.bytes_skipped);
+  return index;
+}
+
+/// Replay frames [begin, end) of the log at `path` into a fresh Recovery,
+/// re-streaming the file for each attempt (the log is closed and static
+/// during recovery) and decoding one payload at a time. On a decode failure
+/// *after* the full checkpoint, trims the window at the failing frame and
+/// replays — the surviving prefix is still consistent (recovery applies
+/// frames in order, so frames before the bad one are unaffected by it).
+/// Returns false when the full checkpoint itself is undecodable. Trims are
+/// collected into `note`; `records` receives the record count of the
+/// finally-applied window; `passes` counts the re-streams.
+bool apply_window(const std::string& path, const io::ScanOptions& sopts,
+                  const std::vector<FrameMeta>& meta, std::size_t begin,
                   std::size_t end_limit, const TypeRegistry& registry,
                   RecoveredState& out, std::size_t& applied,
-                  RecoveryNote& note, std::size_t& records) {
+                  RecoveryNote& note, std::size_t& records,
+                  std::size_t& passes) {
   std::size_t end = end_limit;
   while (end > begin) {
     Recovery recovery(registry);
@@ -133,16 +197,31 @@ bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
     std::string what;
     bool failed = false;
     ApplyStats window_stats;
-    for (; at < end; ++at) {
-      try {
-        io::DataReader reader(frames[at].payload);
-        ApplyStats frame_stats;
-        recovery.apply(reader, &frame_stats);
-        window_stats.records += frame_stats.records;
-      } catch (const Error& e) {
-        failed = true;
-        what = e.what();
-        break;
+    {
+      io::FrameIterator it(path, sopts);
+      ++passes;
+      io::Frame frame;
+      // Frames before the window stream past without being decoded (the
+      // iterator reuses one payload buffer, so skipping costs no memory).
+      for (std::size_t skip = 0; skip < begin; ++skip) {
+        if (!it.next(frame))
+          throw CorruptionError("log '" + path +
+                                "' shrank while recovering from it");
+      }
+      for (; at < end; ++at) {
+        if (!it.next(frame))
+          throw CorruptionError("log '" + path +
+                                "' shrank while recovering from it");
+        try {
+          io::DataReader reader(frame.payload);
+          ApplyStats frame_stats;
+          recovery.apply(reader, &frame_stats);
+          window_stats.records += frame_stats.records;
+        } catch (const Error& e) {
+          failed = true;
+          what = e.what();
+          break;
+        }
       }
     }
     if (!failed) {
@@ -161,18 +240,10 @@ bool apply_window(const std::vector<io::Frame>& frames, std::size_t begin,
     }
     if (at == begin) return false;
     note.trims.push_back(RecoveryNote::Trim{
-        frames[at].seq, what, end_limit - at});
+        meta[at].seq, what, end_limit - at});
     end = at;
   }
   return false;
-}
-
-std::optional<Mode> frame_mode(const io::Frame& frame) {
-  try {
-    return peek_header(frame.payload).mode;
-  } catch (const Error&) {
-    return std::nullopt;
-  }
 }
 
 }  // namespace
@@ -181,29 +252,32 @@ RecoverResult CheckpointManager::recover(const std::string& path,
                                          const TypeRegistry& registry,
                                          RecoverOptions opts) {
   obs::Span span("checkpoint.recover", "recovery");
-  io::ScanResult scan =
-      io::StableStorage::scan(path, {.salvage = opts.salvage});
-  if (scan.frames.empty())
+  const io::ScanOptions sopts{.salvage = opts.salvage};
+
+  // Pass 1: index the log without materializing payloads.
+  LogIndex index = index_log(path, sopts);
+  std::size_t passes = 1;
+  if (index.frames.empty())
     throw CorruptionError("no recoverable checkpoint in '" + path + "'" +
-                          (scan.clean ? "" : " (" + scan.stop_reason + ")"));
+                          (index.clean ? "" : " (" + index.stop_reason + ")"));
 
   RecoverResult result;
-  result.log_clean = scan.clean;
-  result.frames_total = scan.frames.size();
-  result.corrupt_regions = scan.regions_skipped;
-  result.bytes_skipped = scan.bytes_skipped;
-  result.damage_offset = scan.stop_offset;
+  result.log_clean = index.clean;
+  result.frames_total = index.frames.size();
+  result.corrupt_regions = index.regions_skipped;
+  result.bytes_skipped = index.bytes_skipped;
+  result.damage_offset = index.stop_offset;
 
   RecoveryNote note;
-  if (!scan.clean) {
-    note.stop_reason = scan.stop_reason;
-    note.damage_offset = scan.stop_offset;
-    note.regions_skipped = scan.regions_skipped;
-    note.bytes_skipped = scan.bytes_skipped;
+  if (!index.clean) {
+    note.stop_reason = index.stop_reason;
+    note.damage_offset = index.stop_offset;
+    note.regions_skipped = index.regions_skipped;
+    note.bytes_skipped = index.bytes_skipped;
     obs::instant("recover.salvage", "recovery",
-                 scan.stop_reason + " at byte " +
-                     std::to_string(scan.stop_offset) + ", " +
-                     std::to_string(scan.regions_skipped) +
+                 index.stop_reason + " at byte " +
+                     std::to_string(index.stop_offset) + ", " +
+                     std::to_string(index.regions_skipped) +
                      " region(s) skipped");
   }
 
@@ -211,39 +285,42 @@ RecoverResult CheckpointManager::recover(const std::string& path,
   // segment. Incrementals can only be applied onto a full checkpoint from
   // the *same* segment — across a gap, deltas may be missing.
   std::vector<std::size_t> starts{0};
-  for (std::size_t i = 1; i < scan.frames.size(); ++i)
-    if (scan.frames[i].resync) starts.push_back(i);
-  starts.push_back(scan.frames.size());
+  for (std::size_t i = 1; i < index.frames.size(); ++i)
+    if (index.frames[i].resync) starts.push_back(i);
+  starts.push_back(index.frames.size());
 
   bool recovered = false;
   std::size_t records_applied = 0;
   // Newest usable window wins: walk segments from the back, and inside a
-  // segment prefer the latest full checkpoint.
+  // segment prefer the latest full checkpoint. Pass 2..n: each candidate
+  // window re-streams the log (frame payloads decoded one at a time).
   for (std::size_t s = starts.size() - 1; s-- > 0 && !recovered;) {
     const std::size_t seg_begin = starts[s];
     const std::size_t seg_end = starts[s + 1];
     for (std::size_t i = seg_end; i-- > seg_begin && !recovered;) {
-      if (frame_mode(scan.frames[i]) != Mode::kFull) continue;
+      if (index.frames[i].mode != Mode::kFull) continue;
       std::size_t applied = 0;
       obs::Span apply_span("recover.apply_window", "recovery");
-      if (apply_window(scan.frames, i, seg_end, registry, result.state,
-                       applied, note, records_applied)) {
+      if (apply_window(path, sopts, index.frames, i, seg_end, registry,
+                       result.state, applied, note, records_applied,
+                       passes)) {
         result.checkpoints_applied = applied;
         recovered = true;
       }
     }
   }
+  result.stream_passes = passes;
   if (!recovered)
     throw CorruptionError("log '" + path +
                           "' contains no usable full checkpoint" +
-                          (scan.clean ? "" : " (" + scan.stop_reason + ")"));
+                          (index.clean ? "" : " (" + index.stop_reason + ")"));
 
   result.frames_dropped = result.frames_total - result.checkpoints_applied;
   note.frames_outside_window = result.frames_dropped;
   result.log_note = note.render();
 
   obs::counter("ickpt_recoveries_total",
-               {{"log", scan.clean ? "clean" : "damaged"}})
+               {{"log", index.clean ? "clean" : "damaged"}})
       .inc();
   obs::counter("ickpt_recover_frames_total", {{"result", "applied"}})
       .inc(result.checkpoints_applied);

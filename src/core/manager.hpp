@@ -3,7 +3,11 @@
 //
 // Policy: the first checkpoint and every `full_interval`-th one are full;
 // the rest are incremental. recover() locates the most recent *usable* full
-// checkpoint and replays it plus every incremental after it. With salvage
+// checkpoint and replays it plus every incremental after it, streaming the
+// log: one pass builds a payload-free index (seq, mode, segment
+// boundaries), then each replay attempt re-streams to decode the chosen
+// window's frames one at a time — peak memory is O(largest frame), not
+// O(log size). With salvage
 // enabled (the default) a mid-log corrupt frame no longer truncates the
 // whole suffix: the scan resynchronizes past the damage, and recovery picks
 // the newest checkpoint window that is contiguous (no corrupt region
@@ -76,6 +80,11 @@ struct RecoverResult {
   std::uint64_t bytes_skipped = 0;
   /// Byte offset where the first damage begins (valid when !log_clean).
   std::uint64_t damage_offset = 0;
+  /// Times the log was streamed end to end: one indexing pass plus one per
+  /// replay attempt (a clean log recovers in exactly 2). Recovery memory is
+  /// O(largest frame) regardless of log size — frame payloads are never
+  /// materialized together.
+  std::size_t stream_passes = 0;
 };
 
 struct CompactResult {

@@ -1,6 +1,5 @@
 #include "spec/adaptive.hpp"
 
-#include "io/byte_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -9,11 +8,24 @@ namespace ickpt::spec {
 AdaptiveCheckpointer::AdaptiveCheckpointer(const ShapeDescriptor& shape,
                                            Options opts)
     : shape_(&shape),
-      opts_(opts),
+      opts_(std::move(opts)),
       inferencer_(std::make_unique<PatternInferencer>(shape)) {
   if (opts_.observe_epochs == 0)
     throw SpecError("AdaptiveCheckpointer needs at least one observation "
                     "epoch");
+  if (opts_.static_pattern.has_value()) {
+    // A statically inferred pattern carries stronger claims than learned
+    // ones, so it never bypasses the verifying gate: a pattern that cannot
+    // survive verification has no business replacing learning.
+    CompileOptions gated = opts_.compile;
+    gated.verify_pattern = true;
+    plan_ = PlanCompiler(gated).compile(*shape_, *opts_.static_pattern);
+    executor_ = std::make_unique<PlanExecutor>(plan_);
+    stage_ = Stage::kStatic;
+    obs::counter("ickpt_adaptive_static_plans_total",
+                 {{"shape", shape_->name}})
+        .inc();
+  }
 }
 
 void AdaptiveCheckpointer::run_generic(io::DataWriter& d, Epoch epoch,
@@ -28,6 +40,10 @@ void AdaptiveCheckpointer::relearn() {
   inferencer_ = std::make_unique<PatternInferencer>(*shape_);
   epochs_observed_ = 0;
   executor_.reset();
+  // A static pattern that drifted structurally is as stale as a learned
+  // one: dynamic observation is the fallback for both.
+  opts_.static_pattern.reset();
+  crosschecked_ = false;
 }
 
 AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
@@ -38,14 +54,40 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
   Result result;
   const std::size_t before = d.bytes_written();
 
-  if (stage_ == Stage::kSpecialized) {
-    // Stage the specialized stream in a scratch buffer: if the structure
-    // violates the learned pattern mid-run we must not leave a partial
-    // checkpoint in the caller's stream.
-    io::VectorSink scratch;
+  if (stage_ != Stage::kObserving) {
+    // Cross-check a static plan for its first observe_epochs epochs: sample
+    // the flags before the plan resets them, then compare the learned
+    // pattern against the proven one. A disagreement means the workload
+    // under-exercises a position the write set proves writable — the
+    // learned pattern would have been unsound.
+    if (stage_ == Stage::kStatic && !crosschecked_) {
+      for (void* root : roots.concretes) inferencer_->observe(root);
+      ++epochs_observed_;
+      if (epochs_observed_ >= opts_.observe_epochs) {
+        crosschecked_ = true;
+        PatternNode learned = inferencer_->infer(opts_.infer);
+        disagreements_ =
+            pattern_disagreements(*shape_, *opts_.static_pattern, learned);
+        obs::counter("ickpt_static_dynamic_disagreements_total",
+                     {{"shape", shape_->name}})
+            .inc(disagreements_);
+        obs::instant("adaptive.crosscheck", "spec",
+                     shape_->name + ": learned pattern disagrees with "
+                                    "static one at " +
+                         std::to_string(disagreements_) + " position(s)");
+      }
+    }
+    // Stage the specialized stream in the reusable scratch buffer: if the
+    // structure violates the pattern mid-run we must not leave a partial
+    // checkpoint in the caller's stream. Writing through to the caller
+    // directly would be faster but unsafe — a mid-run SpecError after N
+    // records would leave an unterminated stream the reader cannot
+    // distinguish from truncation. clear() keeps the capacity from the
+    // previous epoch, so steady state allocates nothing.
+    scratch_.clear();
     bool ok = true;
     {
-      io::DataWriter scratch_writer(scratch);
+      io::DataWriter scratch_writer(scratch_);
       try {
         run_plan_checkpoint(scratch_writer, epoch, roots.concretes,
                             *executor_);
@@ -55,8 +97,8 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
       }
     }
     if (ok) {
-      d.write_bytes(scratch.bytes().data(), scratch.size());
-      result.stage_used = Stage::kSpecialized;
+      d.write_bytes(scratch_.bytes().data(), scratch_.size());
+      result.stage_used = stage_;
       result.bytes = d.bytes_written() - before;
       return result;
     }
@@ -72,8 +114,9 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
     obs::counter("ickpt_adaptive_fallbacks_total", {{"shape", shape_->name}})
         .inc();
     obs::instant("adaptive.fallback", "spec",
-                 shape_->name + ": structure drifted from learned pattern, "
-                                "re-learning");
+                 shape_->name + ": structure drifted from " +
+                     (stage_ == Stage::kStatic ? "static" : "learned") +
+                     " pattern, re-learning");
     relearn();
     core::CheckpointOptions copts;
     copts.mode = core::Mode::kFull;  // sound despite half-reset flags

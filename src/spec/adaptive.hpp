@@ -10,14 +10,27 @@
 // the generic driver and re-enters the learning stage, so adaptation is
 // never a correctness risk.
 //
+// A *statically inferred* pattern (verify::infer_pattern, built from the
+// phase's interprocedural write set) can be supplied up front: the
+// checkpointer then compiles it through the verifying gate and starts in
+// Stage::kStatic — specialized from epoch one, no learning window. Dynamic
+// observation still runs for the first observe_epochs as a cross-check; the
+// number of positions where the learned pattern disagrees with the proven
+// one is counted into the obs metrics (a disagreement means the workload
+// under-exercises a position the analysis proves writable — exactly the
+// unsound-learning hazard static inference removes). Structural drift from
+// a static plan falls back the same way as from a learned one.
+//
 // Specialized output is byte-identical to generic output (the plan keeps
 // every test the observations could not discharge), so consumers of the
 // checkpoint stream cannot tell which stage wrote it.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "core/checkpoint.hpp"
+#include "io/byte_sink.hpp"
 #include "spec/compiler.hpp"
 #include "spec/executor.hpp"
 #include "spec/inference.hpp"
@@ -27,13 +40,22 @@ namespace ickpt::spec {
 class AdaptiveCheckpointer {
  public:
   struct Options {
-    /// Epochs observed before inferring and specializing.
+    /// Epochs observed before inferring and specializing (and, when a
+    /// static pattern is supplied, epochs cross-checked against it).
     std::size_t observe_epochs = 4;
     InferOptions infer;
     CompileOptions compile;
+    /// A sound pattern constructed offline (verify::infer_pattern). The
+    /// checkpointer takes a pre-built pattern, not a program + binding:
+    /// spec cannot depend on verify (verify links against spec), so the
+    /// caller runs the analysis and hands the result down. When set, the
+    /// pattern is compiled at construction with CompileOptions::
+    /// verify_pattern forced on and the checkpointer starts in
+    /// Stage::kStatic.
+    std::optional<PatternNode> static_pattern;
   };
 
-  enum class Stage : std::uint8_t { kObserving, kSpecialized };
+  enum class Stage : std::uint8_t { kObserving, kSpecialized, kStatic };
 
   struct Roots {
     /// The structure roots as Checkpointable pointers (generic path) and as
@@ -60,15 +82,25 @@ class AdaptiveCheckpointer {
   [[nodiscard]] Stage stage() const noexcept { return stage_; }
   /// Compiled plan, or nullptr while still observing.
   [[nodiscard]] const Plan* plan() const noexcept {
-    return stage_ == Stage::kSpecialized ? &plan_ : nullptr;
+    return stage_ == Stage::kObserving ? nullptr : &plan_;
   }
   [[nodiscard]] std::size_t epochs_observed() const noexcept {
     return epochs_observed_;
   }
   /// Times the specialized plan was abandoned for a generic fallback.
   [[nodiscard]] std::size_t fallbacks() const noexcept { return fallbacks_; }
+  /// True once the static pattern has been cross-checked against
+  /// observe_epochs of dynamic observation.
+  [[nodiscard]] bool crosschecked() const noexcept { return crosschecked_; }
+  /// Positions where the dynamically learned pattern disagreed with the
+  /// static one (0 until crosschecked(), and 0 forever without a static
+  /// pattern).
+  [[nodiscard]] std::size_t disagreements() const noexcept {
+    return disagreements_;
+  }
 
-  /// Discard the learned pattern and start observing afresh.
+  /// Discard the learned (or supplied static) pattern and start observing
+  /// afresh.
   void relearn();
 
  private:
@@ -80,8 +112,13 @@ class AdaptiveCheckpointer {
   std::unique_ptr<PatternInferencer> inferencer_;
   std::size_t epochs_observed_ = 0;
   std::size_t fallbacks_ = 0;
+  bool crosschecked_ = false;
+  std::size_t disagreements_ = 0;
   Plan plan_;
   std::unique_ptr<PlanExecutor> executor_;
+  /// Reused staging buffer for specialized runs: clear() keeps capacity, so
+  /// steady-state specialized epochs allocate nothing.
+  io::VectorSink scratch_;
 };
 
 }  // namespace ickpt::spec

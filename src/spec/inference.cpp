@@ -32,7 +32,10 @@ const core::CheckpointInfo& info_of(const void* obj, std::size_t offset) {
 }  // namespace
 
 PatternInferencer::PatternInferencer(const ShapeDescriptor& shape)
-    : shape_(&shape), root_(std::make_unique<Node>(shape)) {}
+    : shape_(&shape),
+      root_(std::make_unique<Node>(shape)),
+      obs_observations_(obs::counter("ickpt_infer_observations_total",
+                                     {{"shape", shape.name}})) {}
 
 PatternInferencer::~PatternInferencer() = default;
 
@@ -101,16 +104,68 @@ void PatternInferencer::observe(const void* root) {
   if (root == nullptr) throw SpecError("observe: null root");
   observe_node(*root_, root);
   ++observations_;
-  // Observation runs only during learning epochs; a per-call lookup keeps
-  // the inferencer free of handle state.
-  obs::counter("ickpt_infer_observations_total", {{"shape", shape_->name}})
-      .inc();
+  obs_observations_.inc();
 }
 
 PatternNode PatternInferencer::infer(const InferOptions& opts) const {
   if (observations_ == 0)
     throw SpecError("infer: no observations recorded");
   return infer_node(*root_, opts);
+}
+
+namespace {
+
+/// Compares the effective claims of two pattern cursors at one shape
+/// position and recurses. A null cursor is the compiler's default node
+/// (kMaybeModified, no skip, no assertion); an ancestor skip covers the
+/// whole subtree. Once both cursors are exhausted (or both subtrees
+/// skipped) nothing below can differ, which also bounds recursive shapes.
+std::size_t count_disagreements(const ShapeDescriptor& shape,
+                                const PatternNode* a, bool a_covered,
+                                const PatternNode* b, bool b_covered) {
+  static const PatternNode kDefault{};
+  const PatternNode& na = a != nullptr ? *a : kDefault;
+  const PatternNode& nb = b != nullptr ? *b : kDefault;
+  const bool sa = a_covered || na.skip;
+  const bool sb = b_covered || nb.skip;
+
+  bool disagree;
+  if (sa != sb) {
+    disagree = true;
+  } else if (sa) {
+    disagree = false;  // both inside a skipped subtree: claims coincide
+  } else if (na.expect_absent != nb.expect_absent) {
+    disagree = true;
+  } else if (na.expect_absent) {
+    disagree = false;  // both assert the position away
+  } else {
+    disagree = na.self != nb.self;
+  }
+  std::size_t n = disagree ? 1 : 0;
+
+  if (sa && sb) return n;
+  if (a == nullptr && b == nullptr) return n;
+  if (!sa && !sb && na.expect_absent && nb.expect_absent) return n;
+
+  std::size_t child_index = 0;
+  for (const Field& field : shape.fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    const PatternNode* ca =
+        child_index < na.children.size() ? &na.children[child_index] : nullptr;
+    const PatternNode* cb =
+        child_index < nb.children.size() ? &nb.children[child_index] : nullptr;
+    n += count_disagreements(*child->shape, ca, sa, cb, sb);
+    ++child_index;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t pattern_disagreements(const ShapeDescriptor& shape,
+                                  const PatternNode& a, const PatternNode& b) {
+  return count_disagreements(shape, &a, false, &b, false);
 }
 
 }  // namespace ickpt::spec

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "spec/pattern.hpp"
 #include "spec/shape.hpp"
 
@@ -58,6 +59,21 @@ class PatternInferencer {
   const ShapeDescriptor* shape_;
   std::unique_ptr<Node> root_;
   std::size_t observations_ = 0;
+  /// Captured at construction (manager/async_log idiom): observe() is on
+  /// the learning-epoch hot path and must not pay a registry lookup per
+  /// call.
+  obs::Counter obs_observations_;
 };
+
+/// Number of shape-tree positions where two patterns for `shape` disagree
+/// under the compiler's semantics: a position counts once when its
+/// effective claim differs — in-a-skipped-subtree / asserted-absent /
+/// self-status, with missing children defaulting to kMaybeModified and an
+/// ancestor skip covering its subtree. This is the quantity
+/// AdaptiveCheckpointer reports when cross-checking a statically inferred
+/// pattern against the dynamically observed one.
+[[nodiscard]] std::size_t pattern_disagreements(const ShapeDescriptor& shape,
+                                                const PatternNode& a,
+                                                const PatternNode& b);
 
 }  // namespace ickpt::spec

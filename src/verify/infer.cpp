@@ -1,0 +1,133 @@
+#include "verify/infer.hpp"
+
+#include <map>
+
+#include "analysis/parser.hpp"
+#include "analysis/side_effect.hpp"
+
+namespace ickpt::verify {
+
+namespace {
+
+/// What the write set lets us say about one shape position.
+enum class Judgment {
+  kUnknown,  // no (resolvable) binding: keep the generic test
+  kWritten,  // bound, in the write set: keep the test
+  kClean,    // bound, provably unwritten: drop test and record
+};
+
+struct Builder {
+  const analysis::Program& program;
+  const analysis::VarSet& writes;
+  std::map<std::vector<std::size_t>, std::string> binding_by_path;
+  InferStaticOptions opts;
+  StaticPattern* out;
+
+  Judgment judge(const std::vector<std::size_t>& path) const {
+    auto it = binding_by_path.find(path);
+    if (it == binding_by_path.end()) return Judgment::kUnknown;
+    int global = program.find_global(it->second);
+    if (global < 0) return Judgment::kUnknown;  // conservative, never unsound
+    return std::binary_search(writes.begin(), writes.end(), global)
+               ? Judgment::kWritten
+               : Judgment::kClean;
+  }
+
+  /// Build the pattern for the subtree rooted at `shape`/`path`. Sets
+  /// `provably_clean` when every position in the subtree is bound and
+  /// outside the write set — the caller then collapses it to a skip.
+  spec::PatternNode build(const spec::ShapeDescriptor& shape,
+                          std::vector<std::size_t>& path, std::uint32_t depth,
+                          bool& provably_clean) {
+    if (depth > opts.max_depth)
+      throw SpecError(
+          "infer_pattern: shape '" + shape.name + "' recurses past depth " +
+          std::to_string(opts.max_depth) +
+          "; write sets cannot bound a recursive structure — declare its "
+          "pattern by hand or learn it dynamically");
+
+    spec::PatternNode node;
+    const Judgment self = judge(path);
+    switch (self) {
+      case Judgment::kUnknown:
+        ++out->unbound_positions;
+        node.self = spec::ModStatus::kMaybeModified;
+        break;
+      case Judgment::kWritten:
+        ++out->bound_positions;
+        ++out->written_positions;
+        node.self = spec::ModStatus::kMaybeModified;
+        break;
+      case Judgment::kClean:
+        ++out->bound_positions;
+        ++out->clean_positions;
+        node.self = spec::ModStatus::kUnmodified;
+        break;
+    }
+    provably_clean = self == Judgment::kClean;
+
+    std::size_t child_index = 0;
+    node.children.reserve(shape.child_count());
+    for (const spec::Field& field : shape.fields) {
+      const auto* child = std::get_if<spec::ChildField>(&field);
+      if (child == nullptr) continue;
+      path.push_back(child_index++);
+      bool child_clean = false;
+      spec::PatternNode child_node =
+          build(*child->shape, path, depth + 1, child_clean);
+      path.pop_back();
+      if (child_clean) {
+        // Maximal provably-clean subtree: no trace of it in the residual
+        // code. The statistics already counted its positions as clean.
+        ++out->skipped_subtrees;
+        child_node = spec::PatternNode::skipped();
+      } else {
+        provably_clean = false;
+      }
+      node.children.push_back(std::move(child_node));
+    }
+    return node;
+  }
+};
+
+}  // namespace
+
+StaticPattern infer_pattern(const analysis::Program& program,
+                            const std::string& phase_function,
+                            const spec::ShapeDescriptor& shape,
+                            const PatternBinding& binding,
+                            InferStaticOptions opts) {
+  int phase_fn = program.find_function(phase_function);
+  if (phase_fn < 0)
+    throw SpecError("infer_pattern: program defines no function '" +
+                    phase_function + "'");
+
+  analysis::SideEffectAnalysis effects =
+      analysis::SideEffectAnalysis::fixpoint(program);
+
+  StaticPattern result;
+  Builder builder{program, effects.writes_of(phase_fn), {}, opts, &result};
+  for (const PatternBinding::Entry& entry : binding.entries())
+    builder.binding_by_path.emplace(entry.path, entry.global);
+
+  std::vector<std::size_t> path;
+  bool root_clean = false;
+  result.pattern = builder.build(shape, path, 0, root_clean);
+  if (root_clean) {
+    // The whole structure is provably untouched by the phase: the residual
+    // plan is empty (header and end tag only).
+    ++result.skipped_subtrees;
+    result.pattern = spec::PatternNode::skipped();
+  }
+  return result;
+}
+
+StaticPattern infer_attributes_pattern(analysis::Phase phase,
+                                       InferStaticOptions opts) {
+  auto program = analysis::parse_program(phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  return infer_pattern(*program, phase_function_name(phase),
+                       *shapes.attributes, attributes_binding(), opts);
+}
+
+}  // namespace ickpt::verify

@@ -1,0 +1,83 @@
+// Static pattern inference: construct a modification pattern from a
+// program's interprocedural write sets — the paper's "automatically derive
+// the modification pattern" future work, done soundly.
+//
+// Where spec::PatternInferencer *learns* a pattern from observed dirty
+// flags (valid only while the program keeps behaving as observed, and
+// unsound when the observation epochs under-exercise a position),
+// infer_pattern *proves* one: it runs analysis::SideEffectAnalysis to its
+// fixpoint and builds the PatternNode directly from the phase's transitive
+// write set,
+//
+//   * bound position whose global is in the write set  -> kMaybeModified
+//     (the phase may write it; the runtime test stays),
+//   * bound position whose global is provably clean    -> kUnmodified
+//     (no test, no record),
+//   * subtree in which every position is bound and provably clean -> skip
+//     (no trace of the subtree in the residual code),
+//   * position with no binding (or an unresolvable one) -> kMaybeModified
+//     (unknown behaviour keeps the generic test — conservative, never
+//     unsound).
+//
+// Soundness by construction: every claim stronger than kMaybeModified is
+// backed by the write-set fixpoint, which over-approximates the phase's
+// actual writes. The result therefore passes verify::check_pattern with
+// zero error findings by design — the checker and the constructor judge
+// against the same analysis — and can be fed straight to spec::PlanCompiler
+// through its verify_pattern gate.
+//
+// Structural limits: write sets speak about *mutation*, not *shape*, so the
+// constructor never emits expect_absent assertions or array_count
+// specializations, and it refuses recursive shapes (they need a structural
+// bound no side-effect analysis can supply — declare those by hand or learn
+// them dynamically).
+#pragma once
+
+#include <string>
+
+#include "analysis/shapes.hpp"
+#include "verify/pattern_check.hpp"
+
+namespace ickpt::verify {
+
+struct InferStaticOptions {
+  /// Refuse to descend deeper than this many child levels; a recursive
+  /// shape (which static inference cannot bound) is reported as a
+  /// SpecError instead of infinite descent.
+  std::uint32_t max_depth = 64;
+};
+
+/// A statically inferred pattern plus the accounting of how it was built.
+struct StaticPattern {
+  spec::PatternNode pattern;
+  /// Positions judged from the write set (binding resolved to a global).
+  std::size_t bound_positions = 0;
+  /// Positions kept kMaybeModified because no binding covers them (or the
+  /// binding named an unknown global).
+  std::size_t unbound_positions = 0;
+  /// Bound positions in the phase's write set (kept kMaybeModified).
+  std::size_t written_positions = 0;
+  /// Bound positions proven clean (kUnmodified, or folded into a skip).
+  std::size_t clean_positions = 0;
+  /// Maximal provably-clean subtrees emitted as skip nodes.
+  std::size_t skipped_subtrees = 0;
+};
+
+/// Construct the sound pattern for executing `phase_function` of `program`
+/// over structures of `shape`, with `binding` tying shape positions to
+/// program globals (same binding vocabulary as check_pattern). Throws
+/// SpecError when the phase function does not exist or the shape recurses
+/// past opts.max_depth.
+StaticPattern infer_pattern(const analysis::Program& program,
+                            const std::string& phase_function,
+                            const spec::ShapeDescriptor& shape,
+                            const PatternBinding& binding,
+                            InferStaticOptions opts = {});
+
+/// Convenience: infer the pattern for `phase` of the bundled analysis-engine
+/// model (phase_model_source / attributes_binding), for the Attributes
+/// shape — the static counterpart of analysis::make_phase_pattern.
+StaticPattern infer_attributes_pattern(analysis::Phase phase,
+                                       InferStaticOptions opts = {});
+
+}  // namespace ickpt::verify

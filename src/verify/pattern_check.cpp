@@ -149,10 +149,9 @@ Report check_pattern(const analysis::Program& program,
     return report;
   }
 
-  analysis::SideEffectAnalysis effects(program);
-  while (effects.iterate()) {
-  }
-  const analysis::VarSet& writes = effects.summary(phase_fn).writes;
+  analysis::SideEffectAnalysis effects =
+      analysis::SideEffectAnalysis::fixpoint(program);
+  const analysis::VarSet& writes = effects.writes_of(phase_fn);
   std::vector<int> reachable = reachable_functions(program, phase_fn);
 
   std::size_t judged = 0;

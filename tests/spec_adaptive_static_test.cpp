@@ -1,0 +1,253 @@
+// The verify loop closed end to end: a workload whose observation epochs
+// never exercise a position the write set proves writable yields a dynamic
+// pattern the checker refutes, while the statically inferred pattern
+// compiles through the verifying gate and records correctly from epoch one
+// inside AdaptiveCheckpointer (Stage::kStatic), with dynamic observation as
+// the cross-check and the fallback.
+#include <gtest/gtest.h>
+
+#include "analysis/attributes.hpp"
+#include "analysis/shapes.hpp"
+#include "core/recovery.hpp"
+#include "spec/adaptive.hpp"
+#include "spec/inference.hpp"
+#include "verify/infer.hpp"
+#include "verify/pattern_check.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using analysis::Phase;
+using spec::AdaptiveCheckpointer;
+using spec::PatternNode;
+using Stage = AdaptiveCheckpointer::Stage;
+
+/// A forest of Attributes trees (the paper's per-statement annotation
+/// structure), with direct flag control.
+struct AttrGraph {
+  core::Heap heap;
+  std::vector<analysis::Attributes*> attrs;
+  std::vector<core::Checkpointable*> bases;
+  std::vector<void*> ptrs;
+  std::vector<core::CheckpointInfo*> infos;
+
+  explicit AttrGraph(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto* se = heap.make<analysis::SEEntry>();
+      auto* bt_leaf = heap.make<analysis::BT>();
+      auto* bt = heap.make<analysis::BTEntry>(bt_leaf);
+      auto* et_leaf = heap.make<analysis::ET>();
+      auto* et = heap.make<analysis::ETEntry>(et_leaf);
+      auto* attr = heap.make<analysis::Attributes>(se, bt, et);
+      attrs.push_back(attr);
+      bases.push_back(attr);
+      ptrs.push_back(attr);
+      for (core::CheckpointInfo* info :
+           {&attr->info(), &se->info(), &bt->info(), &bt_leaf->info(),
+            &et->info(), &et_leaf->info()})
+        infos.push_back(info);
+    }
+  }
+
+  void reset_flags() {
+    for (core::CheckpointInfo* info : infos) info->reset_modified();
+  }
+
+  std::vector<bool> save_flags() const {
+    std::vector<bool> flags;
+    flags.reserve(infos.size());
+    for (const core::CheckpointInfo* info : infos)
+      flags.push_back(info->modified());
+    return flags;
+  }
+
+  void restore_flags(const std::vector<bool>& flags) {
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      if (flags[i])
+        infos[i]->set_modified();
+      else
+        infos[i]->reset_modified();
+    }
+  }
+
+  /// BTA behaviour: rewrite the BT annotation of every third tree
+  /// (compare-and-set, so alternating values dirty each call).
+  void dirty_bt(int epoch) {
+    for (std::size_t i = 0; i < attrs.size(); i += 3)
+      if (analysis::BT* leaf = attrs[i]->bt()->leaf(); leaf != nullptr)
+        leaf->set_annotation(epoch % 2 == 0 ? analysis::kDynamic
+                                            : analysis::kStatic);
+  }
+
+  /// Side-effect churn that never touches the BT/ET subtrees.
+  void dirty_se(int epoch) {
+    for (std::size_t i = 0; i < attrs.size(); i += 2) {
+      std::int32_t v = epoch + static_cast<std::int32_t>(i);
+      attrs[i]->se()->set_sets(std::span(&v, 1), std::span(&v, 1));
+    }
+  }
+
+  AdaptiveCheckpointer::Roots roots() { return {bases, ptrs}; }
+};
+
+std::vector<std::uint8_t> generic_bytes(AttrGraph& g, Epoch epoch) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    core::CheckpointOptions opts;
+    opts.mode = core::Mode::kIncremental;
+    core::Checkpoint::run(writer, epoch,
+                          std::span<core::Checkpointable* const>(g.bases),
+                          opts);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+AdaptiveCheckpointer::Result adaptive_step(AdaptiveCheckpointer& adaptive,
+                                           AttrGraph& g, Epoch epoch,
+                                           std::vector<std::uint8_t>* out =
+                                               nullptr) {
+  io::VectorSink sink;
+  io::DataWriter writer(sink);
+  auto result = adaptive.checkpoint(writer, epoch, g.roots());
+  writer.flush();
+  if (out != nullptr) *out = sink.take();
+  return result;
+}
+
+TEST(AdaptiveStatic, UnderExercisedEpochsLearnARefutablePattern) {
+  // The BTA write set proves bt_annot writable, but these observation
+  // epochs only churn the SE sets: the learned pattern skips the BT subtree
+  // — exactly the unsound-learning hazard static inference removes.
+  AttrGraph g(12);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  spec::PatternInferencer inferencer(*shapes.attributes);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    g.dirty_se(epoch);
+    for (void* root : g.ptrs) inferencer.observe(root);
+    g.reset_flags();
+  }
+  PatternNode learned = inferencer.infer();
+  ASSERT_EQ(learned.children.size(), 3u);
+  EXPECT_TRUE(learned.children[1].skip);  // BT subtree never seen dirty
+
+  auto report = verify::check_attributes_pattern(Phase::kBindingTime,
+                                                 learned);
+  EXPECT_FALSE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("unsound-skip");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_NE(finding->message.find("bt_annot"), std::string::npos)
+      << finding->message;
+
+  // The static pattern for the same phase survives the same checker.
+  auto inferred = verify::infer_attributes_pattern(Phase::kBindingTime);
+  auto static_report =
+      verify::check_attributes_pattern(Phase::kBindingTime, inferred.pattern);
+  EXPECT_TRUE(static_report.findings.empty()) << static_report.to_string();
+}
+
+TEST(AdaptiveStatic, StaticPlanRecordsCorrectlyFromEpochOne) {
+  AttrGraph g(12);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  AdaptiveCheckpointer::Options opts;
+  opts.observe_epochs = 2;
+  opts.static_pattern =
+      verify::infer_attributes_pattern(Phase::kBindingTime).pattern;
+  AdaptiveCheckpointer adaptive(*shapes.attributes, opts);
+  ASSERT_EQ(adaptive.stage(), Stage::kStatic);
+  ASSERT_NE(adaptive.plan(), nullptr);  // compiled up front, no learning lag
+
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    g.dirty_bt(epoch);
+    auto flags = g.save_flags();
+    auto generic = generic_bytes(g, static_cast<Epoch>(epoch));
+    g.restore_flags(flags);
+    std::vector<std::uint8_t> bytes;
+    auto result =
+        adaptive_step(adaptive, g, static_cast<Epoch>(epoch), &bytes);
+    EXPECT_EQ(result.stage_used, Stage::kStatic) << "epoch " << epoch;
+    EXPECT_FALSE(result.fell_back);
+    EXPECT_EQ(bytes, generic) << "epoch " << epoch;
+  }
+  EXPECT_EQ(adaptive.fallbacks(), 0u);
+
+  // The cross-check ran during the first observe_epochs epochs, and this
+  // workload behaves exactly as the analysis proves, so the learned and
+  // static patterns coincide.
+  EXPECT_TRUE(adaptive.crosschecked());
+  EXPECT_EQ(adaptive.disagreements(), 0u);
+}
+
+TEST(AdaptiveStatic, CrosscheckCountsDisagreements) {
+  // Epochs that dirty nothing at all teach the inferencer to skip the whole
+  // structure; the cross-check must count every position where that learned
+  // claim is stronger than the proven one.
+  AttrGraph g(6);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  AdaptiveCheckpointer::Options opts;
+  opts.observe_epochs = 2;
+  opts.static_pattern =
+      verify::infer_attributes_pattern(Phase::kBindingTime).pattern;
+  AdaptiveCheckpointer adaptive(*shapes.attributes, opts);
+
+  auto first = adaptive_step(adaptive, g, 0);
+  EXPECT_EQ(first.stage_used, Stage::kStatic);
+  EXPECT_FALSE(adaptive.crosschecked());
+  EXPECT_EQ(adaptive.disagreements(), 0u);
+
+  adaptive_step(adaptive, g, 1);
+  EXPECT_TRUE(adaptive.crosschecked());
+  EXPECT_GT(adaptive.disagreements(), 0u);
+  EXPECT_EQ(adaptive.stage(), Stage::kStatic);  // informative, not fatal
+}
+
+TEST(AdaptiveStatic, StructuralDriftFallsBackToDynamicLearning) {
+  AttrGraph g(8);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  AdaptiveCheckpointer::Options opts;
+  opts.observe_epochs = 2;
+  opts.static_pattern =
+      verify::infer_attributes_pattern(Phase::kBindingTime).pattern;
+  AdaptiveCheckpointer adaptive(*shapes.attributes, opts);
+
+  g.dirty_bt(0);
+  auto ok = adaptive_step(adaptive, g, 0);
+  EXPECT_EQ(ok.stage_used, Stage::kStatic);
+
+  // Structural drift: a BT leaf disappears. The static plan follows that
+  // pointer test-free, so the run aborts and the checkpoint is re-issued
+  // generically; the stale static pattern is dropped for dynamic learning.
+  g.attrs[0]->bt()->set_leaf(nullptr);
+  std::vector<std::uint8_t> bytes;
+  auto fell = adaptive_step(adaptive, g, 1, &bytes);
+  EXPECT_TRUE(fell.fell_back);
+  EXPECT_EQ(fell.stage_used, Stage::kObserving);
+  EXPECT_EQ(adaptive.stage(), Stage::kObserving);
+  EXPECT_EQ(adaptive.fallbacks(), 1u);
+
+  // The fallback stream is a complete, recoverable full checkpoint.
+  core::TypeRegistry registry;
+  analysis::register_types(registry);
+  core::Recovery recovery(registry);
+  io::DataReader reader(bytes);
+  auto header = recovery.apply(reader);
+  EXPECT_EQ(header.mode, core::Mode::kFull);
+  auto state = recovery.finish();
+  EXPECT_EQ(state.by_id.size(), g.infos.size() - 1);  // nulled leaf dropped
+
+  // The fallback is to *dynamic* observation: after the learning window the
+  // checkpointer specializes from observations, not from the stale pattern.
+  for (int epoch = 2; epoch < 4; ++epoch) {
+    g.dirty_bt(epoch);
+    adaptive_step(adaptive, g, static_cast<Epoch>(epoch));
+  }
+  EXPECT_EQ(adaptive.stage(), Stage::kSpecialized);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

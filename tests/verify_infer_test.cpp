@@ -1,0 +1,172 @@
+// Static pattern inference: patterns constructed from the phase model's
+// write sets are sound by construction (the independent checker finds
+// nothing to say), at least as tight as the paper's hand declarations, and
+// the constructor refuses what write sets cannot bound.
+#include <gtest/gtest.h>
+
+#include "analysis/parser.hpp"
+#include "analysis/shapes.hpp"
+#include "spec/compiler.hpp"
+#include "tests/test_types.hpp"
+#include "verify/infer.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using analysis::Phase;
+using spec::ModStatus;
+using spec::OpCode;
+using spec::PatternNode;
+using verify::StaticPattern;
+
+std::size_t tests_in(const spec::Plan& plan) {
+  std::size_t n = 0;
+  for (const spec::Op& op : plan.ops)
+    if (op.code == OpCode::kTestSkip) ++n;
+  return n;
+}
+
+std::size_t elided_tests(const spec::Plan& plan) {
+  return plan.nodes_covered - tests_in(plan);
+}
+
+spec::Plan compile_verified(const spec::ShapeDescriptor& shape,
+                            const PatternNode& pattern) {
+  spec::CompileOptions opts;
+  opts.verify_pattern = true;
+  return spec::PlanCompiler(opts).compile(shape, pattern);
+}
+
+TEST(StaticInfer, BindingTimePatternHasExpectedShape) {
+  StaticPattern inferred =
+      verify::infer_attributes_pattern(Phase::kBindingTime);
+  const PatternNode& p = inferred.pattern;
+
+  // The BTA phase writes only the BT annotation: the skeleton and both
+  // sibling subtrees are provably clean, the annotation keeps its test.
+  EXPECT_FALSE(p.skip);
+  EXPECT_EQ(p.self, ModStatus::kUnmodified);
+  ASSERT_EQ(p.children.size(), 3u);
+  EXPECT_TRUE(p.children[0].skip);  // SE subtree untouched
+  EXPECT_FALSE(p.children[1].skip);
+  EXPECT_EQ(p.children[1].self, ModStatus::kUnmodified);
+  ASSERT_EQ(p.children[1].children.size(), 1u);
+  EXPECT_EQ(p.children[1].children[0].self, ModStatus::kMaybeModified);
+  EXPECT_TRUE(p.children[2].skip);  // ET subtree untouched
+
+  // Accounting: all six bound positions judged, one in the write set.
+  EXPECT_EQ(inferred.bound_positions, 6u);
+  EXPECT_EQ(inferred.unbound_positions, 0u);
+  EXPECT_EQ(inferred.written_positions, 1u);
+  EXPECT_EQ(inferred.clean_positions, 5u);
+  EXPECT_GE(inferred.skipped_subtrees, 2u);
+}
+
+TEST(StaticInfer, AllPhasesPassCheckerWithNoFindings) {
+  // Sound by construction means the independent checker has nothing to say:
+  // no errors (unsound claims), but also no notes (the constructor never
+  // keeps a test on a provably clean bound position).
+  for (Phase phase : {Phase::kStructureOnly, Phase::kSideEffect,
+                      Phase::kBindingTime, Phase::kEvalTime}) {
+    StaticPattern inferred = verify::infer_attributes_pattern(phase);
+    auto report = verify::check_attributes_pattern(phase, inferred.pattern);
+    EXPECT_TRUE(report.findings.empty())
+        << "phase " << static_cast<int>(phase) << ":\n"
+        << report.to_string();
+  }
+}
+
+TEST(StaticInfer, CompilesThroughVerifyGateAndElidesTests) {
+  auto shapes = analysis::AnalysisShapes::make();
+  for (Phase phase :
+       {Phase::kSideEffect, Phase::kBindingTime, Phase::kEvalTime}) {
+    StaticPattern inferred = verify::infer_attributes_pattern(phase);
+    spec::Plan plan = compile_verified(*shapes.attributes, inferred.pattern);
+    EXPECT_GT(elided_tests(plan), 0u)
+        << "phase " << static_cast<int>(phase);
+  }
+}
+
+TEST(StaticInfer, AtLeastAsTightAsPaperDeclarations) {
+  // The paper's hand-declared phase patterns are the quality bar: the
+  // inferred pattern must elide at least as many per-run tests.
+  auto shapes = analysis::AnalysisShapes::make();
+  for (Phase phase :
+       {Phase::kSideEffect, Phase::kBindingTime, Phase::kEvalTime}) {
+    StaticPattern inferred = verify::infer_attributes_pattern(phase);
+    spec::Plan static_plan =
+        compile_verified(*shapes.attributes, inferred.pattern);
+    spec::Plan paper_plan = compile_verified(
+        *shapes.attributes, analysis::make_phase_pattern(phase));
+    EXPECT_GE(elided_tests(static_plan), elided_tests(paper_plan))
+        << "phase " << static_cast<int>(phase);
+  }
+}
+
+TEST(StaticInfer, StructureOnlyPhaseKeepsEveryTest) {
+  // main() transitively writes every global: nothing can be proven clean,
+  // so the static pattern degenerates to the generic all-tests one.
+  StaticPattern inferred =
+      verify::infer_attributes_pattern(Phase::kStructureOnly);
+  EXPECT_EQ(inferred.written_positions, 6u);
+  EXPECT_EQ(inferred.clean_positions, 0u);
+  EXPECT_EQ(inferred.skipped_subtrees, 0u);
+  auto shapes = analysis::AnalysisShapes::make();
+  spec::Plan plan = compile_verified(*shapes.attributes, inferred.pattern);
+  EXPECT_EQ(elided_tests(plan), 0u);
+}
+
+TEST(StaticInfer, UnboundPositionsStayGeneric) {
+  // No binding -> no claims: every position keeps the generic test.
+  auto program = analysis::parse_program(verify::phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  StaticPattern inferred = verify::infer_pattern(
+      *program, "run_binding_time", *shapes.attributes, {});
+  EXPECT_EQ(inferred.bound_positions, 0u);
+  EXPECT_EQ(inferred.unbound_positions, 6u);
+  spec::Plan plan = compile_verified(*shapes.attributes, inferred.pattern);
+  EXPECT_EQ(elided_tests(plan), 0u);
+}
+
+TEST(StaticInfer, UnresolvableGlobalIsConservative) {
+  // A binding naming an unknown global must not produce claims: the
+  // position is treated as unbound, never as clean.
+  auto program = analysis::parse_program(verify::phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  verify::PatternBinding binding;
+  binding.bind({0}, "no_such_global");
+  StaticPattern inferred = verify::infer_pattern(
+      *program, "run_binding_time", *shapes.attributes, binding);
+  EXPECT_EQ(inferred.bound_positions, 0u);
+  EXPECT_EQ(inferred.unbound_positions, 6u);
+  EXPECT_FALSE(inferred.pattern.children[0].skip);
+  EXPECT_EQ(inferred.pattern.children[0].self, ModStatus::kMaybeModified);
+}
+
+TEST(StaticInfer, MissingPhaseFunctionThrows) {
+  auto program = analysis::parse_program(verify::phase_model_source());
+  auto shapes = analysis::AnalysisShapes::make();
+  EXPECT_THROW(verify::infer_pattern(*program, "no_such_phase",
+                                     *shapes.attributes,
+                                     verify::attributes_binding()),
+               SpecError);
+}
+
+TEST(StaticInfer, RecursiveShapeRefused) {
+  // Write sets speak about mutation, not structure: a recursive shape has
+  // no static bound, so inference must refuse instead of diverging.
+  Inner sample;
+  spec::ShapeBuilder<Inner> builder("test.Inner", sample);
+  builder.i32(&Inner::tag).self_child(&Inner::right);
+  auto shape = builder.build();
+
+  auto program = analysis::parse_program(verify::phase_model_source());
+  verify::InferStaticOptions opts;
+  opts.max_depth = 8;
+  EXPECT_THROW(verify::infer_pattern(*program, "run_binding_time", *shape,
+                                     {}, opts),
+               SpecError);
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -30,6 +30,16 @@
 //   ickptctl trace           same workload, but emit the collected spans as
 //                            Chrome trace_event JSON (chrome://tracing,
 //                            Perfetto)
+//   ickptctl infer [--phase se|bt|et] [--self-test] [<pattern-file>]
+//                            statically infer the modification pattern of an
+//                            analysis phase from the bundled phase model's
+//                            write sets (verify::infer_pattern), prove it
+//                            with the pattern checker, compile it through
+//                            the verifying gate, and report the accounting;
+//                            with <pattern-file>, persist it via
+//                            spec::pattern_io; --self-test asserts all three
+//                            phases infer/verify/compile/round-trip cleanly
+//                            and exits 0/2
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -40,15 +50,19 @@
 #include "core/inspect.hpp"
 #include "core/manager.hpp"
 #include "io/byte_sink.hpp"
+#include "io/data_reader.hpp"
 #include "io/data_writer.hpp"
+#include "io/file_io.hpp"
 #include "io/stable_storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spec/adaptive.hpp"
+#include "spec/pattern_io.hpp"
 #include "synth/shapes.hpp"
 #include "synth/structures.hpp"
 #include "synth/workload.hpp"
 #include "verify/fsck.hpp"
+#include "verify/infer.hpp"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -247,6 +261,116 @@ int cmd_stats(bool self_test, bool json) {
   return failures == 0 ? 0 : 2;
 }
 
+std::size_t plan_tests(const spec::Plan& plan) {
+  std::size_t tests = 0;
+  for (const spec::Op& op : plan.ops)
+    if (op.code == spec::OpCode::kTestSkip) ++tests;
+  return tests;
+}
+
+/// Infer, prove, compile, and (optionally) persist the static pattern for
+/// one phase. Returns 0, or 2 on any failed stage.
+int infer_one_phase(analysis::Phase phase, const char* phase_name,
+                    const char* out_path, bool verbose) {
+  verify::StaticPattern inferred = verify::infer_attributes_pattern(phase);
+
+  // The constructor is sound by design; run the independent checker anyway
+  // so the tool reports proof, not trust.
+  verify::Report report =
+      verify::check_attributes_pattern(phase, inferred.pattern);
+
+  auto shapes = analysis::AnalysisShapes::make();
+  spec::CompileOptions copts;
+  copts.verify_pattern = true;
+  spec::Plan plan =
+      spec::PlanCompiler(copts).compile(*shapes.attributes, inferred.pattern);
+  const std::size_t elided = plan.nodes_covered - plan_tests(plan);
+
+  if (verbose) {
+    std::printf(
+        "phase %s: %zu bound position(s) (%zu written, %zu clean), "
+        "%zu unbound, %zu subtree(s) skipped\n",
+        phase_name, inferred.bound_positions, inferred.written_positions,
+        inferred.clean_positions, inferred.unbound_positions,
+        inferred.skipped_subtrees);
+    std::printf("  checker: %zu error(s), %zu warning(s), %zu note(s)\n",
+                report.errors(), report.warnings(), report.notes());
+    std::printf("  plan: %zu op(s), %zu node(s) covered, %zu test(s), "
+                "%zu test(s) elided per run\n",
+                plan.ops.size(), plan.nodes_covered, plan_tests(plan),
+                elided);
+  }
+  if (report.errors() > 0) {
+    std::fputs(report.to_string().c_str(), stdout);
+    return 2;
+  }
+
+  if (out_path != nullptr) {
+    io::VectorSink sink;
+    {
+      io::DataWriter writer(sink);
+      spec::save_pattern(writer, inferred.pattern, *shapes.attributes);
+      writer.flush();
+    }
+    io::write_file(out_path, sink.bytes());
+    if (verbose)
+      std::printf("  wrote %zu byte(s) to %s\n", sink.size(), out_path);
+  }
+
+  // Round-trip through pattern_io: the persisted form must reproduce a
+  // pattern that compiles to the identical plan.
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    spec::save_pattern(writer, inferred.pattern, *shapes.attributes);
+    writer.flush();
+  }
+  io::DataReader reader(sink.bytes());
+  spec::PatternNode loaded = spec::load_pattern(reader, *shapes.attributes);
+  spec::Plan replan =
+      spec::PlanCompiler(copts).compile(*shapes.attributes, loaded);
+  if (replan.ops.size() != plan.ops.size() ||
+      replan.nodes_covered != plan.nodes_covered) {
+    std::printf("phase %s: round-tripped pattern compiled differently "
+                "(%zu vs %zu op(s))\n",
+                phase_name, replan.ops.size(), plan.ops.size());
+    return 2;
+  }
+  if (elided == 0) {
+    std::printf("phase %s: static pattern elided no tests\n", phase_name);
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_infer(const char* phase_flag, bool self_test, const char* out_path) {
+  struct Named {
+    const char* name;
+    analysis::Phase phase;
+  };
+  static constexpr Named kPhases[] = {
+      {"se", analysis::Phase::kSideEffect},
+      {"bt", analysis::Phase::kBindingTime},
+      {"et", analysis::Phase::kEvalTime},
+  };
+
+  if (self_test) {
+    int failures = 0;
+    for (const Named& named : kPhases)
+      if (infer_one_phase(named.phase, named.name, nullptr, true) != 0)
+        ++failures;
+    std::printf("self-test: 3 phase(s) checked, %d failed\n", failures);
+    return failures == 0 ? 0 : 2;
+  }
+
+  const char* name = phase_flag != nullptr ? phase_flag : "bt";
+  for (const Named& named : kPhases)
+    if (std::strcmp(named.name, name) == 0)
+      return infer_one_phase(named.phase, named.name, out_path, true);
+  std::fprintf(stderr, "ickptctl: unknown phase '%s' (se, bt, et)\n", name);
+  return 64;
+}
+
 int cmd_trace() {
   obs::Registry registry;  // spans annotate from live counters; install both
   obs::Registry::install(&registry);
@@ -280,7 +404,14 @@ int usage() {
       "                     metric). Takes no log file.\n"
       "  trace              same workload; emit collected spans as Chrome\n"
       "                     trace_event JSON (chrome://tracing / Perfetto).\n"
-      "                     Takes no log file.\n",
+      "                     Takes no log file.\n"
+      "  infer [--phase se|bt|et] [--self-test] [<pattern-file>]\n"
+      "                     statically infer the phase's modification pattern\n"
+      "                     from the bundled model's write sets, prove it with\n"
+      "                     the checker, compile it through the verifying\n"
+      "                     gate; optional <pattern-file> receives the\n"
+      "                     serialized pattern. --self-test checks all three\n"
+      "                     phases (exit 0 ok, 2 on failure).\n",
       stderr);
   return 64;
 }
@@ -294,6 +425,7 @@ int main(int argc, char** argv) {
   bool salvage = false;
   bool self_test = false;
   bool json = false;
+  const char* phase = nullptr;
   const char* path = nullptr;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repair") == 0) {
@@ -304,6 +436,8 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--phase") == 0 && i + 1 < argc) {
+      phase = argv[++i];
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -311,9 +445,12 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    // stats/trace run a built-in workload; they take no log file.
+    // stats/trace/infer run against built-in models; the path is optional
+    // (infer) or absent (stats, trace).
     if (std::strcmp(command, "stats") == 0) return cmd_stats(self_test, json);
     if (std::strcmp(command, "trace") == 0) return cmd_trace();
+    if (std::strcmp(command, "infer") == 0)
+      return cmd_infer(phase, self_test, path);
     if (path == nullptr) return usage();
     if (std::strcmp(command, "scan") == 0) return cmd_scan(path, salvage);
     if (std::strcmp(command, "inspect") == 0) return cmd_inspect(path);
