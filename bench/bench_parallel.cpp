@@ -1,0 +1,103 @@
+// Sharded parallel capture: scaling curve (threads x graph size).
+//
+// Grid: worker threads in {1,2,4,8} x structures in {N/4, N} (N from
+// ICKPT_BENCH_STRUCTURES, default the paper's 20,000), full mode plus an
+// incremental epoch at 25% modified. Each grid point is compared against
+// the serial generic driver on identical dirty state; `threads=1` goes
+// through ParallelCheckpoint's serial delegation, so its row doubles as the
+// "no regression at one thread" check. Speedup is serial_best /
+// parallel_best. Rows land in BENCH_parallel.json unless ICKPT_BENCH_JSON
+// overrides the path.
+//
+// Read the speedup column against the hardware: on a single-core machine
+// every thread count timeslices one core and the curve is flat at ~1x (plus
+// sharding overhead) — the merge stays cheap either way, which is the part
+// this harness can always certify.
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "core/parallel_checkpoint.hpp"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+Measured measure_parallel(synth::SynthWorkload& workload, core::Mode mode,
+                          unsigned threads, const std::vector<bool>& flags) {
+  Measured m;
+  auto body = [&] {
+    io::CountingSink sink;
+    io::DataWriter writer(sink);
+    core::ParallelOptions opts;
+    opts.mode = mode;
+    opts.threads = threads;
+    core::ParallelCheckpoint::run(writer, 0, workload.root_bases(), opts);
+    writer.flush();
+    m.bytes = sink.count();
+  };
+  m.stats = time_stats([&] { workload.restore_flags(flags); }, body);
+  m.seconds = m.stats.best;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  // This bench gets its own report file so the scaling curve is not mixed
+  // into BENCH_obs.json (the shared default).
+  setenv("ICKPT_BENCH_JSON", "BENCH_parallel.json", /*overwrite=*/0);
+
+  print_header("Sharded parallel capture: threads x graph size");
+  std::printf("structures=%zu reps=%d hardware_threads=%u\n\n",
+              bench_structures(), bench_reps(),
+              std::thread::hardware_concurrency());
+  print_row({"structs", "mode", "threads", "serial", "parallel", "par-p50",
+             "par-p95", "ckpt size", "speedup"});
+
+  for (std::size_t structures :
+       {bench_structures() / 4, bench_structures()}) {
+    if (structures == 0) continue;
+    synth::SynthConfig config;
+    config.num_structures = structures;
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+
+    struct Case {
+      core::Mode mode;
+      const char* name;
+      int percent;
+    };
+    for (const Case& c : {Case{core::Mode::kFull, "full", 100},
+                          Case{core::Mode::kIncremental, "incr", 25}}) {
+      workload.reset_flags();
+      config.percent_modified = c.percent;
+      workload.mutate();
+      auto flags = workload.save_flags();
+
+      Measured serial = measure_generic(workload, c.mode, flags);
+      const std::string grid_base =
+          "structures=" + std::to_string(structures) + " mode=" + c.name;
+      JsonReport::instance().add("parallel", grid_base + " engine=serial",
+                                 serial.stats, serial.bytes);
+
+      for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        Measured par = measure_parallel(workload, c.mode, threads, flags);
+        print_row({std::to_string(structures), c.name,
+                   std::to_string(threads), fmt_ms(serial.seconds),
+                   fmt_ms(par.seconds), fmt_ms(par.stats.p50),
+                   fmt_ms(par.stats.p95), fmt_mb(par.bytes),
+                   fmt_x(serial.seconds / par.seconds)});
+        JsonReport::instance().add(
+            "parallel",
+            grid_base + " engine=parallel threads=" + std::to_string(threads),
+            par.stats, par.bytes);
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: speedup approaches the smaller of the thread count\n"
+      "and the machine's core count; threads=1 must sit within noise of the\n"
+      "serial driver (it delegates to it).\n");
+  return 0;
+}

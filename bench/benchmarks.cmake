@@ -11,6 +11,7 @@ set(ICKPT_BENCHES
   bench_table2_engines
   bench_ablation
   bench_pagelevel
+  bench_parallel
 )
 foreach(name ${ICKPT_BENCHES})
   add_executable(${name} bench/${name}.cpp)

@@ -7,11 +7,8 @@ namespace ickpt::core {
 Checkpoint::Checkpoint(io::DataWriter& d, Epoch epoch,
                        std::span<Checkpointable* const> roots,
                        CheckpointOptions opts)
-    : d_(d),
-      mode_(opts.mode),
-      dry_(opts.dry_run),
-      guard_(opts.cycle_guard),
-      hooks_(opts.hooks) {
+    : d_(d), mode_(opts.mode), dry_(opts.dry_run), guard_(opts.cycle_guard) {
+  bind_hooks(opts.hooks);
   if (dry_) return;
   d_.write_u8(kStreamMagic);
   d_.write_u8(kFormatVersion);
@@ -22,10 +19,21 @@ Checkpoint::Checkpoint(io::DataWriter& d, Epoch epoch,
     d_.write_varint(root != nullptr ? root->info().id() : kNullObjectId);
 }
 
+Checkpoint::Checkpoint(io::DataWriter& d, CheckpointOptions opts,
+                       ClaimTable* claims)
+    : d_(d),
+      mode_(opts.mode),
+      dry_(opts.dry_run),
+      guard_(opts.cycle_guard),
+      framing_(false),
+      claims_(claims) {
+  bind_hooks(opts.hooks);
+}
+
 void Checkpoint::end() {
   if (ended_) throw Error("Checkpoint::end() called twice");
   ended_ = true;
-  if (!dry_) d_.write_u8(kEndTag);
+  if (!dry_ && framing_) d_.write_u8(kEndTag);
 }
 
 CheckpointStats Checkpoint::run(io::DataWriter& d, Epoch epoch,

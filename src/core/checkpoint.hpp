@@ -13,9 +13,12 @@
 
 #include "core/checkpoint_format.hpp"
 #include "core/checkpointable.hpp"
+#include "core/claim_table.hpp"
 #include "io/data_writer.hpp"
 
 namespace ickpt::core {
+
+class ParallelCheckpoint;
 
 struct CheckpointStats {
   std::uint64_t objects_visited = 0;
@@ -63,9 +66,16 @@ class Checkpoint {
 
   /// Paper Fig. 1: test, record, reset, fold.
   void checkpoint(Checkpointable& o) {
-    if (guard_ && !visited_.insert(o.info().id()).second) {
-      if (hooks_ != nullptr && hooks_->revisit) hooks_->revisit(o);
-      return;
+    if (guard_) {
+      // Local visited set first (a revisit within this walker is the common
+      // case and stays lock-free); on a genuinely new id, a shard walker
+      // additionally races for the cross-shard claim — losing it means
+      // another shard already owns the object.
+      if (!visited_.insert(o.info().id()).second ||
+          (claims_ != nullptr && !claims_->claim(o.info().id()))) {
+        if (revisit_ != nullptr) (*revisit_)(o);
+        return;
+      }
     }
     ++stats_.objects_visited;
     CheckpointInfo& info = o.info();
@@ -79,9 +89,9 @@ class Checkpoint {
         info.reset_modified();
       }
     }
-    if (hooks_ != nullptr && hooks_->enter) hooks_->enter(o);
+    if (enter_ != nullptr) (*enter_)(o);
     o.fold(*this);
-    if (hooks_ != nullptr && hooks_->leave) hooks_->leave(o);
+    if (leave_ != nullptr) (*leave_)(o);
   }
 
   /// Terminate the record stream. Must be called exactly once.
@@ -103,11 +113,34 @@ class Checkpoint {
                              CheckpointOptions opts);
 
  private:
+  friend class ParallelCheckpoint;
+
+  /// Internal (ParallelCheckpoint): a records-only shard walker. Writes no
+  /// stream header at construction and no end tag from end() — the parallel
+  /// merge stage frames the shard segments itself — and defers cross-shard
+  /// visited decisions to `claims` (may be null when cycle_guard is off).
+  Checkpoint(io::DataWriter& d, CheckpointOptions opts, ClaimTable* claims);
+
+  /// Hoist the per-hook null checks out of the visit loop: each unset hook
+  /// is a null pointer here, so a visit pays one pointer test per hook
+  /// instead of re-deriving `hooks_ != nullptr && hooks_->x` every object.
+  void bind_hooks(const VisitHooks* hooks) noexcept {
+    if (hooks == nullptr) return;
+    if (hooks->enter) enter_ = &hooks->enter;
+    if (hooks->leave) leave_ = &hooks->leave;
+    if (hooks->revisit) revisit_ = &hooks->revisit;
+  }
+
   io::DataWriter& d_;
   Mode mode_;
   bool dry_;
   bool guard_;
-  const VisitHooks* hooks_;
+  /// False for shard walkers: end() then emits no end tag.
+  bool framing_ = true;
+  const std::function<void(Checkpointable&)>* enter_ = nullptr;
+  const std::function<void(Checkpointable&)>* leave_ = nullptr;
+  const std::function<void(Checkpointable&)>* revisit_ = nullptr;
+  ClaimTable* claims_ = nullptr;
   bool ended_ = false;
   CheckpointStats stats_;
   std::unordered_set<ObjectId> visited_;

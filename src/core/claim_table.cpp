@@ -1,0 +1,50 @@
+#include "core/claim_table.hpp"
+
+namespace ickpt::core {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Fibonacci mixing so consecutive ids (the common allocation pattern)
+/// spread across stripes instead of marching through one.
+std::size_t mix(ObjectId id) noexcept {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> 32);
+}
+
+}  // namespace
+
+ClaimTable::ClaimTable(std::size_t stripes)
+    : mask_(round_up_pow2(stripes == 0 ? 1 : stripes) - 1),
+      stripes_(new Stripe[mask_ + 1]) {}
+
+bool ClaimTable::claim(ObjectId id) {
+  Stripe& s = stripes_[mix(id) & mask_];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.ids.insert(id).second;
+}
+
+std::vector<ObjectId> ClaimTable::ids() const {
+  std::vector<ObjectId> out;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mu);
+    out.insert(out.end(), stripes_[i].ids.begin(), stripes_[i].ids.end());
+  }
+  return out;
+}
+
+std::size_t ClaimTable::size() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mu);
+    n += stripes_[i].ids.size();
+  }
+  return n;
+}
+
+}  // namespace ickpt::core

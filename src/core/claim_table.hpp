@@ -1,0 +1,49 @@
+// ClaimTable: striped first-claim table over object ids, the cross-shard
+// half of cycle_guard semantics for parallel capture.
+//
+// Serial cycle_guard keeps one visited set for the whole checkpoint session:
+// an object reachable from two roots is recorded under the first root only.
+// Parallel capture gives each shard its own private visited set (a fresh
+// epoch per shard, no synchronization on the hot revisit path) and resolves
+// *cross-shard* sharing here: the first shard to claim() an id records and
+// traverses the object, every other shard treats it as already visited. The
+// table is striped — ids hash onto independently locked buckets — so claims
+// from different shards contend only when they hash onto the same stripe.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ickpt::core {
+
+class ClaimTable {
+ public:
+  /// `stripes` is rounded up to a power of two.
+  explicit ClaimTable(std::size_t stripes = 64);
+  ClaimTable(const ClaimTable&) = delete;
+  ClaimTable& operator=(const ClaimTable&) = delete;
+
+  /// True exactly once per id across all threads: the caller that gets true
+  /// owns the object — it records and traverses it; everyone else skips.
+  bool claim(ObjectId id);
+
+  /// Every id claimed so far. Not for use concurrently with claim().
+  [[nodiscard]] std::vector<ObjectId> ids() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  /// One lock + id set per stripe, padded so stripes never share a line.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<ObjectId> ids;
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace ickpt::core

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "core/parallel_checkpoint.hpp"
 #include "core/recovery_note.hpp"
 #include "io/byte_sink.hpp"
 #include "io/file_io.hpp"
@@ -39,6 +40,8 @@ CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
                                   .retry = opts.retry}) {
   if (opts_.full_interval == 0)
     throw Error("ManagerOptions.full_interval must be >= 1");
+  if (opts_.capture_threads == 0)
+    throw Error("ManagerOptions.capture_threads must be >= 1");
   // Resume epoch numbering after a restart: frames and epochs are appended
   // 1:1, so the next epoch is the next storage sequence number.
   epoch_ = storage_.next_seq();
@@ -71,10 +74,18 @@ TakeResult CheckpointManager::take_with_mode(
   if (timed) t0 = std::chrono::steady_clock::now();
   {
     io::DataWriter writer(sink);
-    CheckpointOptions copts;
-    copts.mode = mode;
-    copts.cycle_guard = opts_.cycle_guard;
-    stats = Checkpoint::run(writer, epoch_, roots, copts);
+    if (opts_.capture_threads > 1) {
+      ParallelOptions popts;
+      popts.mode = mode;
+      popts.cycle_guard = opts_.cycle_guard;
+      popts.threads = opts_.capture_threads;
+      stats = ParallelCheckpoint::run(writer, epoch_, roots, popts).totals;
+    } else {
+      CheckpointOptions copts;
+      copts.mode = mode;
+      copts.cycle_guard = opts_.cycle_guard;
+      stats = Checkpoint::run(writer, epoch_, roots, copts);
+    }
     writer.flush();
   }
   if (timed)

@@ -45,6 +45,13 @@ struct ManagerOptions {
   io::FaultPolicy* fault_policy = nullptr;
   /// Transient write-failure retry policy for stable storage.
   io::RetryPolicy retry{};
+  /// Worker threads for checkpoint capture. 1 (default) keeps today's
+  /// serial paper-faithful driver; N>1 shards the root set across N
+  /// workers (core::ParallelCheckpoint) and merges the segments behind one
+  /// stream header — the payload format and recovery are unchanged, and
+  /// with cycle_guard off the merged stream is byte-identical to the
+  /// serial one (tests/parallel_equiv_test.cpp).
+  unsigned capture_threads = 1;
 };
 
 struct TakeResult {

@@ -1,0 +1,98 @@
+// ParallelCheckpoint: sharded checkpoint capture over a bounded worker pool.
+//
+// The paper's driver (Fig. 1) walks the object graph serially, so capture
+// latency scales with graph size regardless of cores. This component
+// partitions the *root set* into contiguous shards, captures each shard's
+// records into a private in-memory segment on a work-stealing worker pool,
+// and deterministically merges the segments — in shard order, behind a
+// single stream header — so the emitted payload obeys the exact format of
+// docs/FORMAT.md and Recovery/fsck need no new cases.
+//
+// Determinism contract (enforced by tests/parallel_equiv_test.cpp, not by
+// review):
+//  - cycle_guard off (the paper's acyclic/unshared assumption): shard
+//    segments are exactly the record runs the serial driver would emit for
+//    those roots, and shard-order concatenation reproduces the serial
+//    stream BYTE-IDENTICALLY for every thread count.
+//  - cycle_guard on: each shard walks with its own private visited-set
+//    epoch and cross-shard sharing is resolved through a striped ClaimTable
+//    keyed on CheckpointInfo ids — every shared object is recorded by
+//    exactly one shard (whichever claims it first), so the stream carries
+//    the same record set, possibly placed in a different segment than the
+//    serial walk would choose. Recovery resolves records by id, so the
+//    recovered graph is VALUE-IDENTICAL to the serial stream's, and
+//    per-shard CheckpointStats still sum to the serial totals.
+//
+// Failure semantics match the serial driver: a throw from record()/fold()
+// (or out-of-memory in a segment) propagates to the caller after the pool
+// drains, and the caller must discard the stream — exactly as it must when
+// the serial Checkpoint throws mid-record. Flags reset before the failure
+// stay reset, which is why CheckpointManager only appends fully merged
+// payloads to stable storage.
+//
+// VisitHooks are not threaded through: hooks observe a single traversal
+// order, which sharded capture deliberately does not have.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "io/data_writer.hpp"
+
+namespace ickpt::core {
+
+struct ParallelOptions {
+  Mode mode = Mode::kIncremental;
+  /// Traverse and test but write nothing and reset no flags.
+  bool dry_run = false;
+  /// Per-shard visited epochs + cross-shard ClaimTable (see header comment).
+  bool cycle_guard = false;
+  /// Worker pool size. <= 1 delegates to the serial Checkpoint::run — the
+  /// paper-faithful path, byte-for-byte and cost-for-cost.
+  unsigned threads = 1;
+  /// Shards per worker: the work-stealing granularity. More shards balance
+  /// skewed root subtrees better at the cost of more (cheap) segment
+  /// merges; shard count never exceeds the root count.
+  unsigned shards_per_thread = 4;
+  /// Stripes in the cross-shard claim table (cycle_guard only).
+  std::size_t claim_stripes = 64;
+};
+
+/// Capture accounting for one shard (one contiguous root range).
+struct ShardStats {
+  std::size_t shard = 0;
+  std::size_t root_begin = 0;
+  std::size_t root_end = 0;
+  /// Worker that executed the shard; `stolen` when that is not the worker
+  /// the shard was initially dealt to.
+  unsigned worker = 0;
+  bool stolen = false;
+  CheckpointStats stats;
+  std::size_t bytes = 0;
+};
+
+struct ParallelStats {
+  /// Sum over shards; equals the serial CheckpointStats for the same state.
+  CheckpointStats totals;
+  std::size_t shards = 1;
+  unsigned threads_used = 1;
+  std::size_t steals = 0;
+  /// max/mean objects visited per worker (1.0 = perfectly balanced).
+  double imbalance = 1.0;
+  /// Wall time of the deterministic merge stage (segment concatenation).
+  double merge_seconds = 0.0;
+  /// Per-shard breakdown; empty when the serial path ran.
+  std::vector<ShardStats> shard_stats;
+};
+
+class ParallelCheckpoint {
+ public:
+  /// Write one checkpoint payload of `roots` at `epoch` into `d`:
+  /// header + sharded records (merged in shard order) + end tag.
+  static ParallelStats run(io::DataWriter& d, Epoch epoch,
+                           std::span<Checkpointable* const> roots,
+                           const ParallelOptions& opts);
+};
+
+}  // namespace ickpt::core

@@ -89,8 +89,8 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
     {
       io::DataWriter scratch_writer(scratch_);
       try {
-        run_plan_checkpoint(scratch_writer, epoch, roots.concretes,
-                            *executor_);
+        run_plan_checkpoint_parallel(scratch_writer, epoch, roots.concretes,
+                                     *executor_, opts_.capture_threads);
         scratch_writer.flush();
       } catch (const SpecError&) {
         ok = false;

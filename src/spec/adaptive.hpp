@@ -45,6 +45,12 @@ class AdaptiveCheckpointer {
     std::size_t observe_epochs = 4;
     InferOptions infer;
     CompileOptions compile;
+    /// Worker threads for specialized capture: the compiled plan executes
+    /// per-shard (run_plan_checkpoint_parallel) with segments merged in
+    /// shard order, so the staged stream stays byte-identical to the
+    /// serial plan run. 1 = serial. Observation/generic epochs always run
+    /// serially (the inferencer is not concurrent).
+    unsigned capture_threads = 1;
     /// A sound pattern constructed offline (verify::infer_pattern). The
     /// checkpointer takes a pre-built pattern, not a program + binding:
     /// spec cannot depend on verify (verify links against spec), so the

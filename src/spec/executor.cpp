@@ -1,9 +1,15 @@
 #include "spec/executor.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/checkpoint_info.hpp"
+#include "io/byte_sink.hpp"
 
 namespace ickpt::spec {
 
@@ -207,6 +213,73 @@ void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
     d.write_varint(info->id());
   }
   for (void* root : roots) exec.run(root, d);
+  d.write_u8(core::kEndTag);
+}
+
+void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
+                                  std::span<void* const> roots,
+                                  const PlanExecutor& exec, unsigned threads,
+                                  core::Mode mode) {
+  const std::size_t nroots = roots.size();
+  if (static_cast<std::size_t>(threads) > nroots)
+    threads = static_cast<unsigned>(nroots == 0 ? 1 : nroots);
+  if (threads <= 1) {
+    run_plan_checkpoint(d, epoch, roots, exec, mode);
+    return;
+  }
+
+  const Plan& plan = exec.plan();
+  d.write_u8(core::kStreamMagic);
+  d.write_u8(core::kFormatVersion);
+  d.write_u8(static_cast<std::uint8_t>(mode));
+  d.write_u64(epoch);
+  d.write_varint(nroots);
+  for (void* root : roots) {
+    const auto* info = reinterpret_cast<const core::CheckpointInfo*>(
+        static_cast<const char*>(root) + plan.root_info_offset);
+    d.write_varint(info->id());
+  }
+
+  // Shards finer than the worker count so a skewed root range cannot strand
+  // one worker with most of the records.
+  const std::size_t nshards =
+      std::min(nroots, static_cast<std::size_t>(threads) * 4);
+  std::vector<io::VectorSink> segments(nshards);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(threads);
+
+  auto worker_fn = [&](unsigned w) {
+    try {
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const std::size_t si = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (si >= nshards) return;
+        const std::size_t begin = si * nroots / nshards;
+        const std::size_t end = (si + 1) * nroots / nshards;
+        io::DataWriter writer(segments[si]);
+        for (std::size_t r = begin; r < end; ++r)
+          exec.run(roots[r], writer);
+        writer.flush();
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker_fn, w);
+    worker_fn(0);
+    for (std::thread& t : pool) t.join();
+  }
+  for (unsigned w = 0; w < threads; ++w)
+    if (errors[w]) std::rethrow_exception(errors[w]);
+
+  for (const io::VectorSink& segment : segments)
+    d.write_bytes(segment.bytes().data(), segment.size());
   d.write_u8(core::kEndTag);
 }
 

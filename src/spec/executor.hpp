@@ -50,4 +50,18 @@ void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
                          const PlanExecutor& exec,
                          core::Mode mode = core::Mode::kIncremental);
 
+/// Sharded variant: partition the roots into contiguous shards, execute the
+/// plan per shard on `threads` workers into private segments, and merge the
+/// segments in shard order behind one stream header. Plans describe trees
+/// (no cross-root sharing), so the output is byte-identical to
+/// run_plan_checkpoint for every thread count — property-tested alongside
+/// the generic parallel driver. A SpecError raised by any shard (structure
+/// violating the pattern) is rethrown after the pool drains; as in the
+/// serial case the caller must then discard the stream and fall back.
+/// threads <= 1 is exactly run_plan_checkpoint.
+void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
+                                  std::span<void* const> roots,
+                                  const PlanExecutor& exec, unsigned threads,
+                                  core::Mode mode = core::Mode::kIncremental);
+
 }  // namespace ickpt::spec

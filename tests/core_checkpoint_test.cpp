@@ -225,6 +225,69 @@ TEST(CheckpointDriver, SharedChildRecordedOnceWithGuard) {
   EXPECT_EQ(stats.objects_recorded, 3u);
 }
 
+// The hook dispatch is bound once at construction (one pointer test per
+// hook per visit); this pins down that binding neither drops events nor
+// perturbs the walk: hook fire counts match the stats, and the stats and
+// bytes are identical with and without hooks installed.
+TEST(CheckpointDriver, HooksFireOncePerVisitAndLeaveWalkUnchanged) {
+  core::Heap heap;
+  Leaf* shared = heap.make<Leaf>();
+  Inner* left = heap.make<Inner>();
+  Inner* root = heap.make<Inner>();
+  left->set_left(shared);
+  root->set_left(shared);
+  root->set_right(left);
+  std::vector<core::Checkpointable*> roots{root};
+
+  CheckpointOptions opts;
+  opts.mode = Mode::kFull;
+  opts.cycle_guard = true;
+
+  io::VectorSink bare_sink;
+  core::CheckpointStats bare;
+  {
+    io::DataWriter w(bare_sink);
+    bare = Checkpoint::run(w, 0, roots, opts);
+    w.flush();
+  }
+
+  std::size_t enters = 0, leaves = 0, revisits = 0;
+  core::VisitHooks hooks;
+  hooks.enter = [&](core::Checkpointable&) { ++enters; };
+  hooks.leave = [&](core::Checkpointable&) { ++leaves; };
+  hooks.revisit = [&](core::Checkpointable&) { ++revisits; };
+  opts.hooks = &hooks;
+  io::VectorSink hooked_sink;
+  core::CheckpointStats hooked;
+  {
+    io::DataWriter w(hooked_sink);
+    hooked = Checkpoint::run(w, 0, roots, opts);
+    w.flush();
+  }
+
+  // enter/leave fire exactly once per visited object; revisit fires for the
+  // one extra edge into the shared leaf.
+  EXPECT_EQ(enters, hooked.objects_visited);
+  EXPECT_EQ(leaves, hooked.objects_visited);
+  EXPECT_EQ(revisits, 1u);
+  // Observation must not perturb the walk or the stream.
+  EXPECT_EQ(hooked.objects_visited, bare.objects_visited);
+  EXPECT_EQ(hooked.objects_recorded, bare.objects_recorded);
+  EXPECT_EQ(hooked_sink.bytes(), bare_sink.bytes());
+
+  // A partially populated hook set binds only the hooks that exist.
+  core::VisitHooks only_enter;
+  std::size_t enters2 = 0;
+  only_enter.enter = [&](core::Checkpointable&) { ++enters2; };
+  opts.hooks = &only_enter;
+  io::VectorSink sink3;
+  {
+    io::DataWriter w(sink3);
+    auto stats = Checkpoint::run(w, 0, roots, opts);
+    EXPECT_EQ(enters2, stats.objects_visited);
+  }
+}
+
 TEST(CheckpointInfo, IdsAreUniqueAndNonNull) {
   core::CheckpointInfo a;
   core::CheckpointInfo b;

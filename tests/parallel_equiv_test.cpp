@@ -1,0 +1,444 @@
+// Serial-equivalence harness for sharded parallel capture: the correctness
+// contract of core::ParallelCheckpoint is enforced here, not by review.
+//
+// Two tiers of equivalence, per the cycle_guard contract:
+//  - guard off (paper assumption: acyclic, unshared): the merged parallel
+//    stream must be BYTE-IDENTICAL to the serial stream for every thread
+//    count — shard segments are serial record runs and the merge is
+//    shard-ordered.
+//  - guard on, with cross-root sharing and cycles: record placement may
+//    differ (the claim table awards a shared object to whichever shard
+//    claims it first), so the assertion is observational — the parallel
+//    stream must RECOVER to a graph value-identical to the serial stream's,
+//    and per-shard CheckpointStats must sum to the serial totals.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/parallel_checkpoint.hpp"
+#include "core/recovery.hpp"
+#include "core/type_registry.hpp"
+#include "core/manager.hpp"
+#include "io/data_reader.hpp"
+#include "spec/adaptive.hpp"
+#include "tests/synth_helpers.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using core::ParallelCheckpoint;
+using core::ParallelOptions;
+using core::ParallelStats;
+
+constexpr unsigned kMaxThreads = 8;
+
+std::vector<std::uint8_t> parallel_bytes(
+    std::span<core::Checkpointable* const> roots, Epoch epoch,
+    const ParallelOptions& popts, ParallelStats* out = nullptr) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    ParallelStats stats = ParallelCheckpoint::run(writer, epoch, roots, popts);
+    writer.flush();
+    if (out != nullptr) *out = stats;
+  }
+  return sink.take();
+}
+
+std::vector<std::uint8_t> serial_bytes(
+    std::span<core::Checkpointable* const> roots, Epoch epoch, core::Mode mode,
+    bool cycle_guard, core::CheckpointStats* out = nullptr) {
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    core::CheckpointOptions opts;
+    opts.mode = mode;
+    opts.cycle_guard = cycle_guard;
+    core::CheckpointStats stats =
+        core::Checkpoint::run(writer, epoch, roots, opts);
+    writer.flush();
+    if (out != nullptr) *out = stats;
+  }
+  return sink.take();
+}
+
+/// Replay one or more checkpoint payloads (full first) into a fresh graph.
+core::RecoveredState recover_payloads(
+    const std::vector<std::vector<std::uint8_t>>& payloads,
+    const core::TypeRegistry& registry) {
+  core::Recovery recovery(registry);
+  for (const auto& payload : payloads) {
+    io::DataReader reader(payload);
+    recovery.apply(reader);
+  }
+  return recovery.finish();
+}
+
+ObjectId id_or_null(const core::Checkpointable* obj) {
+  return obj != nullptr ? obj->info().id() : kNullObjectId;
+}
+
+/// Value-and-topology identity of two recovered synth graphs: same roots,
+/// same id set, and per id the same scalars and the same child ids. Ids are
+/// preserved by recovery, so this is exactly "the serial stream and the
+/// parallel stream describe the same state".
+void expect_states_identical(const core::RecoveredState& a,
+                             const core::RecoveredState& b,
+                             const std::string& context) {
+  ASSERT_EQ(a.epoch, b.epoch) << context;
+  ASSERT_EQ(a.roots, b.roots) << context;
+  ASSERT_EQ(a.by_id.size(), b.by_id.size()) << context;
+  for (const auto& [id, obj] : a.by_id) {
+    core::Checkpointable* other = b.find(id);
+    ASSERT_NE(other, nullptr) << context << ": id " << id << " missing";
+    ASSERT_EQ(obj->type_id(), other->type_id()) << context << ": id " << id;
+    if (const auto* ea = dynamic_cast<const synth::ListElem*>(obj)) {
+      const auto* eb = dynamic_cast<const synth::ListElem*>(other);
+      ASSERT_NE(eb, nullptr) << context;
+      ASSERT_EQ(ea->nvals(), eb->nvals()) << context << ": id " << id;
+      for (std::int32_t i = 0; i < ea->nvals(); ++i)
+        ASSERT_EQ(ea->value(i), eb->value(i))
+            << context << ": id " << id << " value " << i;
+      ASSERT_EQ(id_or_null(ea->next()), id_or_null(eb->next()))
+          << context << ": id " << id << " next";
+    } else if (const auto* ca = dynamic_cast<const synth::Compound*>(obj)) {
+      const auto* cb = dynamic_cast<const synth::Compound*>(other);
+      ASSERT_NE(cb, nullptr) << context;
+      for (int i = 0; i < synth::Compound::kLists; ++i)
+        ASSERT_EQ(id_or_null(ca->list(i)), id_or_null(cb->list(i)))
+            << context << ": id " << id << " list " << i;
+    } else {
+      FAIL() << context << ": unexpected type in recovered synth graph";
+    }
+  }
+}
+
+core::CheckpointStats sum_shards(const ParallelStats& stats) {
+  core::CheckpointStats sum;
+  for (const core::ShardStats& s : stats.shard_stats) {
+    sum.objects_visited += s.stats.objects_visited;
+    sum.objects_recorded += s.stats.objects_recorded;
+  }
+  return sum;
+}
+
+/// Randomized tree-shaped workloads (the paper's assumption): the merged
+/// parallel stream must equal the serial stream byte for byte, and the
+/// per-shard stats must sum to the serial stats, for 1..8 threads.
+TEST(ParallelEquivalence, ByteIdenticalOnUnsharedGraphs) {
+  std::mt19937_64 rng(20260806);
+  for (int trial = 0; trial < 4; ++trial) {
+    synth::SynthConfig config;
+    config.num_structures = 37 + static_cast<std::size_t>(rng() % 400);
+    config.list_length = 1 + static_cast<int>(rng() % 6);
+    config.values_per_elem = 1 + static_cast<int>(rng() % 10);
+    config.modified_lists = 1 + static_cast<int>(rng() % synth::Compound::kLists);
+    config.percent_modified = static_cast<int>(rng() % 101);
+    config.seed = rng();
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+    workload.reset_flags();
+    workload.mutate();
+    auto flags = workload.save_flags();
+
+    for (core::Mode mode : {core::Mode::kIncremental, core::Mode::kFull}) {
+      workload.restore_flags(flags);
+      core::CheckpointStats serial_stats;
+      auto serial = serial_bytes(workload.root_bases(), 7, mode,
+                                 /*cycle_guard=*/false, &serial_stats);
+      for (unsigned threads = 1; threads <= kMaxThreads; ++threads) {
+        const std::string context =
+            "trial " + std::to_string(trial) + " mode " +
+            std::to_string(static_cast<int>(mode)) + " threads " +
+            std::to_string(threads);
+        ParallelOptions popts;
+        popts.mode = mode;
+        popts.threads = threads;
+        workload.restore_flags(flags);
+        ParallelStats pstats;
+        auto parallel = parallel_bytes(workload.root_bases(), 7, popts,
+                                       &pstats);
+        EXPECT_EQ(parallel, serial) << context;
+        EXPECT_EQ(pstats.totals.objects_visited, serial_stats.objects_visited)
+            << context;
+        EXPECT_EQ(pstats.totals.objects_recorded,
+                  serial_stats.objects_recorded)
+            << context;
+        if (threads > 1) {
+          core::CheckpointStats sum = sum_shards(pstats);
+          EXPECT_EQ(sum.objects_visited, serial_stats.objects_visited)
+              << context;
+          EXPECT_EQ(sum.objects_recorded, serial_stats.objects_recorded)
+              << context;
+          EXPECT_EQ(pstats.threads_used, threads) << context;
+          EXPECT_GE(pstats.shards, static_cast<std::size_t>(threads))
+              << context;
+        }
+      }
+    }
+  }
+}
+
+/// Workload with cross-root sharing and cycles, captured under cycle_guard:
+/// a full checkpoint plus an incremental delta from each engine must recover
+/// to value-identical graphs, and shard stats must sum to serial stats.
+TEST(ParallelEquivalence, RecoversIdenticallyOnSharedCyclicGraphs) {
+  std::mt19937_64 rng(20260807);
+  for (int trial = 0; trial < 3; ++trial) {
+    synth::SynthConfig config;
+    config.num_structures = 61 + static_cast<std::size_t>(rng() % 200);
+    config.list_length = 2 + static_cast<int>(rng() % 4);
+    config.values_per_elem = 1 + static_cast<int>(rng() % 6);
+    config.percent_modified = 40;
+    // mutate() walks lists 0..modified_lists-1 by next-pointer; keep it off
+    // list 2, which the surgery below turns cyclic.
+    config.modified_lists = 2;
+    config.seed = rng();
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+    auto roots = workload.roots();
+    const std::size_t n = roots.size();
+    // Cross-root sharing: every 5th compound adopts a list owned by a
+    // compound in a *different* shard neighborhood (far index), so shards
+    // race for the shared chains through the claim table.
+    for (std::size_t i = 0; i < n; i += 5) {
+      const std::size_t j = (i + n / 2 + 1) % n;
+      roots[i]->set_list(0, roots[j]->list(1));
+    }
+    // Cycles: every 7th compound's list 2 loops back onto its own head.
+    for (std::size_t i = 0; i < n; i += 7) {
+      synth::ListElem* head = roots[i]->list(2);
+      synth::ListElem* tail = head;
+      while (tail->next() != nullptr) tail = tail->next();
+      tail->set_next(head);
+    }
+    auto flags_full = workload.save_flags();
+    workload.reset_flags();
+    workload.mutate();
+    auto flags_incr = workload.save_flags();
+
+    core::TypeRegistry registry;
+    synth::register_types(registry);
+
+    // Serial reference: full (all flags as saved) + incremental delta.
+    workload.restore_flags(flags_full);
+    core::CheckpointStats serial_full_stats;
+    auto serial_full = serial_bytes(workload.root_bases(), 0,
+                                    core::Mode::kFull, true,
+                                    &serial_full_stats);
+    workload.restore_flags(flags_incr);
+    core::CheckpointStats serial_incr_stats;
+    auto serial_incr = serial_bytes(workload.root_bases(), 1,
+                                    core::Mode::kIncremental, true,
+                                    &serial_incr_stats);
+    auto serial_state = recover_payloads({serial_full, serial_incr}, registry);
+
+    for (unsigned threads = 1; threads <= kMaxThreads; ++threads) {
+      const std::string context = "trial " + std::to_string(trial) +
+                                  " threads " + std::to_string(threads);
+      ParallelOptions popts;
+      popts.cycle_guard = true;
+      popts.threads = threads;
+      popts.mode = core::Mode::kFull;
+      workload.restore_flags(flags_full);
+      ParallelStats full_stats;
+      auto par_full = parallel_bytes(workload.root_bases(), 0, popts,
+                                     &full_stats);
+      popts.mode = core::Mode::kIncremental;
+      workload.restore_flags(flags_incr);
+      ParallelStats incr_stats;
+      auto par_incr = parallel_bytes(workload.root_bases(), 1, popts,
+                                     &incr_stats);
+
+      EXPECT_EQ(full_stats.totals.objects_visited,
+                serial_full_stats.objects_visited)
+          << context;
+      EXPECT_EQ(full_stats.totals.objects_recorded,
+                serial_full_stats.objects_recorded)
+          << context;
+      EXPECT_EQ(incr_stats.totals.objects_visited,
+                serial_incr_stats.objects_visited)
+          << context;
+      EXPECT_EQ(incr_stats.totals.objects_recorded,
+                serial_incr_stats.objects_recorded)
+          << context;
+      if (threads > 1) {
+        core::CheckpointStats sum = sum_shards(full_stats);
+        EXPECT_EQ(sum.objects_visited, serial_full_stats.objects_visited)
+            << context;
+        EXPECT_EQ(sum.objects_recorded, serial_full_stats.objects_recorded)
+            << context;
+      }
+
+      auto parallel_state = recover_payloads({par_full, par_incr}, registry);
+      expect_states_identical(serial_state, parallel_state, context);
+    }
+  }
+}
+
+/// The specialized engine's sharded runner: plans describe trees, so the
+/// parallel plan stream must be byte-identical to the serial plan stream —
+/// which the existing property suite already ties to the generic stream.
+TEST(ParallelEquivalence, PlanExecutorShardedIsByteIdentical) {
+  synth::SynthConfig config;
+  config.num_structures = 300;
+  config.list_length = 4;
+  config.values_per_elem = 6;
+  config.modified_lists = 3;
+  config.percent_modified = 50;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+  workload.reset_flags();
+  workload.mutate();
+  auto flags = workload.save_flags();
+
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+  spec::Plan plan = compile_synth_plan(shapes, config,
+                                       synth::SpecLevel::kModifiedLists);
+  spec::PlanExecutor exec(plan);
+  workload.restore_flags(flags);
+  auto serial = plan_bytes(workload, exec, 3);
+
+  for (unsigned threads = 1; threads <= kMaxThreads; ++threads) {
+    workload.restore_flags(flags);
+    io::VectorSink sink;
+    {
+      io::DataWriter writer(sink);
+      spec::run_plan_checkpoint_parallel(writer, 3, workload.root_ptrs(),
+                                         exec, threads);
+      writer.flush();
+    }
+    EXPECT_EQ(sink.bytes(), serial) << "threads " << threads;
+  }
+}
+
+/// AdaptiveCheckpointer with sharded specialized capture: the staged stream
+/// stays byte-identical to the serial adaptive stream across the
+/// observe -> specialize transition, and structural drift still falls back.
+TEST(ParallelEquivalence, AdaptiveShardedMatchesSerialAndFallsBack) {
+  synth::SynthConfig config;
+  config.num_structures = 120;
+  config.list_length = 3;
+  config.values_per_elem = 4;
+  core::Heap heap, heap2;
+  synth::SynthWorkload workload(heap, config);
+  synth::SynthWorkload mirror(heap2, config);
+  synth::SynthShapes shapes = synth::SynthShapes::make();
+
+  spec::AdaptiveCheckpointer::Options serial_opts;
+  spec::AdaptiveCheckpointer::Options parallel_opts;
+  parallel_opts.capture_threads = 4;
+  spec::AdaptiveCheckpointer serial_ckpt(*shapes.compound, serial_opts);
+  spec::AdaptiveCheckpointer parallel_ckpt(*shapes.compound, parallel_opts);
+
+  // The two workloads hold distinct object ids, so compare per-epoch stream
+  // *shapes* via stage/fallback bookkeeping and self-consistency: each
+  // engine's stream must equal its own generic driver's stream.
+  for (Epoch epoch = 0; epoch < 8; ++epoch) {
+    for (auto* w : {&workload, &mirror}) {
+      w->reset_flags();
+      w->mutate();
+    }
+    auto run_one = [epoch](spec::AdaptiveCheckpointer& ckpt,
+                           synth::SynthWorkload& w) {
+      auto flags = w.save_flags();
+      auto generic = generic_bytes(w, epoch);
+      w.restore_flags(flags);
+      io::VectorSink sink;
+      {
+        io::DataWriter writer(sink);
+        spec::AdaptiveCheckpointer::Roots roots{w.root_bases(),
+                                                w.root_ptrs()};
+        ckpt.checkpoint(writer, epoch, roots);
+        writer.flush();
+      }
+      EXPECT_EQ(sink.bytes(), generic) << "epoch " << epoch;
+      return sink.take();
+    };
+    run_one(serial_ckpt, workload);
+    run_one(parallel_ckpt, mirror);
+    EXPECT_EQ(serial_ckpt.stage(), parallel_ckpt.stage())
+        << "epoch " << epoch;
+  }
+  EXPECT_EQ(parallel_ckpt.stage(),
+            spec::AdaptiveCheckpointer::Stage::kSpecialized);
+
+  // Structural drift: grow a list beyond the declared length — the sharded
+  // plan must abort cleanly (no partial caller stream) and fall back.
+  synth::ListElem* extra = heap2.make<synth::ListElem>(2);
+  synth::ListElem* head = mirror.roots()[5]->list(0);
+  while (head->next() != nullptr) head = head->next();
+  head->set_next(extra);
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    spec::AdaptiveCheckpointer::Roots roots{mirror.root_bases(),
+                                            mirror.root_ptrs()};
+    auto result = parallel_ckpt.checkpoint(writer, 99, roots);
+    writer.flush();
+    EXPECT_TRUE(result.fell_back);
+  }
+  EXPECT_EQ(parallel_ckpt.stage(),
+            spec::AdaptiveCheckpointer::Stage::kObserving);
+}
+
+/// End to end through the manager: capture_threads=4 takes over several
+/// epochs land frames whose recovery matches the live graph.
+TEST(ParallelEquivalence, ManagerCaptureThreadsRecoversLiveState) {
+  const std::string path =
+      ::testing::TempDir() + "/ickpt_parallel_equiv_manager.log";
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+
+  synth::SynthConfig config;
+  config.num_structures = 150;
+  config.list_length = 3;
+  config.values_per_elem = 5;
+  config.percent_modified = 30;
+  core::Heap heap;
+  synth::SynthWorkload workload(heap, config);
+
+  core::ManagerOptions mopts;
+  mopts.full_interval = 3;
+  mopts.capture_threads = 4;
+  core::CheckpointManager manager(path, mopts);
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    if (epoch > 0) workload.mutate();
+    auto result = manager.take(workload.root_bases());
+    EXPECT_EQ(result.stats.objects_visited, workload.total_objects());
+  }
+
+  core::TypeRegistry registry;
+  synth::register_types(registry);
+  auto recovered = core::CheckpointManager::recover(path, registry);
+  EXPECT_TRUE(recovered.log_clean);
+  ASSERT_EQ(recovered.state.roots.size(), workload.roots().size());
+  for (std::size_t i = 0; i < workload.roots().size(); ++i) {
+    const synth::Compound* live = workload.roots()[i];
+    ASSERT_EQ(recovered.state.roots[i], live->info().id());
+    const auto* rec = dynamic_cast<const synth::Compound*>(
+        recovered.state.find(live->info().id()));
+    ASSERT_NE(rec, nullptr);
+    for (int l = 0; l < synth::Compound::kLists; ++l) {
+      const synth::ListElem* le = live->list(l);
+      const synth::ListElem* re = rec->list(l);
+      while (le != nullptr) {
+        ASSERT_NE(re, nullptr);
+        ASSERT_EQ(le->info().id(), re->info().id());
+        ASSERT_EQ(le->nvals(), re->nvals());
+        for (std::int32_t v = 0; v < le->nvals(); ++v)
+          ASSERT_EQ(le->value(v), re->value(v));
+        le = le->next();
+        re = re->next();
+      }
+      ASSERT_EQ(re, nullptr);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
+}  // namespace
+}  // namespace ickpt::testing
