@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <span>
 
+#include "analysis/write_witness.hpp"
 #include "common/error.hpp"
 #include "core/checkpoint.hpp"
 #include "core/checkpointable.hpp"
@@ -60,6 +61,7 @@ class SEEntry final : public core::WithCheckpointInfo {
     nwrites_ = static_cast<std::int32_t>(writes.size());
     std::copy(writes.begin(), writes.end(), writes_);
     info_.set_modified();
+    witness_write(AttrField::kSe);
   }
 
   [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
@@ -101,6 +103,9 @@ class AnnotationLeaf final : public core::WithCheckpointInfo {
  public:
   static constexpr TypeId kTypeId = kId;
   static const char* const kTypeName;
+  /// Witness position of this leaf (only the BT/ET instantiations exist).
+  static constexpr AttrField kField =
+      kId == 205 ? AttrField::kBt : AttrField::kEt;
 
   AnnotationLeaf() = default;
   AnnotationLeaf(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
@@ -111,6 +116,7 @@ class AnnotationLeaf final : public core::WithCheckpointInfo {
     if (value_ == value) return;
     value_ = value;
     info_.set_modified();
+    witness_write(kField);
   }
 
   [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }
@@ -136,6 +142,9 @@ class LeafEntry final : public core::WithCheckpointInfo {
  public:
   static constexpr TypeId kTypeId = kId;
   static const char* const kTypeName;
+  /// Witness position of this entry (only the BT/ET instantiations exist).
+  static constexpr AttrField kField =
+      kId == 203 ? AttrField::kBtEntry : AttrField::kEtEntry;
 
   explicit LeafEntry(Leaf* leaf = nullptr) : leaf_(leaf) {}
   LeafEntry(core::RestoreTag, ObjectId id) : WithCheckpointInfo(id) {}
@@ -144,6 +153,7 @@ class LeafEntry final : public core::WithCheckpointInfo {
   void set_leaf(Leaf* leaf) noexcept {
     leaf_ = leaf;
     info_.set_modified();
+    witness_write(kField);
   }
 
   [[nodiscard]] TypeId type_id() const noexcept override { return kTypeId; }

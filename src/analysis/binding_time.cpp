@@ -13,6 +13,10 @@ std::uint8_t join(std::uint8_t a, std::uint8_t b) {
 }
 }  // namespace
 
+WriteManifest BindingTimeAnalysis::write_manifest() noexcept {
+  return {"run_binding_time", FieldSet{AttrField::kBt}};
+}
+
 BindingTimeAnalysis::BindingTimeAnalysis(const Program& program,
                                          const BtaConfig& config)
     : program_(&program),

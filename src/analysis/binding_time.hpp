@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/ast.hpp"
+#include "analysis/write_witness.hpp"
 
 namespace ickpt::analysis {
 
@@ -27,6 +28,10 @@ struct BtaConfig {
 class BindingTimeAnalysis {
  public:
   BindingTimeAnalysis(const Program& program, const BtaConfig& config);
+
+  /// Declared Attributes write footprint of the binding-time phase: the
+  /// engine's BTA loop stores only through the BT leaf's set_annotation.
+  [[nodiscard]] static WriteManifest write_manifest() noexcept;
 
   /// One whole-program pass. Returns true when any binding time changed.
   ///

@@ -4,6 +4,10 @@
 
 namespace ickpt::analysis {
 
+WriteManifest AnalysisEngine::build_manifest() noexcept {
+  return {"build", FieldSet::all()};
+}
+
 AnalysisEngine::AnalysisEngine(Program& program, core::Heap& heap)
     : program_(&program) {
   attrs_.reserve(program.statements.size());
@@ -18,6 +22,12 @@ AnalysisEngine::AnalysisEngine(Program& program, core::Heap& heap)
     attrs_.push_back(attrs);
     attr_bases_.push_back(attrs);
     attr_ptrs_.push_back(attrs);
+    // Construction stores every position of the tree; the setters only see
+    // later re-stores, so the build footprint is reported here.
+    for (AttrField field :
+         {AttrField::kAttr, AttrField::kSe, AttrField::kBtEntry,
+          AttrField::kBt, AttrField::kEtEntry, AttrField::kEt})
+      witness_write(field);
   }
 }
 

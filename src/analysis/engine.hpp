@@ -16,6 +16,10 @@ namespace ickpt::analysis {
 
 class AnalysisEngine {
  public:
+  /// Declared Attributes write footprint of the build/attach phase: the
+  /// constructor allocates and links every position of every tree.
+  [[nodiscard]] static WriteManifest build_manifest() noexcept;
+
   /// Allocates the per-statement Attributes trees into `heap`.
   AnalysisEngine(Program& program, core::Heap& heap);
 

@@ -4,6 +4,10 @@
 
 namespace ickpt::analysis {
 
+WriteManifest EvalTimeAnalysis::write_manifest() noexcept {
+  return {"run_eval_time", FieldSet{AttrField::kEt}};
+}
+
 EvalTimeAnalysis::EvalTimeAnalysis(const Program& program,
                                    const BindingTimeAnalysis& bta)
     : program_(&program), bta_(&bta) {

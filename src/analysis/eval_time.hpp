@@ -19,6 +19,10 @@ namespace ickpt::analysis {
 
 class EvalTimeAnalysis {
  public:
+  /// Declared Attributes write footprint of the evaluation-time phase: the
+  /// engine's ETA loop stores only through the ET leaf's set_annotation.
+  [[nodiscard]] static WriteManifest write_manifest() noexcept;
+
   /// `bta` must have reached its fixpoint.
   EvalTimeAnalysis(const Program& program, const BindingTimeAnalysis& bta);
 

@@ -20,6 +20,10 @@ void varset_insert(VarSet& set, std::int32_t id) {
 SideEffectAnalysis::SideEffectAnalysis(const Program& program)
     : program_(&program), summaries_(program.functions.size()) {}
 
+WriteManifest SideEffectAnalysis::write_manifest() noexcept {
+  return {"run_side_effect", FieldSet{AttrField::kSe}};
+}
+
 SideEffectAnalysis SideEffectAnalysis::fixpoint(const Program& program) {
   SideEffectAnalysis effects(program);
   while (effects.iterate()) {

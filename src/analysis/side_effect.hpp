@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/ast.hpp"
+#include "analysis/write_witness.hpp"
 
 namespace ickpt::analysis {
 
@@ -24,6 +25,10 @@ struct FnSummary {
 class SideEffectAnalysis {
  public:
   explicit SideEffectAnalysis(const Program& program);
+
+  /// Declared Attributes write footprint of the side-effect phase: the
+  /// engine's SEA loop stores only through SEEntry::set_sets.
+  [[nodiscard]] static WriteManifest write_manifest() noexcept;
 
   /// Run the analysis on `program` to its fixpoint and return it — the
   /// query surface the verify passes build on (check_pattern refutes

@@ -1,0 +1,66 @@
+#include "analysis/write_witness.hpp"
+
+namespace ickpt::analysis {
+
+namespace {
+
+struct FieldInfo {
+  const char* name;
+  const char* global;
+  std::size_t path[2];
+  std::size_t path_len;
+};
+
+/// One row per AttrField, in enum order. The paths follow the child order
+/// of AnalysisShapes::attributes (se 0, bt_entry 1, et_entry 2); each
+/// entry's single child is its annotation leaf.
+constexpr FieldInfo kFields[kAttrFieldCount] = {
+    {"attr", "attr", {0, 0}, 0},
+    {"se", "se_sets", {0, 0}, 1},
+    {"bt_entry", "bt_entry", {1, 0}, 1},
+    {"bt", "bt_annot", {1, 0}, 2},
+    {"et_entry", "et_entry", {2, 0}, 1},
+    {"et", "et_annot", {2, 0}, 2},
+};
+
+}  // namespace
+
+const char* attr_field_name(AttrField field) noexcept {
+  return kFields[static_cast<std::size_t>(field)].name;
+}
+
+const char* attr_field_global(AttrField field) noexcept {
+  return kFields[static_cast<std::size_t>(field)].global;
+}
+
+std::span<const std::size_t> attr_field_path(AttrField field) noexcept {
+  const FieldInfo& info = kFields[static_cast<std::size_t>(field)];
+  return {info.path, info.path_len};
+}
+
+std::vector<AttrField> FieldSet::fields() const {
+  std::vector<AttrField> out;
+  for (std::size_t i = 0; i < kAttrFieldCount; ++i) {
+    auto field = static_cast<AttrField>(i);
+    if (contains(field)) out.push_back(field);
+  }
+  return out;
+}
+
+FieldSet WriteWitness::observed(WitnessPhase phase) const {
+  FieldSet set;
+  if (phase == WitnessPhase::kNone) return set;
+  const auto& row = counts_[static_cast<std::size_t>(phase)];
+  for (std::size_t i = 0; i < kAttrFieldCount; ++i)
+    if (row[i] > 0) set.insert(static_cast<AttrField>(i));
+  return set;
+}
+
+std::uint64_t WriteWitness::stores(WitnessPhase phase,
+                                   AttrField field) const {
+  if (phase == WitnessPhase::kNone) return 0;
+  return counts_[static_cast<std::size_t>(phase)]
+                [static_cast<std::size_t>(field)];
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,202 @@
+// Write-set vocabulary and recording hook for the Attributes structure.
+//
+// Three artifacts ground the verify layer's phase model in the engine that
+// actually runs (AutoCheck-style: identify the checkpointed variables from
+// the implementation, not from a parallel description of it):
+//
+//   * AttrField      — the six checkpointable positions of an Attributes
+//                      tree, each with its shape path and the name of the
+//                      global standing for it in the generated phase model.
+//   * WriteManifest  — the footprint one engine phase *declares*: the set of
+//                      AttrFields its stores may dirty. Each phase class
+//                      (SideEffectAnalysis, BindingTimeAnalysis,
+//                      EvalTimeAnalysis, AnalysisEngine build/attach)
+//                      exports its own manifest next to the code it
+//                      describes.
+//   * WriteWitness   — the footprint a phase is *observed* to have: a
+//                      process-wide hook compiled into the annotation
+//                      setters that records every actual store (the
+//                      compare-and-set setters store only on change, so a
+//                      witnessed write is exactly a dirtied flag) with
+//                      phase attribution. Off by default; when no witness is
+//                      installed the hook is a single relaxed pointer test,
+//                      the same discipline as the obs null-registry handles.
+//
+// verify/extract/ drives the engine over a program_gen corpus with a
+// witness installed and proves witness ⊆ manifest per phase, then generates
+// the simplified-C phase model from the manifests — so the pattern
+// checker's proof transitively speaks about declared-and-witnessed engine
+// behaviour instead of a hand-maintained mirror.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ickpt::analysis {
+
+/// The checkpointable positions of an Attributes tree, in shape-tree
+/// preorder (AnalysisShapes::attributes child order: se, bt_entry,
+/// et_entry; each entry's child is its annotation leaf).
+enum class AttrField : std::uint8_t {
+  kAttr = 0,  // the Attributes spine itself
+  kSe,        // SEEntry (read/write sets)
+  kBtEntry,   // BTEntry wrapper
+  kBt,        // BT annotation leaf
+  kEtEntry,   // ETEntry wrapper
+  kEt,        // ET annotation leaf
+};
+
+inline constexpr std::size_t kAttrFieldCount = 6;
+
+/// Short field name ("attr", "se", "bt_entry", ...).
+[[nodiscard]] const char* attr_field_name(AttrField field) noexcept;
+
+/// Name of the global standing for the field in the generated phase model
+/// ("attr", "se_sets", "bt_entry", "bt_annot", ...).
+[[nodiscard]] const char* attr_field_global(AttrField field) noexcept;
+
+/// Shape-tree path of the field under AnalysisShapes::attributes (the empty
+/// path is the Attributes root).
+[[nodiscard]] std::span<const std::size_t> attr_field_path(
+    AttrField field) noexcept;
+
+/// Small set of AttrFields (bitmask over the six positions).
+class FieldSet {
+ public:
+  constexpr FieldSet() = default;
+  constexpr FieldSet(std::initializer_list<AttrField> fields) {
+    for (AttrField field : fields) insert(field);
+  }
+
+  /// Every field, for build-style phases that touch the whole tree.
+  [[nodiscard]] static constexpr FieldSet all() {
+    FieldSet set;
+    set.bits_ = (1u << kAttrFieldCount) - 1u;
+    return set;
+  }
+
+  constexpr void insert(AttrField field) {
+    bits_ |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(field));
+  }
+  [[nodiscard]] constexpr bool contains(AttrField field) const {
+    return (bits_ &
+            static_cast<std::uint8_t>(1u << static_cast<unsigned>(field))) !=
+           0;
+  }
+  /// Fields in *this but not in `other`.
+  [[nodiscard]] constexpr FieldSet minus(FieldSet other) const {
+    FieldSet set;
+    set.bits_ = static_cast<std::uint8_t>(bits_ & ~other.bits_);
+    return set;
+  }
+  [[nodiscard]] constexpr bool subset_of(FieldSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kAttrFieldCount; ++i)
+      if ((bits_ & (1u << i)) != 0) ++n;
+    return n;
+  }
+  constexpr bool operator==(const FieldSet&) const = default;
+
+  /// Members in ascending field order.
+  [[nodiscard]] std::vector<AttrField> fields() const;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// The write footprint one engine phase declares over an Attributes tree.
+/// `phase` doubles as the generated model function's name, so it must be a
+/// valid identifier of the simplified-C subset.
+struct WriteManifest {
+  const char* phase;
+  FieldSet fields;
+};
+
+/// Phase attribution slots for recorded writes. kNone (no scope active)
+/// buckets into the unattributed row, which the extraction checker rejects.
+enum class WitnessPhase : std::uint8_t {
+  kBuild = 0,
+  kSideEffect,
+  kBindingTime,
+  kEvalTime,
+  kNone,
+};
+
+inline constexpr std::size_t kWitnessPhaseCount = 4;  // excluding kNone
+
+/// Recorder for actual annotation stores, with phase attribution. Install
+/// one while driving the engine; every compare-and-set setter that really
+/// changes a value reports its field here. Not thread-safe: extraction
+/// drives the engine serially (the engine itself is serial).
+class WriteWitness {
+ public:
+  /// Install `witness` as the process-wide recorder (nullptr to uninstall).
+  static void install(WriteWitness* witness) noexcept {
+    current_.store(witness, std::memory_order_release);
+  }
+  [[nodiscard]] static WriteWitness* current() noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII phase attribution: stores recorded inside the scope are charged
+  /// to `phase`; scopes nest (the inner phase wins, the outer is restored).
+  class PhaseScope {
+   public:
+    PhaseScope(WriteWitness& witness, WitnessPhase phase) noexcept
+        : witness_(&witness), previous_(witness.phase_) {
+      witness_->phase_ = phase;
+    }
+    ~PhaseScope() { witness_->phase_ = previous_; }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    WriteWitness* witness_;
+    WitnessPhase previous_;
+  };
+
+  void record(AttrField field) noexcept {
+    if (phase_ == WitnessPhase::kNone) {
+      ++unattributed_;
+      return;
+    }
+    ++counts_[static_cast<std::size_t>(phase_)]
+             [static_cast<std::size_t>(field)];
+  }
+
+  /// Fields stored at least once under `phase`.
+  [[nodiscard]] FieldSet observed(WitnessPhase phase) const;
+  /// Stores of `field` recorded under `phase`.
+  [[nodiscard]] std::uint64_t stores(WitnessPhase phase,
+                                     AttrField field) const;
+  /// Stores recorded while no phase scope was active.
+  [[nodiscard]] std::uint64_t unattributed() const noexcept {
+    return unattributed_;
+  }
+
+ private:
+  inline static std::atomic<WriteWitness*> current_{nullptr};
+
+  WitnessPhase phase_ = WitnessPhase::kNone;
+  std::array<std::array<std::uint64_t, kAttrFieldCount>, kWitnessPhaseCount>
+      counts_{};
+  std::uint64_t unattributed_ = 0;
+};
+
+/// The setter-side hook: one relaxed pointer test when no witness is
+/// installed (the zero-cost-when-off discipline of the obs handles).
+inline void witness_write(AttrField field) noexcept {
+  WriteWitness* witness = WriteWitness::current();
+  if (witness != nullptr) witness->record(field);
+}
+
+}  // namespace ickpt::analysis

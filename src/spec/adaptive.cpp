@@ -9,7 +9,9 @@ AdaptiveCheckpointer::AdaptiveCheckpointer(const ShapeDescriptor& shape,
                                            Options opts)
     : shape_(&shape),
       opts_(std::move(opts)),
-      inferencer_(std::make_unique<PatternInferencer>(shape)) {
+      inferencer_(std::make_unique<PatternInferencer>(shape)),
+      obs_reobserve_epochs_(obs::counter("ickpt_reobservation_epochs_total",
+                                         {{"shape", shape.name}})) {
   if (opts_.observe_epochs == 0)
     throw SpecError("AdaptiveCheckpointer needs at least one observation "
                     "epoch");
@@ -21,6 +23,7 @@ AdaptiveCheckpointer::AdaptiveCheckpointer(const ShapeDescriptor& shape,
     gated.verify_pattern = true;
     plan_ = PlanCompiler(gated).compile(*shape_, *opts_.static_pattern);
     executor_ = std::make_unique<PlanExecutor>(plan_);
+    active_pattern_ = *opts_.static_pattern;
     stage_ = Stage::kStatic;
     obs::counter("ickpt_adaptive_static_plans_total",
                  {{"shape", shape_->name}})
@@ -44,6 +47,10 @@ void AdaptiveCheckpointer::relearn() {
   // one: dynamic observation is the fallback for both.
   opts_.static_pattern.reset();
   crosschecked_ = false;
+  reobserving_ = false;
+  reobserver_.reset();
+  reobserve_epochs_seen_ = 0;
+  epochs_since_reobserve_ = 0;
 }
 
 AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
@@ -76,7 +83,55 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
                                     "static one at " +
                          std::to_string(disagreements_) + " position(s)");
       }
+    } else if (opts_.reobserve_interval > 0) {
+      // Rolling re-observation: the one-shot cross-check above only proves
+      // the pattern against the workload as it behaved *then*. Periodically
+      // re-enter a counted observation window so behavioural drift — the
+      // workload dirtying positions the active plan neither tests nor
+      // records — trips a fallback instead of silently losing records
+      // forever.
+      if (!reobserving_ &&
+          ++epochs_since_reobserve_ >= opts_.reobserve_interval) {
+        reobserving_ = true;
+        reobserver_ = std::make_unique<PatternInferencer>(*shape_);
+        reobserve_epochs_seen_ = 0;
+        epochs_since_reobserve_ = 0;
+      }
+      if (reobserving_) {
+        // Sample flags before the plan run resets them.
+        for (void* root : roots.concretes) reobserver_->observe(root);
+        ++reobserve_epochs_seen_;
+        obs_reobserve_epochs_.inc();
+        if (reobserve_epochs_seen_ >= opts_.observe_epochs) {
+          PatternNode learned = reobserver_->infer(opts_.infer);
+          const std::size_t unsafe =
+              pattern_unsafe_disagreements(*shape_, active_pattern_, learned);
+          reobserving_ = false;
+          reobserver_.reset();
+          ++reobservations_;
+          if (unsafe > 0) {
+            // The active plan silently drops dirt at `unsafe` position(s):
+            // fall back *before* running it. Flags are intact (the plan has
+            // not run this epoch), so the observing path below can issue a
+            // sound generic incremental checkpoint.
+            ++fallbacks_;
+            obs::counter("ickpt_adaptive_fallbacks_total",
+                         {{"shape", shape_->name}})
+                .inc();
+            obs::instant("adaptive.fallback", "spec",
+                         shape_->name +
+                             ": behaviour drifted from active pattern at " +
+                             std::to_string(unsafe) +
+                             " position(s), re-learning");
+            relearn();
+            result.fell_back = true;
+          }
+        }
+      }
     }
+  }
+
+  if (stage_ != Stage::kObserving) {
     // Stage the specialized stream in the reusable scratch buffer: if the
     // structure violates the pattern mid-run we must not leave a partial
     // checkpoint in the caller's stream. Writing through to the caller
@@ -138,6 +193,8 @@ AdaptiveCheckpointer::Result AdaptiveCheckpointer::checkpoint(
     PatternNode pattern = inferencer_->infer(opts_.infer);
     plan_ = PlanCompiler(opts_.compile).compile(*shape_, pattern);
     executor_ = std::make_unique<PlanExecutor>(plan_);
+    active_pattern_ = std::move(pattern);
+    epochs_since_reobserve_ = 0;
     stage_ = Stage::kSpecialized;
     obs::counter("ickpt_adaptive_specializations_total",
                  {{"shape", shape_->name}})

@@ -51,6 +51,17 @@ class AdaptiveCheckpointer {
     /// serial plan run. 1 = serial. Observation/generic epochs always run
     /// serially (the inferencer is not concurrent).
     unsigned capture_threads = 1;
+    /// Rolling re-observation: after this many specialized (or static)
+    /// epochs, re-enter a counted observation window of observe_epochs
+    /// epochs — flags are sampled before each plan run, so the window costs
+    /// one extra flag walk per epoch, never a generic checkpoint. At the end
+    /// of the window the freshly learned pattern is compared against the
+    /// active one with pattern_unsafe_disagreements: nonzero means the
+    /// workload has drifted *behaviourally* (the plan silently drops dirt
+    /// that no kAssertNull would catch) and the checkpointer falls back to
+    /// generic capture and re-learns, exactly as for structural drift.
+    /// 0 disables rolling re-observation.
+    std::size_t reobserve_interval = 0;
     /// A sound pattern constructed offline (verify::infer_pattern). The
     /// checkpointer takes a pre-built pattern, not a program + binding:
     /// spec cannot depend on verify (verify links against spec), so the
@@ -104,6 +115,11 @@ class AdaptiveCheckpointer {
   [[nodiscard]] std::size_t disagreements() const noexcept {
     return disagreements_;
   }
+  /// Completed rolling re-observation windows (0 with reobserve_interval
+  /// of 0).
+  [[nodiscard]] std::size_t reobservations() const noexcept {
+    return reobservations_;
+  }
 
   /// Discard the learned (or supplied static) pattern and start observing
   /// afresh.
@@ -120,6 +136,17 @@ class AdaptiveCheckpointer {
   std::size_t fallbacks_ = 0;
   bool crosschecked_ = false;
   std::size_t disagreements_ = 0;
+  /// The pattern the active plan was compiled from — what rolling
+  /// re-observation windows compare freshly learned behaviour against.
+  PatternNode active_pattern_;
+  std::size_t epochs_since_reobserve_ = 0;
+  bool reobserving_ = false;
+  std::unique_ptr<PatternInferencer> reobserver_;
+  std::size_t reobserve_epochs_seen_ = 0;
+  std::size_t reobservations_ = 0;
+  /// Captured at construction (same idiom as PatternInferencer): the
+  /// re-observation window runs on the checkpoint hot path.
+  obs::Counter obs_reobserve_epochs_;
   Plan plan_;
   std::unique_ptr<PlanExecutor> executor_;
   /// Reused staging buffer for specialized runs: clear() keeps capacity, so

@@ -161,11 +161,58 @@ std::size_t count_disagreements(const ShapeDescriptor& shape,
   return n;
 }
 
+/// Like count_disagreements, but one-sided and safety-focused: count only
+/// positions where `active` neither tests nor records (ancestor skip, own
+/// skip, or kUnmodified) while `observed` reports dirt. The observed cursor
+/// is infer() output — fully populated wherever an object was reached, with
+/// childless skip/absent leaves elsewhere — so recursion stops whenever the
+/// observed side can no longer carry dirt, which also bounds recursive
+/// shapes.
+std::size_t count_unsafe(const ShapeDescriptor& shape,
+                         const PatternNode* active, bool active_covered,
+                         const PatternNode* observed, bool observed_covered) {
+  static const PatternNode kDefault{};
+  const PatternNode& na = active != nullptr ? *active : kDefault;
+  const PatternNode& no = observed != nullptr ? *observed : kDefault;
+  const bool sa = active_covered || na.skip;
+  const bool so = observed_covered || no.skip;
+
+  if (!sa && na.expect_absent) {
+    // The plan asserts this subtree away; any object here trips kAssertNull
+    // loudly, so nothing below can be *silently* dropped.
+    return 0;
+  }
+  const bool drops = sa || na.self == ModStatus::kUnmodified;
+  const bool dirty = !so && !no.expect_absent && no.self != ModStatus::kUnmodified;
+  std::size_t n = (drops && dirty) ? 1 : 0;
+
+  if (so || no.expect_absent || observed == nullptr) return n;
+
+  std::size_t child_index = 0;
+  for (const Field& field : shape.fields) {
+    const auto* child = std::get_if<ChildField>(&field);
+    if (child == nullptr) continue;
+    const PatternNode* ca =
+        child_index < na.children.size() ? &na.children[child_index] : nullptr;
+    const PatternNode* co =
+        child_index < no.children.size() ? &no.children[child_index] : nullptr;
+    n += count_unsafe(*child->shape, ca, sa, co, so);
+    ++child_index;
+  }
+  return n;
+}
+
 }  // namespace
 
 std::size_t pattern_disagreements(const ShapeDescriptor& shape,
                                   const PatternNode& a, const PatternNode& b) {
   return count_disagreements(shape, &a, false, &b, false);
+}
+
+std::size_t pattern_unsafe_disagreements(const ShapeDescriptor& shape,
+                                         const PatternNode& active,
+                                         const PatternNode& observed) {
+  return count_unsafe(shape, &active, false, &observed, false);
 }
 
 }  // namespace ickpt::spec

@@ -76,4 +76,17 @@ class PatternInferencer {
                                                 const PatternNode& a,
                                                 const PatternNode& b);
 
+/// Number of positions where the `active` pattern would *silently drop*
+/// modifications that `observed` (a freshly inferred pattern) reports: the
+/// active claim is covered by a skip or is kUnmodified — the two claims a
+/// compiled plan neither tests nor records — while the observed pattern saw
+/// the position dirty. Positions the active pattern asserts absent are not
+/// counted: the plan's kAssertNull fails loudly there, so drift surfaces as
+/// a structural fallback, not silent loss. This is the quantity
+/// AdaptiveCheckpointer's rolling re-observation epochs act on: nonzero
+/// means behavioural drift has made the active plan unsound.
+[[nodiscard]] std::size_t pattern_unsafe_disagreements(
+    const ShapeDescriptor& shape, const PatternNode& active,
+    const PatternNode& observed);
+
 }  // namespace ickpt::spec

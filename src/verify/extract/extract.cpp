@@ -1,0 +1,228 @@
+#include "verify/extract/extract.hpp"
+
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "analysis/engine.hpp"
+#include "analysis/parser.hpp"
+#include "analysis/program_gen.hpp"
+#include "analysis/side_effect.hpp"
+#include "common/error.hpp"
+#include "verify/extract/model_gen.hpp"
+
+namespace ickpt::verify::extract {
+
+using analysis::AttrField;
+using analysis::FieldSet;
+using analysis::kAttrFieldCount;
+using analysis::WitnessPhase;
+using analysis::WriteManifest;
+using analysis::WriteWitness;
+
+namespace {
+
+std::string field_position(AttrField field) {
+  std::span<const std::size_t> path = analysis::attr_field_path(field);
+  if (path.empty()) return "/";
+  std::string out;
+  for (std::size_t index : path) out += "/" + std::to_string(index);
+  return out;
+}
+
+/// Uninstalls the witness even when the engine throws mid-corpus.
+struct WitnessGuard {
+  explicit WitnessGuard(WriteWitness& witness) {
+    WriteWitness::install(&witness);
+  }
+  ~WitnessGuard() { WriteWitness::install(nullptr); }
+  WitnessGuard(const WitnessGuard&) = delete;
+  WitnessGuard& operator=(const WitnessGuard&) = delete;
+};
+
+}  // namespace
+
+std::array<WriteManifest, 4> engine_manifests() {
+  return {analysis::AnalysisEngine::build_manifest(),
+          analysis::SideEffectAnalysis::write_manifest(),
+          analysis::BindingTimeAnalysis::write_manifest(),
+          analysis::EvalTimeAnalysis::write_manifest()};
+}
+
+WitnessReport record_witness(const CorpusOptions& opts) {
+  WriteWitness witness;
+  WitnessGuard guard(witness);
+
+  WitnessReport report;
+  for (int stages : opts.stages) {
+    auto program = analysis::parse_program(
+        analysis::generate_image_program(stages, opts.dim));
+    core::Heap heap;
+    std::optional<analysis::AnalysisEngine> engine;
+    {
+      WriteWitness::PhaseScope scope(witness, WitnessPhase::kBuild);
+      engine.emplace(*program, heap);
+    }
+    {
+      WriteWitness::PhaseScope scope(witness, WitnessPhase::kSideEffect);
+      engine->run_side_effect();
+    }
+    {
+      WriteWitness::PhaseScope scope(witness, WitnessPhase::kBindingTime);
+      engine->run_binding_time(analysis::default_bta_config());
+    }
+    {
+      WriteWitness::PhaseScope scope(witness, WitnessPhase::kEvalTime);
+      engine->run_eval_time();
+    }
+    ++report.programs;
+    report.statements += program->statements.size();
+  }
+
+  static constexpr WitnessPhase kSlots[] = {
+      WitnessPhase::kBuild, WitnessPhase::kSideEffect,
+      WitnessPhase::kBindingTime, WitnessPhase::kEvalTime};
+  auto manifests = engine_manifests();
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    PhaseWitnessRow row;
+    row.phase = manifests[i].phase;
+    row.declared = manifests[i].fields;
+    row.witnessed = witness.observed(kSlots[i]);
+    for (std::size_t f = 0; f < kAttrFieldCount; ++f)
+      row.stores[f] = witness.stores(kSlots[i], static_cast<AttrField>(f));
+    report.rows.push_back(row);
+  }
+  report.unattributed = witness.unattributed();
+  return report;
+}
+
+Report check_extraction(std::span<const WriteManifest> manifests,
+                        const WitnessReport& witness,
+                        const std::string& model_source) {
+  Report report;
+  report.pass = "extract";
+
+  if (witness.unattributed > 0) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "unattributed-write";
+    finding.message =
+        std::to_string(witness.unattributed) +
+        " store(s) recorded outside any phase scope; the extractor cannot "
+        "attribute them, so no manifest can be proven to cover them";
+    report.add(std::move(finding));
+  }
+
+  // Arrow 1: recorded witness vs declared manifest, per phase.
+  for (const WriteManifest& manifest : manifests) {
+    const PhaseWitnessRow* row = nullptr;
+    for (const PhaseWitnessRow& candidate : witness.rows)
+      if (std::strcmp(candidate.phase, manifest.phase) == 0) row = &candidate;
+    if (row == nullptr) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "no-witness-row";
+      finding.message = "witness report carries no row for phase '" +
+                        std::string(manifest.phase) + "'";
+      report.add(std::move(finding));
+      continue;
+    }
+    for (AttrField field : row->witnessed.minus(manifest.fields).fields()) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "undeclared-write";
+      finding.position = field_position(field);
+      finding.message =
+          "phase '" + std::string(manifest.phase) + "' stored position " +
+          finding.position + " (" + analysis::attr_field_name(field) + ", " +
+          std::to_string(row->stores[static_cast<std::size_t>(field)]) +
+          " store(s) across the corpus) but its manifest does not declare "
+          "it; a plan proven against the declared model could drop those "
+          "records";
+      report.add(std::move(finding));
+    }
+    for (AttrField field : manifest.fields.minus(row->witnessed).fields()) {
+      Finding finding;
+      finding.severity = Severity::kWarning;
+      finding.code = "unexercised";
+      finding.position = field_position(field);
+      finding.message =
+          "manifest of phase '" + std::string(manifest.phase) +
+          "' declares position " + finding.position + " (" +
+          analysis::attr_field_name(field) +
+          ") but the corpus never stored it; the declaration is unproven — "
+          "widen the corpus or tighten the manifest";
+      report.add(std::move(finding));
+    }
+  }
+
+  // Arrow 2: generated-model write sets vs declared manifests, both
+  // directions.
+  std::unique_ptr<analysis::Program> model;
+  try {
+    model = analysis::parse_program(model_source);
+  } catch (const Error& e) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "model-parse";
+    finding.message = std::string("generated model does not parse: ") +
+                      e.what();
+    report.add(std::move(finding));
+  }
+  if (model != nullptr) {
+    analysis::SideEffectAnalysis effects =
+        analysis::SideEffectAnalysis::fixpoint(*model);
+    for (const WriteManifest& manifest : manifests) {
+      int fn = model->find_function(manifest.phase);
+      if (fn < 0) {
+        Finding finding;
+        finding.severity = Severity::kError;
+        finding.code = "model-missing-phase";
+        finding.message = "generated model defines no function '" +
+                          std::string(manifest.phase) + "'";
+        report.add(std::move(finding));
+        continue;
+      }
+      for (std::size_t f = 0; f < kAttrFieldCount; ++f) {
+        auto field = static_cast<AttrField>(f);
+        int global = model->find_global(analysis::attr_field_global(field));
+        const bool in_model =
+            global >= 0 && effects.writes_global(fn, global);
+        const bool declared = manifest.fields.contains(field);
+        if (declared == in_model) continue;
+        Finding finding;
+        finding.severity = Severity::kError;
+        finding.code = declared ? "model-missing-write" : "model-extra-write";
+        finding.position = field_position(field);
+        finding.message =
+            "phase '" + std::string(manifest.phase) + "' " +
+            (declared
+                 ? "declares position " + finding.position + " (" +
+                       analysis::attr_field_global(field) +
+                       ") but the generated model never writes it"
+                 : "does not declare position " + finding.position + " (" +
+                       analysis::attr_field_global(field) +
+                       ") but the generated model writes it") +
+            "; the model has drifted from the manifests";
+        report.add(std::move(finding));
+      }
+    }
+  }
+
+  std::ostringstream summary;
+  summary << manifests.size() << " manifest(s) vs " << witness.programs
+          << " corpus program(s) (" << witness.statements
+          << " Attributes tree(s)): " << report.errors() << " error(s), "
+          << report.warnings() << " unexercised/warning(s)";
+  report.summary = summary.str();
+  return report;
+}
+
+Report self_check(const CorpusOptions& opts) {
+  auto manifests = engine_manifests();
+  WitnessReport witness = record_witness(opts);
+  return check_extraction(manifests, witness,
+                          generate_phase_model(manifests));
+}
+
+}  // namespace ickpt::verify::extract

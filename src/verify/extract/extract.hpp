@@ -1,0 +1,83 @@
+// Write-set extraction: prove the verify layer's phase model consistent
+// with the engine that actually runs, three ways.
+//
+//   declared            recorded                 generated
+//   WriteManifest  ⊇   WriteWitness      →      phase_model_source()
+//   (per phase)         (engine driven over      (simplified-C program the
+//                       a program_gen corpus)    checker/inferencer analyze)
+//
+//   arrow 1  witness ⊆ manifest   — no store the engine actually performs
+//            escapes its phase's declaration ("undeclared-write" refutes);
+//            manifest ∖ witness positions are flagged unexercised.
+//   arrow 2  model == manifest    — the generated model's per-phase write
+//            sets (SideEffectAnalysis fixpoint) match the declarations in
+//            both directions ("model-missing-write" / "model-extra-write").
+//   arrow 3  pattern vs model     — the existing check_pattern /
+//            infer_pattern / verify_pattern machinery, unchanged: with
+//            arrows 1 and 2 in place its proof transitively speaks about
+//            declared-and-witnessed engine behaviour.
+//
+// All offline; nothing here runs on the checkpoint hot path. The witness
+// hook the extractor installs costs instrumented setters one pointer test
+// while extraction is not running.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/write_witness.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace ickpt::verify::extract {
+
+/// The program_gen corpus the extractor drives the engine over: one run per
+/// `stages` entry (pipeline repetitions of the image program). `dim` only
+/// scales interpretation cost, which extraction never pays.
+struct CorpusOptions {
+  std::vector<int> stages = {1, 2};
+  int dim = 8;
+};
+
+/// Declared-vs-recorded footprint of one phase.
+struct PhaseWitnessRow {
+  const char* phase = "";
+  analysis::FieldSet declared;
+  analysis::FieldSet witnessed;
+  /// Stores recorded per field (enum order).
+  std::array<std::uint64_t, analysis::kAttrFieldCount> stores{};
+};
+
+struct WitnessReport {
+  /// One row per engine manifest, build first.
+  std::vector<PhaseWitnessRow> rows;
+  std::size_t programs = 0;
+  /// Attributes trees driven (statements across the corpus).
+  std::size_t statements = 0;
+  /// Stores recorded outside any phase scope (must be zero).
+  std::uint64_t unattributed = 0;
+};
+
+/// The four manifests of the real engine, build first — the single source
+/// the generated model, the bindings, and the checker all consume.
+[[nodiscard]] std::array<analysis::WriteManifest, 4> engine_manifests();
+
+/// Drive the real AnalysisEngine over the corpus with a WriteWitness
+/// installed and return the per-phase recorded footprints.
+[[nodiscard]] WitnessReport record_witness(const CorpusOptions& opts = {});
+
+/// Arrows 1 and 2: witness ⊆ manifest (errors on escape, warnings on
+/// unexercised declarations) and generated-model write sets == manifests
+/// (errors in both directions). Report::clean() means the declared model
+/// is consistent with both the recorded behaviour and the generated code.
+[[nodiscard]] Report check_extraction(
+    std::span<const analysis::WriteManifest> manifests,
+    const WitnessReport& witness, const std::string& model_source);
+
+/// The whole proof with engine defaults: record the witness, generate the
+/// model from the manifests, check both arrows.
+[[nodiscard]] Report self_check(const CorpusOptions& opts = {});
+
+}  // namespace ickpt::verify::extract

@@ -1,0 +1,70 @@
+#include "verify/extract/model_gen.hpp"
+
+#include <cstring>
+
+namespace ickpt::verify::extract {
+
+using analysis::AttrField;
+using analysis::attr_field_global;
+using analysis::kAttrFieldCount;
+using analysis::WriteManifest;
+
+std::string generate_phase_model(
+    std::span<const WriteManifest> manifests) {
+  std::string out = "\n";
+
+  // One global per Attributes position, always all of them: bindings judge
+  // every position, whether or not any phase declares it.
+  for (std::size_t i = 0; i < kAttrFieldCount; ++i) {
+    out += "int ";
+    out += attr_field_global(static_cast<AttrField>(i));
+    out += " = 0;\n";
+  }
+  out += "\n";
+
+  const WriteManifest* build = nullptr;
+  for (const WriteManifest& manifest : manifests) {
+    if (std::strcmp(manifest.phase, "build") == 0) {
+      build = &manifest;
+      continue;
+    }
+    // Iterated phase: each declared field is re-stored once per iteration,
+    // mirroring the engine's per-fixpoint-pass annotation rewrites.
+    out += "int ";
+    out += manifest.phase;
+    out += "(int iters) {\n  int i = 0;\n  while (i < iters) {\n";
+    for (AttrField field : manifest.fields.fields()) {
+      const char* global = attr_field_global(field);
+      out += "    ";
+      out += global;
+      out += " = ";
+      out += global;
+      out += " + i;\n";
+    }
+    out += "    i = i + 1;\n  }\n  return i;\n}\n\n";
+  }
+
+  if (build != nullptr) {
+    // One-shot attach: every declared field stored once.
+    out += "int build(int n) {\n";
+    for (AttrField field : build->fields.fields()) {
+      out += "  ";
+      out += attr_field_global(field);
+      out += " = n;\n";
+    }
+    out += "  return n;\n}\n\n";
+  }
+
+  out += "int main() {\n  int n = 8;\n";
+  if (build != nullptr) out += "  n = build(n);\n";
+  for (const WriteManifest& manifest : manifests) {
+    if (std::strcmp(manifest.phase, "build") == 0) continue;
+    out += "  n = n + ";
+    out += manifest.phase;
+    out += "(n);\n";
+  }
+  out += "  return n;\n}\n";
+  return out;
+}
+
+}  // namespace ickpt::verify::extract

@@ -1,0 +1,26 @@
+// Phase-model generator: the simplified-C program the pattern checker and
+// static inference analyze is *generated* from the engine's WriteManifests,
+// never written by hand. One global per Attributes position, one function
+// per manifest; each function's body assigns exactly the globals of the
+// fields its manifest declares. Because the model is a pure function of the
+// manifests, the third arrow of the extraction proof (model write sets ==
+// manifests) holds by construction and is re-verified by
+// extract::check_extraction to catch generator regressions.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/write_witness.hpp"
+
+namespace ickpt::verify::extract {
+
+/// Emit the simplified-C model for `manifests`. The manifest named "build"
+/// becomes the one-shot attach function; every other manifest becomes an
+/// iterated phase function; main() calls build first, then each phase in
+/// manifest order — so main's transitive write set is the union, standing
+/// in for the structure-only phase.
+[[nodiscard]] std::string generate_phase_model(
+    std::span<const analysis::WriteManifest> manifests);
+
+}  // namespace ickpt::verify::extract

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/binding_time.hpp"
+#include "analysis/eval_time.hpp"
 #include "analysis/parser.hpp"
 #include "analysis/side_effect.hpp"
 #include "spec/compiler.hpp"
+#include "verify/extract/extract.hpp"
+#include "verify/extract/model_gen.hpp"
 
 namespace ickpt::verify {
 
@@ -219,12 +223,47 @@ Report check_pattern(const analysis::Program& program,
                         "not safety)";
     } else {  // kModified
       if (written) continue;
-      finding.severity = Severity::kNote;
+      // Distinguish "another phase writes it" (mildly wasteful: the record
+      // is stale data some other phase produced) from "no phase at all
+      // writes it" (the record can never change across any checkpoint —
+      // promote, the position should be captured structurally once).
+      int writer_fn = -1;
+      for (const analysis::Function& fn : program.functions) {
+        if (fn.index == phase_fn) continue;
+        if (effects.writes_global(fn.index, global)) {
+          writer_fn = fn.index;
+          break;
+        }
+      }
       finding.code = "redundant-record";
-      finding.message = "position " + finding.position + " (" + entry.global +
-                        ") is recorded unconditionally but phase '" +
-                        phase_function + "' provably never writes " +
-                        entry.global + "; every record of it is redundant";
+      if (writer_fn < 0) {
+        finding.severity = Severity::kWarning;
+        finding.message =
+            "position " + finding.position + " (" + entry.global +
+            ") is recorded unconditionally but no function in the program "
+            "writes " + entry.global +
+            " (every transitive write set excludes it); the record is dead "
+            "weight in every checkpoint of every phase";
+      } else {
+        const std::string& writer =
+            program.functions[static_cast<std::size_t>(writer_fn)].name;
+        const analysis::Stmt* witness = find_witness(
+            program, reachable_functions(program, writer_fn), global);
+        finding.severity = Severity::kNote;
+        std::ostringstream msg;
+        msg << "position " << finding.position << " (" << entry.global
+            << ") is recorded unconditionally but phase '" << phase_function
+            << "' provably never writes " << entry.global << "; only '"
+            << writer << "' does";
+        if (witness != nullptr) {
+          finding.witness_stmt = witness->index;
+          finding.witness_line = witness->line;
+          msg << " (witness: statement #" << witness->index << ", line "
+              << witness->line << ")";
+        }
+        msg << " — every record of it under this phase is redundant";
+        finding.message = msg.str();
+      }
     }
     report.add(std::move(finding));
   }
@@ -238,96 +277,42 @@ Report check_pattern(const analysis::Program& program,
 }
 
 std::string phase_model_source() {
-  // One global per Attributes position (paper Fig. 4), one function per
-  // phase; each phase function writes exactly the globals holding the
-  // annotations that phase produces, matching AnalysisEngine's behaviour:
-  // SEA rewrites SEEntry sets, BTA rewrites BT leaves, ETA rewrites ET
-  // leaves, and the entry wrappers plus the Attributes spine are written
-  // only while build() attaches them.
-  return R"(
-int attr = 0;
-int se_sets = 0;
-int bt_entry = 0;
-int bt_annot = 0;
-int et_entry = 0;
-int et_annot = 0;
-
-int merge_sets(int a, int b) { return a + b; }
-
-int build(int n) {
-  attr = n;
-  se_sets = 0;
-  bt_entry = n;
-  bt_annot = 0;
-  et_entry = n;
-  et_annot = 0;
-  return n;
-}
-
-int run_side_effect(int iters) {
-  int i = 0;
-  while (i < iters) {
-    se_sets = merge_sets(se_sets, i);
-    i = i + 1;
-  }
-  return se_sets;
-}
-
-int run_binding_time(int iters) {
-  int i = 0;
-  while (i < iters) {
-    if (se_sets > i) {
-      bt_annot = bt_annot + 1;
-    }
-    i = i + 1;
-  }
-  return bt_annot;
-}
-
-int run_eval_time(int iters) {
-  int i = 0;
-  while (i < iters) {
-    if (bt_annot > i) {
-      et_annot = et_annot + 1;
-    }
-    i = i + 1;
-  }
-  return et_annot;
-}
-
-int main() {
-  int n = build(8);
-  n = n + run_side_effect(n);
-  n = n + run_binding_time(n);
-  n = n + run_eval_time(n);
-  return n;
-}
-)";
+  // Generated, never hand-written: the model is a pure function of the
+  // engine's own WriteManifests, and extract::check_extraction proves those
+  // manifests against a recorded witness of the real engine. Anything this
+  // file's passes prove against the model therefore transitively speaks
+  // about declared-and-witnessed engine behaviour.
+  auto manifests = extract::engine_manifests();
+  return extract::generate_phase_model(manifests);
 }
 
 PatternBinding attributes_binding() {
-  // Child order of AnalysisShapes::attributes: se(0), bt_entry(1),
-  // et_entry(2); each entry's single child is its annotation leaf.
+  // One entry per Attributes position, straight from the same field table
+  // the witness hook and the model generator use — binding, model, and
+  // manifests cannot disagree on naming.
   PatternBinding binding;
-  binding.bind({}, "attr");
-  binding.bind({0}, "se_sets");
-  binding.bind({1}, "bt_entry");
-  binding.bind({1, 0}, "bt_annot");
-  binding.bind({2}, "et_entry");
-  binding.bind({2, 0}, "et_annot");
+  for (std::size_t i = 0; i < analysis::kAttrFieldCount; ++i) {
+    auto field = static_cast<analysis::AttrField>(i);
+    std::span<const std::size_t> path = analysis::attr_field_path(field);
+    binding.bind({path.begin(), path.end()},
+                 analysis::attr_field_global(field));
+  }
   return binding;
 }
 
 const char* phase_function_name(analysis::Phase phase) {
+  // Phase functions in the generated model are named by the manifests; the
+  // structure-only pattern is judged against main, whose transitive write
+  // set is the union of every phase's.
   switch (phase) {
     case analysis::Phase::kStructureOnly:
       return "main";
     case analysis::Phase::kSideEffect:
-      return "run_side_effect";
+      return analysis::SideEffectAnalysis::write_manifest().phase;
     case analysis::Phase::kBindingTime:
-      return "run_binding_time";
+      return analysis::BindingTimeAnalysis::write_manifest().phase;
     case analysis::Phase::kEvalTime:
-      return "run_eval_time";
+      return analysis::EvalTimeAnalysis::write_manifest().phase;
   }
   return "main";
 }

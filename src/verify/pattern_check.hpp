@@ -21,8 +21,10 @@
 //     kAssertNull fails loudly, so this is drift, not silent corruption).
 //   * kMaybeModified over a provably clean global -> kNote: the pattern is
 //     over-conservative — a perf bug (useless test), not a safety bug.
-//   * kModified over a provably clean global    -> kNote: the record is
-//     provably redundant.
+//   * kModified over a global this phase never writes -> kNote with a
+//     witness when some other function writes it (stale-but-live data), or
+//     kWarning when no function in the program writes it at all (the record
+//     can never change; it is dead weight in every checkpoint).
 //
 // Positions with no binding are not judged; positions absent from a
 // partially populated pattern default to kMaybeModified, mirroring the
@@ -75,20 +77,24 @@ Report check_pattern(const analysis::Program& program,
                      const PatternBinding& binding);
 
 // ---------------------------------------------------------------------------
-// The paper's workload, modelled for the checker.
+// The paper's workload, extracted from the engine for the checker.
 //
 // The three analyses of §4 each write exactly one field family of every
-// Attributes tree. phase_model_source() states that behaviour as a
-// simplified-C program (one function per phase, one global per Attributes
-// position); attributes_binding() ties the Attributes shape to those
-// globals. Together they let check_pattern() prove the paper's phase
-// patterns sound — and refute any pattern that skips a position its phase
-// writes.
+// Attributes tree. The engine states that as data: each phase exports a
+// WriteManifest (analysis/write_witness.hpp), and phase_model_source()
+// *generates* the simplified-C model from those manifests — no hand-written
+// phase body survives. attributes_binding() ties the Attributes shape to
+// the same field table. extract::check_extraction (verify/extract/) proves
+// the manifests against a recorded witness of the real engine, so the
+// proofs check_pattern() produces against this model transitively speak
+// about declared-and-witnessed engine behaviour.
 
-/// Simplified-C model of the analysis engine's write behaviour.
+/// Simplified-C model of the analysis engine's write behaviour, generated
+/// from extract::engine_manifests() (never hand-maintained).
 [[nodiscard]] std::string phase_model_source();
 
-/// Binding of AnalysisShapes::attributes positions to the model's globals.
+/// Binding of AnalysisShapes::attributes positions to the model's globals,
+/// from the shared analysis::AttrField table.
 [[nodiscard]] PatternBinding attributes_binding();
 
 /// Name of the model function standing in for `phase`.

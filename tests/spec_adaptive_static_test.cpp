@@ -9,6 +9,7 @@
 #include "analysis/attributes.hpp"
 #include "analysis/shapes.hpp"
 #include "core/recovery.hpp"
+#include "obs/metrics.hpp"
 #include "spec/adaptive.hpp"
 #include "spec/inference.hpp"
 #include "verify/infer.hpp"
@@ -247,6 +248,83 @@ TEST(AdaptiveStatic, StructuralDriftFallsBackToDynamicLearning) {
     adaptive_step(adaptive, g, static_cast<Epoch>(epoch));
   }
   EXPECT_EQ(adaptive.stage(), Stage::kSpecialized);
+}
+
+TEST(AdaptiveStatic, RollingReobservationCatchesBehaviouralDrift) {
+  // The one-shot cross-check proves the workload as it behaved during the
+  // first epochs. Behavioural drift afterwards — the workload starts
+  // dirtying the SE subtree the binding-time plan skips — is invisible to
+  // the plan's structural assertions: the skip means those objects are never
+  // visited, so their records are silently dropped forever. The rolling
+  // re-observation window must catch it and fall back.
+  obs::Registry registry;
+  obs::Registry::install(&registry);
+
+  AttrGraph g(12);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  AdaptiveCheckpointer::Options opts;
+  opts.observe_epochs = 2;
+  opts.reobserve_interval = 2;
+  opts.static_pattern =
+      verify::infer_attributes_pattern(Phase::kBindingTime).pattern;
+  AdaptiveCheckpointer adaptive(*shapes.attributes, opts);
+
+  // Epochs 0-1: initial cross-check; 2: quiet interval; 3-4: window.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    g.dirty_bt(epoch);
+    auto result = adaptive_step(adaptive, g, static_cast<Epoch>(epoch));
+    EXPECT_EQ(result.stage_used, Stage::kStatic) << "epoch " << epoch;
+    EXPECT_FALSE(result.fell_back);
+  }
+  EXPECT_TRUE(adaptive.crosschecked());
+  EXPECT_EQ(adaptive.disagreements(), 0u);
+
+  g.dirty_bt(3);
+  g.dirty_se(3);  // drift begins: the plan neither tests nor records SE
+  auto mid = adaptive_step(adaptive, g, 3);
+  EXPECT_EQ(mid.stage_used, Stage::kStatic);
+  EXPECT_FALSE(mid.fell_back);
+
+  g.dirty_bt(4);
+  g.dirty_se(4);
+  std::vector<std::uint8_t> bytes;
+  auto fell = adaptive_step(adaptive, g, 4, &bytes);
+  EXPECT_TRUE(fell.fell_back);
+  EXPECT_EQ(fell.stage_used, Stage::kObserving);
+  EXPECT_EQ(adaptive.stage(), Stage::kObserving);
+  EXPECT_EQ(adaptive.fallbacks(), 1u);
+  EXPECT_EQ(adaptive.reobservations(), 1u);
+  EXPECT_FALSE(bytes.empty());  // sound generic epoch, flags were intact
+
+  obs::Snapshot snap = registry.snapshot();
+  obs::Registry::install(nullptr);
+  EXPECT_EQ(snap.counter_sum("ickpt_reobservation_epochs_total"), 2u);
+  EXPECT_EQ(snap.counter_sum("ickpt_adaptive_fallbacks_total"), 1u);
+}
+
+TEST(AdaptiveStatic, RollingReobservationCleanWindowKeepsPlan) {
+  // A workload that keeps behaving as proven completes its windows without
+  // fallback; re-observation costs flag walks, never a generic epoch.
+  AttrGraph g(12);
+  g.reset_flags();
+  auto shapes = analysis::AnalysisShapes::make();
+  AdaptiveCheckpointer::Options opts;
+  opts.observe_epochs = 2;
+  opts.reobserve_interval = 2;
+  opts.static_pattern =
+      verify::infer_attributes_pattern(Phase::kBindingTime).pattern;
+  AdaptiveCheckpointer adaptive(*shapes.attributes, opts);
+
+  for (int epoch = 0; epoch < 9; ++epoch) {
+    g.dirty_bt(epoch);
+    auto result = adaptive_step(adaptive, g, static_cast<Epoch>(epoch));
+    EXPECT_EQ(result.stage_used, Stage::kStatic) << "epoch " << epoch;
+    EXPECT_FALSE(result.fell_back) << "epoch " << epoch;
+  }
+  EXPECT_EQ(adaptive.fallbacks(), 0u);
+  EXPECT_GE(adaptive.reobservations(), 1u);
+  EXPECT_EQ(adaptive.stage(), Stage::kStatic);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Write-set extraction: the three-way proof that the verify layer's phase
+// model matches the engine that actually runs — declared manifests contain
+// the recorded witness, the generated model matches the manifests in both
+// directions, and injected drift in any arrow is reported as exactly the
+// injected inconsistency.
+#include <gtest/gtest.h>
+
+#include "analysis/write_witness.hpp"
+#include "verify/extract/extract.hpp"
+#include "verify/extract/model_gen.hpp"
+#include "verify/pattern_check.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using analysis::AttrField;
+using analysis::FieldSet;
+using analysis::WriteManifest;
+using verify::extract::check_extraction;
+using verify::extract::engine_manifests;
+using verify::extract::generate_phase_model;
+using verify::extract::PhaseWitnessRow;
+using verify::extract::record_witness;
+using verify::extract::WitnessReport;
+
+/// One corpus run shared by the suite: recording is deterministic, and
+/// driving the engine is the expensive part of these tests.
+const WitnessReport& shared_witness() {
+  static const WitnessReport witness = record_witness({});
+  return witness;
+}
+
+TEST(Extract, WitnessIsSubsetOfEveryManifest) {
+  const WitnessReport& witness = shared_witness();
+  ASSERT_EQ(witness.rows.size(), 4u);
+  EXPECT_GT(witness.programs, 0u);
+  EXPECT_GT(witness.statements, 0u);
+  EXPECT_EQ(witness.unattributed, 0u);
+  for (const PhaseWitnessRow& row : witness.rows) {
+    EXPECT_TRUE(row.witnessed.subset_of(row.declared))
+        << "phase " << row.phase << " stored a position its manifest does "
+        << "not declare";
+    // The corpus exercises every declared position, so the proof covers the
+    // full footprint, not a slice of it.
+    EXPECT_EQ(row.witnessed, row.declared) << "phase " << row.phase;
+  }
+}
+
+TEST(Extract, PhaseAttributionIsExact) {
+  const WitnessReport& witness = shared_witness();
+  // Build stores every position; each analysis phase stores exactly its own
+  // annotation and nothing else.
+  const PhaseWitnessRow& build = witness.rows[0];
+  EXPECT_STREQ(build.phase, "build");
+  for (std::size_t f = 0; f < analysis::kAttrFieldCount; ++f)
+    EXPECT_GT(build.stores[f], 0u) << "field " << f;
+
+  struct Expected {
+    std::size_t row;
+    AttrField only;
+  };
+  for (Expected e : {Expected{1, AttrField::kSe}, Expected{2, AttrField::kBt},
+                     Expected{3, AttrField::kEt}}) {
+    const PhaseWitnessRow& row = witness.rows[e.row];
+    for (std::size_t f = 0; f < analysis::kAttrFieldCount; ++f) {
+      if (f == static_cast<std::size_t>(e.only)) {
+        EXPECT_GT(row.stores[f], 0u) << row.phase;
+      } else {
+        EXPECT_EQ(row.stores[f], 0u) << row.phase << " field " << f;
+      }
+    }
+  }
+}
+
+TEST(Extract, SelfCheckIsClean) {
+  verify::Report report = verify::extract::self_check({});
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.warnings(), 0u) << report.to_string();
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST(Extract, PhaseModelSourceIsGenerated) {
+  // The model the pattern checker and static inference consume is the
+  // generator's output for the engine manifests — no hand-written phase
+  // body survives anywhere.
+  auto manifests = engine_manifests();
+  EXPECT_EQ(verify::phase_model_source(), generate_phase_model(manifests));
+}
+
+TEST(Extract, DriftWitnessNotInManifestIsReported) {
+  // Injected drift, arrow 1: strip the side-effect phase's declaration. The
+  // real witness still stores SE sets, so the checker must report exactly
+  // one undeclared-write — and nothing else, since the model is generated
+  // from the same (mutated) manifests.
+  auto manifests = engine_manifests();
+  manifests[1].fields = FieldSet{};
+  verify::Report report = check_extraction(manifests, shared_witness(),
+                                           generate_phase_model(manifests));
+  EXPECT_EQ(report.errors(), 1u) << report.to_string();
+  EXPECT_EQ(report.count("undeclared-write"), 1u) << report.to_string();
+  const verify::Finding* finding = report.first("undeclared-write");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->position, "/0");
+  EXPECT_NE(finding->message.find("run_side_effect"), std::string::npos);
+}
+
+TEST(Extract, DriftManifestNotInModelIsReported) {
+  // Injected drift, arrow 2, missing direction: the model is generated from
+  // a mutated set whose binding-time phase lost its annotation, then
+  // checked against the true manifests. Exactly one model-missing-write.
+  auto true_manifests = engine_manifests();
+  auto mutated = true_manifests;
+  mutated[2].fields = FieldSet{};
+  verify::Report report = check_extraction(true_manifests, shared_witness(),
+                                           generate_phase_model(mutated));
+  EXPECT_EQ(report.errors(), 1u) << report.to_string();
+  EXPECT_EQ(report.count("model-missing-write"), 1u) << report.to_string();
+  const verify::Finding* finding = report.first("model-missing-write");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->position, "/1/0");
+  EXPECT_NE(finding->message.find("run_binding_time"), std::string::npos);
+}
+
+TEST(Extract, DriftModelExtraWriteIsReported) {
+  // Injected drift, arrow 2, extra direction: the generated model writes a
+  // position the true manifest never declared.
+  auto true_manifests = engine_manifests();
+  auto mutated = true_manifests;
+  mutated[2].fields.insert(AttrField::kEt);
+  verify::Report report = check_extraction(true_manifests, shared_witness(),
+                                           generate_phase_model(mutated));
+  EXPECT_EQ(report.errors(), 1u) << report.to_string();
+  EXPECT_EQ(report.count("model-extra-write"), 1u) << report.to_string();
+  const verify::Finding* finding = report.first("model-extra-write");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->position, "/2/0");
+}
+
+TEST(Extract, NoWitnessInstalledCostsNothingAndRecordsNothing) {
+  // The setter hook must be inert between extractions: with no witness
+  // installed a fresh recording still starts from zero.
+  ASSERT_EQ(analysis::WriteWitness::current(), nullptr);
+  WitnessReport again = record_witness({.stages = {1}, .dim = 4});
+  EXPECT_EQ(again.unattributed, 0u);
+  EXPECT_EQ(analysis::WriteWitness::current(), nullptr);
+  for (const PhaseWitnessRow& row : again.rows)
+    EXPECT_TRUE(row.witnessed.subset_of(row.declared)) << row.phase;
+}
+
+}  // namespace
+}  // namespace ickpt::testing

@@ -83,6 +83,64 @@ TEST(PatternCheck, RedundantRecordFlaggedAsPerfNote) {
   EXPECT_GE(report.count("redundant-record"), 1u) << report.to_string();
 }
 
+TEST(PatternCheck, RedundantRecordNoteCarriesWriterWitness) {
+  // et_entry is written by build (not by the binding-time phase): the
+  // record is stale-but-live data, so the note must name the writing
+  // function and point at the refuting assignment.
+  PatternNode pattern = analysis::make_phase_pattern(Phase::kBindingTime);
+  pattern.children[2] = PatternNode::leaf(ModStatus::kModified);
+  pattern.children[2].children.push_back(
+      PatternNode::leaf(ModStatus::kMaybeModified));
+  auto report = verify::check_attributes_pattern(Phase::kBindingTime, pattern);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  const verify::Finding* finding = report.first("redundant-record");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, verify::Severity::kNote);
+  EXPECT_GE(finding->witness_stmt, 0);
+  EXPECT_GT(finding->witness_line, 0);
+  EXPECT_NE(finding->message.find("build"), std::string::npos)
+      << finding->message;
+}
+
+TEST(PatternCheck, RedundantRecordPromotedToWarningWhenNothingWrites) {
+  // In a program where no function at all writes the ET subtree's globals,
+  // an unconditional record of them can never change across any checkpoint
+  // of any phase: promoted from perf note to warning.
+  static constexpr const char* kSource = R"(
+int attr = 0;
+int se_sets = 0;
+int bt_entry = 0;
+int bt_annot = 0;
+int et_entry = 0;
+int et_annot = 0;
+
+int run_binding_time(int n) {
+  bt_annot = n;
+  return n;
+}
+
+int main() {
+  return run_binding_time(1);
+}
+)";
+  auto program = analysis::parse_program(kSource);
+  auto shapes = analysis::AnalysisShapes::make();
+  PatternNode pattern = analysis::make_phase_pattern(Phase::kBindingTime);
+  pattern.children[2] = PatternNode::leaf(ModStatus::kModified);
+  pattern.children[2].children.push_back(
+      PatternNode::leaf(ModStatus::kModified));
+  auto report =
+      verify::check_pattern(*program, "run_binding_time", *shapes.attributes,
+                            pattern, verify::attributes_binding());
+  EXPECT_TRUE(report.clean()) << report.to_string();  // warning, not error
+  ASSERT_GE(report.count("redundant-record"), 2u) << report.to_string();
+  const verify::Finding* finding = report.first("redundant-record");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->severity, verify::Severity::kWarning);
+  EXPECT_NE(finding->message.find("no function"), std::string::npos)
+      << finding->message;
+}
+
 TEST(PatternCheck, MissingPhaseFunctionReported) {
   auto program = analysis::parse_program(verify::phase_model_source());
   auto shapes = analysis::AnalysisShapes::make();

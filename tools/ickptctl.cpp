@@ -40,6 +40,16 @@
 //                            spec::pattern_io; --self-test asserts all three
 //                            phases infer/verify/compile/round-trip cleanly
 //                            and exits 0/2
+//   ickptctl extract [--self-test]
+//                            run the whole write-set extraction proof
+//                            offline: drive the real AnalysisEngine over the
+//                            program_gen corpus with the WriteWitness
+//                            installed, check witness ⊆ manifest, check the
+//                            generated phase model against the manifests in
+//                            both directions, then re-run the infer gate for
+//                            every phase against that model; --self-test
+//                            additionally fails on warnings (unexercised
+//                            manifest entries)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -61,6 +71,8 @@
 #include "synth/shapes.hpp"
 #include "synth/structures.hpp"
 #include "synth/workload.hpp"
+#include "verify/extract/extract.hpp"
+#include "verify/extract/model_gen.hpp"
 #include "verify/fsck.hpp"
 #include "verify/infer.hpp"
 
@@ -371,6 +383,65 @@ int cmd_infer(const char* phase_flag, bool self_test, const char* out_path) {
   return 64;
 }
 
+/// The three-way extraction proof, offline: manifests vs recorded witness
+/// vs generated model, then the existing infer gate per phase so the output
+/// shows the whole chain ending in compiled plans.
+int cmd_extract(bool self_test) {
+  verify::extract::CorpusOptions copts;
+  auto manifests = verify::extract::engine_manifests();
+  verify::extract::WitnessReport witness =
+      verify::extract::record_witness(copts);
+
+  std::printf("%-18s %-28s %-28s\n", "phase", "declared", "witnessed");
+  for (const verify::extract::PhaseWitnessRow& row : witness.rows) {
+    auto names = [](analysis::FieldSet set) {
+      std::string out;
+      for (analysis::AttrField field : set.fields()) {
+        if (!out.empty()) out += ",";
+        out += analysis::attr_field_name(field);
+      }
+      return out.empty() ? std::string("-") : out;
+    };
+    std::printf("%-18s %-28s %-28s\n", row.phase,
+                names(row.declared).c_str(), names(row.witnessed).c_str());
+  }
+  std::printf("corpus: %zu program(s), %zu Attributes tree(s), "
+              "%llu unattributed store(s)\n",
+              witness.programs, witness.statements,
+              (unsigned long long)witness.unattributed);
+
+  verify::Report report = verify::extract::check_extraction(
+      manifests, witness, verify::extract::generate_phase_model(manifests));
+  std::fputs(report.to_string().c_str(), stdout);
+  if (!report.clean()) return 2;
+  if (self_test && report.warnings() > 0) {
+    std::printf("self-test: %zu unexercised manifest entr(ies) — corpus "
+                "does not prove the full declared footprint\n",
+                report.warnings());
+    return 2;
+  }
+
+  // The third arrow: the verified model feeds the same infer/check/compile
+  // gate the tool's `infer` command runs.
+  struct Named {
+    const char* name;
+    analysis::Phase phase;
+  };
+  static constexpr Named kPhases[] = {
+      {"se", analysis::Phase::kSideEffect},
+      {"bt", analysis::Phase::kBindingTime},
+      {"et", analysis::Phase::kEvalTime},
+  };
+  int failures = 0;
+  for (const Named& named : kPhases)
+    if (infer_one_phase(named.phase, named.name, nullptr, self_test) != 0)
+      ++failures;
+  std::printf("extract: manifests, witness, and generated model agree; "
+              "%d phase gate failure(s)\n",
+              failures);
+  return failures == 0 ? 0 : 2;
+}
+
 int cmd_trace() {
   obs::Registry registry;  // spans annotate from live counters; install both
   obs::Registry::install(&registry);
@@ -411,7 +482,15 @@ int usage() {
       "                     the checker, compile it through the verifying\n"
       "                     gate; optional <pattern-file> receives the\n"
       "                     serialized pattern. --self-test checks all three\n"
-      "                     phases (exit 0 ok, 2 on failure).\n",
+      "                     phases (exit 0 ok, 2 on failure).\n"
+      "  extract [--self-test]\n"
+      "                     drive the real analysis engine over the bundled\n"
+      "                     corpus with the write witness installed and prove\n"
+      "                     manifests == witness == generated model, then run\n"
+      "                     the infer gate per phase against that model;\n"
+      "                     --self-test also fails on unexercised manifest\n"
+      "                     entries (exit 0 ok, 2 on failure). Takes no log\n"
+      "                     file.\n",
       stderr);
   return 64;
 }
@@ -451,6 +530,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "trace") == 0) return cmd_trace();
     if (std::strcmp(command, "infer") == 0)
       return cmd_infer(phase, self_test, path);
+    if (std::strcmp(command, "extract") == 0) return cmd_extract(self_test);
     if (path == nullptr) return usage();
     if (std::strcmp(command, "scan") == 0) return cmd_scan(path, salvage);
     if (std::strcmp(command, "inspect") == 0) return cmd_inspect(path);
