@@ -96,6 +96,11 @@ bool AsyncLog::poisoned() const {
   return error_ != nullptr;
 }
 
+std::size_t AsyncLog::dropped() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 void AsyncLog::worker() {
   for (;;) {
     std::vector<std::uint8_t> payload;

@@ -55,6 +55,11 @@ class AsyncLog {
   /// payloads and every drain()/submit() rethrows the error.
   [[nodiscard]] bool poisoned() const;
 
+  /// Queued payloads discarded when the log was poisoned (0 while healthy).
+  /// The in-flight payload whose append failed is not counted. The healing
+  /// manager adds 1 for it when accounting lost epochs.
+  [[nodiscard]] std::size_t dropped() const;
+
  private:
   void worker();
   void rethrow_locked(std::unique_lock<std::mutex>& lock);

@@ -1,0 +1,96 @@
+// Health model of the self-healing checkpoint pipeline.
+//
+// The paper's protocol treats the stable-storage path as fail-stop; the
+// long-lived daemon the roadmap targets cannot. This file defines the
+// degradation ladder the manager walks instead of dying (documented in
+// docs/DURABILITY.md, "Degradation ladder"):
+//
+//   kHealthy   — the configured pipeline (async, non-durable, ...)
+//   kDegraded  — async I/O disarmed; every append synchronous and fsynced
+//   kRebasing  — the live log is being quarantined and a fresh generation
+//                rebased with a forced full checkpoint
+//   kFailed    — the rotation ladder was exhausted; take() refuses work
+//
+// Healing is opt-in (HealPolicy::enabled): with it off, every failure mode
+// keeps the fail-stop semantics the crash-matrix tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "io/stable_storage.hpp"
+
+namespace ickpt::core {
+
+enum class Health : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kRebasing = 2,
+  kFailed = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(Health health) noexcept {
+  switch (health) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kRebasing:
+      return "rebasing";
+    case Health::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+/// Policy knobs for the degradation ladder. All healing is off by default.
+struct HealPolicy {
+  /// Master switch. Off: AsyncLog poisoning and append failures rethrow
+  /// exactly as before this layer existed.
+  bool enabled = false;
+  /// Clean epochs (takes that needed no healing) in the degraded state
+  /// before the manager re-arms its configured pipeline (async I/O,
+  /// configured durability). 0 re-heals on the first clean epoch.
+  unsigned reheal_after = 4;
+  /// In-place append retries (the failed append rolled back, the log is
+  /// still valid) before reaching for rotation.
+  unsigned append_retries = 1;
+  /// Rotation attempts (quarantine + fresh generation + rebase) before the
+  /// manager gives up and enters kFailed.
+  unsigned rotate_attempts = 3;
+  /// Test hook: called at each io::RotateStage during a rotation, plus
+  /// kAfterRebase once the fresh generation holds its full checkpoint. The
+  /// crash-matrix tests throw CrashFault from it.
+  io::RotateHook rotate_hook;
+};
+
+/// Point-in-time view of the ladder, for operators and tests
+/// (`ickptctl health`, chaos soak invariants).
+struct HealthStatus {
+  Health health = Health::kHealthy;
+  /// True while an AsyncLog is armed (submits go to the background thread).
+  bool async_armed = false;
+  /// Rotations this manager performed (== generations it quarantined).
+  unsigned rotations = 0;
+  /// Times the manager returned from degraded to healthy.
+  unsigned reheals = 0;
+  /// Epochs taken while on a degraded rung.
+  std::uint64_t degraded_epochs = 0;
+  /// Epochs reported taken whose frames were lost to poisoning (the failed
+  /// in-flight append plus queued payloads dropped with it).
+  std::uint64_t lost_epochs = 0;
+  /// Clean epochs accumulated toward reheal_after.
+  unsigned clean_epochs = 0;
+  /// True once any epoch of this manager reached the log (the watermark
+  /// below is meaningless before that).
+  bool any_settled = false;
+  /// Newest epoch whose frame append completed (synchronously, or observed
+  /// via flush()). Everything up to the window containing it is expected to
+  /// be recoverable from the generation chain.
+  Epoch last_settled_epoch = 0;
+  /// Most recent failure the ladder absorbed (empty when none).
+  std::string last_error;
+};
+
+}  // namespace ickpt::core

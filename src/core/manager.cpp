@@ -30,26 +30,159 @@ CheckpointManager::Metrics::Metrics()
       bytes_incremental(obs::counter("ickpt_checkpoint_bytes_total",
                                      {{"mode", "incremental"}})),
       build_seconds(obs::histogram("ickpt_checkpoint_build_seconds")),
-      epoch(obs::gauge("ickpt_epoch")) {}
+      epoch(obs::gauge("ickpt_epoch")),
+      health(obs::gauge("ickpt_health")),
+      degraded_epochs(obs::counter("ickpt_degraded_epochs_total")),
+      reheals(obs::counter("ickpt_reheals_total")),
+      lost_epochs(obs::counter("ickpt_heal_lost_epochs_total")) {}
+
+namespace {
+
+io::StorageOptions storage_options(const ManagerOptions& opts) {
+  io::StorageOptions sopts{.durable = opts.durable,
+                           .fault = opts.fault_policy,
+                           .retry = opts.retry};
+  if (opts.retry_jitter_seed != 0 && sopts.retry.jitter_seed == 0)
+    sopts.retry.jitter_seed = opts.retry_jitter_seed;
+  return sopts;
+}
+
+/// Highest stream-header epoch visible anywhere on the generation chain,
+/// plus one. Epochs can run ahead of sequence numbers once async poisoning
+/// has dropped frames, so a restarting healing manager must resume above
+/// the epochs recorded in headers, not just above next_seq().
+Epoch chain_next_epoch(const std::string& path) {
+  Epoch next = 0;
+  auto peek_all = [&next](const std::string& p) {
+    io::FrameIterator it(p, {.salvage = true});
+    io::Frame frame;
+    while (it.next(frame)) {
+      try {
+        const Epoch e = peek_header(frame.payload).epoch;
+        if (e + 1 > next) next = e + 1;
+      } catch (const Error&) {
+      }
+    }
+  };
+  peek_all(path);
+  peek_all(path + ".bak");
+  for (const std::string& gen : io::StableStorage::generation_chain(path)) {
+    peek_all(gen);
+    peek_all(gen + ".bak");
+    break;  // newest first; older generations hold older epochs
+  }
+  return next;
+}
+
+}  // namespace
 
 CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
-    : opts_(opts),
-      storage_(std::move(path),
-               io::StorageOptions{.durable = opts.durable,
-                                  .fault = opts.fault_policy,
-                                  .retry = opts.retry}) {
+    : opts_(std::move(opts)),
+      storage_(std::move(path), storage_options(opts_)) {
   if (opts_.full_interval == 0)
     throw Error("ManagerOptions.full_interval must be >= 1");
   if (opts_.capture_threads == 0)
     throw Error("ManagerOptions.capture_threads must be >= 1");
+  if (opts_.heal.enabled && opts_.heal.rotate_attempts == 0)
+    throw Error(
+        "ManagerOptions.heal.rotate_attempts must be >= 1 when healing is "
+        "enabled");
   // Resume epoch numbering after a restart: frames and epochs are appended
   // 1:1, so the next epoch is the next storage sequence number.
   epoch_ = storage_.next_seq();
+  if (opts_.heal.enabled) {
+    epoch_ = std::max(epoch_, chain_next_epoch(storage_.path()));
+    // Restarting on an existing log: the in-memory modified bits that drove
+    // its last incrementals are gone (and the caller's state may come from
+    // a salvaged window older than the log's tail), so the first checkpoint
+    // of this manager must restart the chain with a full.
+    if (epoch_ > 0) needs_rebase_ = true;
+  }
+  metrics_.health.set(static_cast<std::int64_t>(health_));
   if (opts_.async_io) async_ = std::make_unique<AsyncLog>(storage_);
 }
 
 void CheckpointManager::flush() {
-  if (async_ != nullptr) async_->drain();
+  if (async_ == nullptr) return;
+  try {
+    async_->drain();
+    if (any_submitted_) note_settled(last_submitted_);
+  } catch (const IoError& e) {
+    if (!opts_.heal.enabled) throw;
+    heal_poison(e.what());
+    // No roots in hand to rebase with; the next take() restarts the chain.
+    needs_rebase_ = true;
+  }
+}
+
+HealthStatus CheckpointManager::health_status() const {
+  HealthStatus status;
+  status.health = health_;
+  status.async_armed = async_ != nullptr;
+  status.rotations = rotations_;
+  status.reheals = reheals_;
+  status.degraded_epochs = degraded_epochs_;
+  status.lost_epochs = lost_epochs_;
+  status.clean_epochs = clean_epochs_;
+  status.any_settled = any_settled_;
+  status.last_settled_epoch = last_settled_;
+  status.last_error = last_error_;
+  return status;
+}
+
+void CheckpointManager::set_health(Health next) {
+  if (next == health_) return;
+  obs::instant("manager.health", "checkpoint",
+               std::string(to_string(health_)) + " -> " + to_string(next));
+  health_ = next;
+  metrics_.health.set(static_cast<std::int64_t>(next));
+}
+
+void CheckpointManager::note_settled(Epoch epoch) {
+  any_settled_ = true;
+  if (epoch >= last_settled_) last_settled_ = epoch;
+}
+
+void CheckpointManager::heal_poison(const std::string& what) {
+  healed_this_take_ = true;
+  last_error_ = what;
+  const std::uint64_t lost =
+      1 + (async_ != nullptr ? async_->dropped() : 0);
+  lost_epochs_ += lost;
+  metrics_.lost_epochs.inc(lost);
+  async_.reset();  // the poison was observed by the submit/drain that threw
+  storage_.set_durable(true);
+  clean_epochs_ = 0;
+  set_health(Health::kDegraded);
+  obs::instant("manager.degrade", "checkpoint",
+               "async log poisoned (" + std::to_string(lost) +
+                   " epoch(s) lost): " + what);
+}
+
+void CheckpointManager::on_epoch_complete() {
+  if (!opts_.heal.enabled || health_ == Health::kHealthy) return;
+  ++degraded_epochs_;
+  metrics_.degraded_epochs.inc();
+  if (healed_this_take_) {
+    clean_epochs_ = 0;
+    return;
+  }
+  if (++clean_epochs_ >= opts_.heal.reheal_after) reheal();
+}
+
+void CheckpointManager::reheal() {
+  obs::Span span("manager.reheal", "checkpoint");
+  storage_.set_durable(opts_.durable);
+  if (opts_.async_io && async_ == nullptr)
+    async_ = std::make_unique<AsyncLog>(storage_);
+  ++reheals_;
+  metrics_.reheals.inc();
+  const unsigned clean = clean_epochs_;
+  clean_epochs_ = 0;
+  set_health(Health::kHealthy);
+  if (span.active())
+    span.note("pipeline re-armed after " + std::to_string(clean) +
+              " clean epoch(s)");
 }
 
 TakeResult CheckpointManager::take(std::span<Checkpointable* const> roots) {
@@ -63,65 +196,180 @@ TakeResult CheckpointManager::take(Checkpointable& root) {
   return take(std::span<Checkpointable* const>(roots));
 }
 
+CheckpointStats CheckpointManager::capture(
+    Epoch epoch, std::span<Checkpointable* const> roots, Mode mode,
+    io::VectorSink& sink) {
+  sink.clear();
+  CheckpointStats stats;
+  io::DataWriter writer(sink);
+  if (opts_.capture_threads > 1) {
+    ParallelOptions popts;
+    popts.mode = mode;
+    popts.cycle_guard = opts_.cycle_guard;
+    popts.threads = opts_.capture_threads;
+    stats = ParallelCheckpoint::run(writer, epoch, roots, popts).totals;
+  } else {
+    CheckpointOptions copts;
+    copts.mode = mode;
+    copts.cycle_guard = opts_.cycle_guard;
+    stats = Checkpoint::run(writer, epoch, roots, copts);
+  }
+  writer.flush();
+  return stats;
+}
+
 TakeResult CheckpointManager::take_with_mode(
     std::span<Checkpointable* const> roots, Mode mode) {
+  if (health_ == Health::kFailed)
+    throw Error("checkpoint pipeline is in the failed state (" + last_error_ +
+                "); recover from the generation chain and construct a new "
+                "manager");
+  if (needs_rebase_) mode = Mode::kFull;
+  healed_this_take_ = false;
   obs::Span span("checkpoint.take", "checkpoint");
   io::VectorSink sink;
-  CheckpointStats stats;
   // The clock costs nothing unless a histogram cell is actually installed.
   const bool timed = metrics_.build_seconds.live();
   std::chrono::steady_clock::time_point t0;
   if (timed) t0 = std::chrono::steady_clock::now();
-  {
-    io::DataWriter writer(sink);
-    if (opts_.capture_threads > 1) {
-      ParallelOptions popts;
-      popts.mode = mode;
-      popts.cycle_guard = opts_.cycle_guard;
-      popts.threads = opts_.capture_threads;
-      stats = ParallelCheckpoint::run(writer, epoch_, roots, popts).totals;
-    } else {
-      CheckpointOptions copts;
-      copts.mode = mode;
-      copts.cycle_guard = opts_.cycle_guard;
-      stats = Checkpoint::run(writer, epoch_, roots, copts);
-    }
-    writer.flush();
-  }
+  const Epoch epoch = epoch_++;
+  CheckpointStats stats = capture(epoch, roots, mode, sink);
   if (timed)
     metrics_.build_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
+  TakeResult result;
+  result.epoch = epoch;
+  result.bytes = sink.size();
+  if (async_ != nullptr) {
+    // Appends are FIFO and 1:1 with epochs, so the frame will carry the
+    // epoch as its sequence number.
+    result.seq = result.epoch;
+    bool poisoned = false;
+    try {
+      async_->submit(sink.take());
+      any_submitted_ = true;
+      last_submitted_ = result.epoch;
+    } catch (const IoError& e) {
+      if (!opts_.heal.enabled) throw;
+      heal_poison(e.what());
+      poisoned = true;
+    }
+    if (poisoned) {
+      // The poison punched a hole in the incremental chain (frames were
+      // lost); this epoch must restart it with a synchronous full.
+      mode = Mode::kFull;
+      stats = capture(epoch, roots, mode, sink);
+      result.bytes = sink.size();
+      result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+    }
+  } else {
+    result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+  }
   (mode == Mode::kFull ? metrics_.checkpoints_full
                        : metrics_.checkpoints_incremental)
       .inc();
   (mode == Mode::kFull ? metrics_.bytes_full : metrics_.bytes_incremental)
-      .inc(sink.size());
+      .inc(result.bytes);
   metrics_.objects_visited.inc(stats.objects_visited);
   metrics_.objects_recorded.inc(stats.objects_recorded);
   metrics_.objects_skipped.inc(stats.objects_visited -
                                stats.objects_recorded);
-  metrics_.epoch.set(static_cast<std::int64_t>(epoch_));
-  TakeResult result;
-  result.epoch = epoch_++;
+  metrics_.epoch.set(static_cast<std::int64_t>(result.epoch));
   result.mode = mode;
-  result.bytes = sink.size();
   result.stats = stats;
+  needs_rebase_ = false;
+  on_epoch_complete();
   if (span.active())
     span.note(std::string(mode == Mode::kFull ? "full" : "incremental") +
               " epoch " + std::to_string(result.epoch) + ", " +
               std::to_string(result.bytes) + " byte(s), " +
               std::to_string(stats.objects_recorded) + "/" +
-              std::to_string(stats.objects_visited) + " recorded");
-  if (async_ != nullptr) {
-    // Appends are FIFO and 1:1 with epochs, so the frame will carry the
-    // epoch as its sequence number.
-    result.seq = result.epoch;
-    async_->submit(sink.take());
-  } else {
-    result.seq = storage_.append(sink.bytes());
-  }
+              std::to_string(stats.objects_visited) + " recorded" +
+              (healed_this_take_ ? ", healed" : ""));
   return result;
+}
+
+std::uint64_t CheckpointManager::append_healed(
+    std::span<Checkpointable* const> roots, Epoch epoch, Mode& mode,
+    io::VectorSink& sink, CheckpointStats& stats) {
+  try {
+    const std::uint64_t seq = storage_.append(sink.bytes());
+    note_settled(epoch);
+    return seq;
+  } catch (const io::CrashFault&) {
+    throw;  // simulated process death: never healed, never rolled back
+  } catch (const IoError& e) {
+    if (!opts_.heal.enabled) throw;
+    return heal_append_failure(roots, epoch, mode, sink, stats, e.what());
+  }
+}
+
+std::uint64_t CheckpointManager::heal_append_failure(
+    std::span<Checkpointable* const> roots, Epoch epoch, Mode& mode,
+    io::VectorSink& sink, CheckpointStats& stats,
+    const std::string& first_error) {
+  healed_this_take_ = true;
+  last_error_ = first_error;
+  clean_epochs_ = 0;
+  set_health(Health::kDegraded);
+  // Degraded writes are synchronous *and* durable: while the device is
+  // suspect, an epoch is only reported taken once it is fsynced.
+  storage_.set_durable(true);
+  obs::instant("manager.degrade", "checkpoint",
+               "append failed: " + first_error);
+  // In-place retries first: the failed append rolled itself back, so the
+  // log is still valid and the failure may have been a burst.
+  for (unsigned i = 0; i < opts_.heal.append_retries; ++i) {
+    try {
+      const std::uint64_t seq = storage_.append(sink.bytes());
+      note_settled(epoch);
+      return seq;
+    } catch (const io::CrashFault&) {
+      throw;
+    } catch (const IoError& e) {
+      last_error_ = e.what();
+    }
+  }
+  // Rotation ladder: quarantine the generation the device keeps refusing
+  // and rebase a fresh one with a full checkpoint, so no incremental chain
+  // ever spans generations.
+  set_health(Health::kRebasing);
+  for (unsigned attempt = 0; attempt < opts_.heal.rotate_attempts;
+       ++attempt) {
+    obs::Span span("manager.rotate", "checkpoint");
+    try {
+      io::RotateResult rotated = storage_.rotate(opts_.heal.rotate_hook);
+      ++rotations_;
+      if (mode != Mode::kFull) {
+        mode = Mode::kFull;
+        stats = capture(epoch, roots, mode, sink);
+      }
+      const std::uint64_t seq = storage_.append(sink.bytes());
+      if (opts_.heal.rotate_hook)
+        opts_.heal.rotate_hook(io::RotateStage::kAfterRebase);
+      note_settled(epoch);
+      needs_rebase_ = false;
+      set_health(Health::kDegraded);
+      obs::instant("manager.rebase", "checkpoint",
+                   "epoch " + std::to_string(epoch) +
+                       " rebased a fresh generation after quarantining " +
+                       rotated.quarantine_path);
+      if (span.active())
+        span.note("quarantined " + rotated.quarantine_path +
+                  ", rebase seq " + std::to_string(seq));
+      return seq;
+    } catch (const io::CrashFault&) {
+      throw;
+    } catch (const IoError& e) {
+      last_error_ = e.what();
+    }
+  }
+  set_health(Health::kFailed);
+  throw IoError("checkpoint pipeline failed: append retries and " +
+                std::to_string(opts_.heal.rotate_attempts) +
+                " rotation attempt(s) exhausted (last error: " + last_error_ +
+                ")");
 }
 
 namespace {
@@ -259,9 +507,12 @@ bool apply_window(const std::string& path, const io::ScanOptions& sopts,
 
 }  // namespace
 
-RecoverResult CheckpointManager::recover(const std::string& path,
-                                         const TypeRegistry& registry,
-                                         RecoverOptions opts) {
+namespace {
+
+/// Recover from one log file (no generation walking); the member recover()
+/// wraps this with the fall-back across quarantined generations.
+RecoverResult recover_one(const std::string& path,
+                          const TypeRegistry& registry, RecoverOptions opts) {
   obs::Span span("checkpoint.recover", "recovery");
   const io::ScanOptions sopts{.salvage = opts.salvage};
 
@@ -273,6 +524,7 @@ RecoverResult CheckpointManager::recover(const std::string& path,
                           (index.clean ? "" : " (" + index.stop_reason + ")"));
 
   RecoverResult result;
+  result.recovered_path = path;
   result.log_clean = index.clean;
   result.frames_total = index.frames.size();
   result.corrupt_regions = index.regions_skipped;
@@ -301,6 +553,7 @@ RecoverResult CheckpointManager::recover(const std::string& path,
   starts.push_back(index.frames.size());
 
   bool recovered = false;
+  bool saw_empty_window = false;
   std::size_t records_applied = 0;
   // Newest usable window wins: walk segments from the back, and inside a
   // segment prefer the latest full checkpoint. Pass 2..n: each candidate
@@ -315,16 +568,31 @@ RecoverResult CheckpointManager::recover(const std::string& path,
       if (apply_window(path, sopts, index.frames, i, seg_end, registry,
                        result.state, applied, note, records_applied,
                        passes)) {
+        if (result.state.by_id.empty() && result.state.roots.empty()) {
+          // The window's frames decode but hold no object records (e.g. a
+          // bare stream header). Never return an empty graph as recovered
+          // state; keep searching older windows.
+          saw_empty_window = true;
+          result.state = RecoveredState{};
+          continue;
+        }
         result.checkpoints_applied = applied;
         recovered = true;
       }
     }
   }
   result.stream_passes = passes;
-  if (!recovered)
+  if (!recovered) {
+    if (saw_empty_window)
+      throw CorruptionError(
+          "log '" + path +
+          "' contains only empty checkpoint frames (stream headers with no "
+          "object records) — nothing to recover; restore the log or recover "
+          "from an older generation");
     throw CorruptionError("log '" + path +
                           "' contains no usable full checkpoint" +
                           (index.clean ? "" : " (" + index.stop_reason + ")"));
+  }
 
   result.frames_dropped = result.frames_total - result.checkpoints_applied;
   note.frames_outside_window = result.frames_dropped;
@@ -350,6 +618,52 @@ RecoverResult CheckpointManager::recover(const std::string& path,
               std::to_string(result.state.by_id.size()) + " object(s); " +
               note.trace_note());
   return result;
+}
+
+}  // namespace
+
+RecoverResult CheckpointManager::recover(const std::string& path,
+                                         const TypeRegistry& registry,
+                                         RecoverOptions opts) {
+  std::exception_ptr live_failure;
+  std::string live_error;
+  try {
+    return recover_one(path, registry, opts);
+  } catch (const CorruptionError& e) {
+    if (!opts.walk_generations) throw;
+    live_failure = std::current_exception();
+    live_error = e.what();
+  }
+  // The live log yielded nothing usable. Rotation preserves damaged
+  // generations as `<path>.quarantine.<n>`; walk them newest first — the
+  // newest one that still holds a usable full window wins.
+  const std::vector<std::string> chain =
+      io::StableStorage::generation_chain(path);
+  std::size_t tried = 1;
+  for (const std::string& gen : chain) {
+    ++tried;
+    try {
+      RecoverResult result = recover_one(gen, registry, opts);
+      result.recovered_path = gen;
+      result.generations_tried = tried;
+      result.log_clean = false;  // the chain as a whole carried damage
+      result.log_note = "live log unusable (" + live_error +
+                        "); recovered from quarantined generation '" + gen +
+                        "'" +
+                        (result.log_note.empty() ? ""
+                                                 : "; " + result.log_note);
+      obs::counter("ickpt_recover_generation_fallbacks_total").inc();
+      obs::instant("recover.generation_fallback", "recovery", gen);
+      return result;
+    } catch (const CorruptionError&) {
+      // Fall through to the next (older) generation.
+    }
+  }
+  if (chain.empty()) std::rethrow_exception(live_failure);
+  throw CorruptionError(
+      "no recoverable checkpoint on the generation chain of '" + path +
+      "' (" + std::to_string(tried) + " file(s) tried; live log: " +
+      live_error + ")");
 }
 
 CompactResult CheckpointManager::compact(const std::string& path,

@@ -21,7 +21,9 @@
 
 #include "core/async_log.hpp"
 #include "core/checkpoint.hpp"
+#include "core/health.hpp"
 #include "core/recovery.hpp"
+#include "io/byte_sink.hpp"
 #include "io/stable_storage.hpp"
 #include "obs/metrics.hpp"
 
@@ -52,6 +54,17 @@ struct ManagerOptions {
   /// with cycle_guard off the merged stream is byte-identical to the
   /// serial one (tests/parallel_equiv_test.cpp).
   unsigned capture_threads = 1;
+  /// Self-healing ladder (core/health.hpp). Off by default: every failure
+  /// keeps today's fail-stop semantics. With heal.enabled the manager
+  /// degrades to synchronous durable writes on AsyncLog poisoning, rotates
+  /// the log to a quarantine file on persistent append failure, and re-arms
+  /// the configured pipeline after heal.reheal_after clean epochs.
+  HealPolicy heal{};
+  /// Nonzero: seed for deterministic retry-backoff jitter, copied into
+  /// retry.jitter_seed unless that is already set (io::backoff_delay).
+  /// Give parallel shards / future tenants distinct seeds so congested
+  /// devices don't see lockstep retry storms.
+  std::uint64_t retry_jitter_seed = 0;
 };
 
 struct TakeResult {
@@ -66,10 +79,19 @@ struct RecoverOptions {
   /// Resynchronize past mid-log corruption instead of truncating the log at
   /// the first bad byte.
   bool salvage = true;
+  /// When the live log yields no usable window, fall back across the
+  /// quarantined generations (`<path>.quarantine.<n>`, newest first) that
+  /// rotation left behind, instead of failing immediately.
+  bool walk_generations = true;
 };
 
 struct RecoverResult {
   RecoveredState state;
+  /// The file the state actually came from: the live log, or a quarantined
+  /// generation when the live one had no usable window.
+  std::string recovered_path;
+  /// Files consulted before one yielded a usable window (1 = live log).
+  std::size_t generations_tried = 1;
   std::size_t checkpoints_applied = 0;
   /// False when the log carried damage (torn tail or mid-log corruption).
   bool log_clean = true;
@@ -114,14 +136,24 @@ class CheckpointManager {
 
   [[nodiscard]] Epoch next_epoch() const noexcept { return epoch_; }
 
+  /// Current rung of the degradation ladder (kHealthy unless heal.enabled
+  /// and something went wrong).
+  [[nodiscard]] Health health() const noexcept { return health_; }
+
+  /// Full point-in-time ladder state (rotations, reheals, lost epochs, the
+  /// settled-epoch watermark, ...).
+  [[nodiscard]] HealthStatus health_status() const;
+
   /// Drain any asynchronous appends; afterwards every taken checkpoint is
   /// on stable storage. No-op in synchronous mode. Rethrows a deferred
   /// background append failure (never swallowed).
   void flush();
 
-  /// Recover the latest consistent state from a log file. Throws
-  /// CorruptionError when no usable full checkpoint exists — never returns
-  /// a partial graph.
+  /// Recover the latest consistent state from a log file. When the live
+  /// log has no usable window and opts.walk_generations is set, falls back
+  /// across the quarantined generations rotation left behind (newest
+  /// first). Throws CorruptionError when no file on the chain yields a
+  /// usable full checkpoint — never returns a partial graph.
   static RecoverResult recover(const std::string& path,
                                const TypeRegistry& registry,
                                RecoverOptions opts = {});
@@ -153,13 +185,62 @@ class CheckpointManager {
     obs::Counter bytes_incremental;
     obs::Histogram build_seconds;
     obs::Gauge epoch;
+    obs::Gauge health;
+    obs::Counter degraded_epochs;
+    obs::Counter reheals;
+    obs::Counter lost_epochs;
   };
+
+  /// Run one capture of `roots` into `sink` (clearing it first), serial or
+  /// parallel per capture_threads. Factored out because healing re-captures
+  /// (rebase fulls) for the same epoch after epoch_ has already advanced.
+  CheckpointStats capture(Epoch epoch, std::span<Checkpointable* const> roots,
+                          Mode mode, io::VectorSink& sink);
+
+  /// Synchronous append with the healing ladder behind it: in-place
+  /// retries, then rotation + rebase, then kFailed. With heal.enabled off
+  /// the first IoError rethrows untouched. `mode`/`stats` are updated when
+  /// a rebase forces a full re-capture. Returns the frame's seq.
+  std::uint64_t append_healed(std::span<Checkpointable* const> roots,
+                              Epoch epoch, Mode& mode, io::VectorSink& sink,
+                              CheckpointStats& stats);
+  std::uint64_t heal_append_failure(std::span<Checkpointable* const> roots,
+                                    Epoch epoch, Mode& mode,
+                                    io::VectorSink& sink,
+                                    CheckpointStats& stats,
+                                    const std::string& first_error);
+
+  /// AsyncLog poisoning absorbed: disarm async, force synchronous durable
+  /// writes, account the lost epochs, enter kDegraded.
+  void heal_poison(const std::string& what);
+
+  void set_health(Health next);
+  void note_settled(Epoch epoch);
+  /// Degraded-rung bookkeeping at the end of every successful take().
+  void on_epoch_complete();
+  /// Return to the configured pipeline after reheal_after clean epochs.
+  void reheal();
 
   ManagerOptions opts_;
   io::StableStorage storage_;
   std::unique_ptr<AsyncLog> async_;
   Epoch epoch_ = 0;
   Metrics metrics_;
+
+  // Degradation-ladder state (all quiescent while heal.enabled is off).
+  Health health_ = Health::kHealthy;
+  bool needs_rebase_ = false;      ///< next take must be a full checkpoint
+  bool healed_this_take_ = false;  ///< current take needed the ladder
+  unsigned rotations_ = 0;
+  unsigned reheals_ = 0;
+  std::uint64_t degraded_epochs_ = 0;
+  std::uint64_t lost_epochs_ = 0;
+  unsigned clean_epochs_ = 0;
+  bool any_settled_ = false;
+  Epoch last_settled_ = 0;
+  bool any_submitted_ = false;  ///< async: a submit succeeded since open
+  Epoch last_submitted_ = 0;
+  std::string last_error_;
 };
 
 }  // namespace ickpt::core

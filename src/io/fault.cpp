@@ -2,6 +2,38 @@
 
 namespace ickpt::io {
 
+namespace {
+// splitmix64: tiny, stateless, well-distributed — enough to decorrelate
+// retry schedules without dragging a PRNG object into RetryPolicy.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::chrono::microseconds backoff_delay(const RetryPolicy& retry,
+                                        unsigned attempt) {
+  const std::int64_t initial = retry.initial_backoff.count();
+  if (initial <= 0) return std::chrono::microseconds{0};
+  std::int64_t cap = retry.max_backoff.count();
+  if (cap < initial) cap = initial;
+  // Saturating exponential: initial << attempt overflows for attempt near
+  // 64 (RetryPolicy::max_attempts is caller-chosen), so test against the
+  // cap shifted the other way instead of computing the product first.
+  // initial <= cap >> attempt implies initial << attempt <= cap.
+  std::int64_t delay = cap;
+  if (attempt < 63 && initial <= (cap >> attempt)) delay = initial << attempt;
+  if (retry.jitter_seed != 0 && delay > 1) {
+    const std::uint64_t h = mix64(retry.jitter_seed ^ (attempt + 1ULL));
+    const std::int64_t half = delay / 2;
+    delay -= static_cast<std::int64_t>(
+        h % static_cast<std::uint64_t>(half + 1));
+  }
+  return std::chrono::microseconds{delay};
+}
+
 ScriptedFaultPolicy::ScriptedFaultPolicy(FaultKind kind,
                                          std::uint64_t trigger_offset,
                                          int transient_errno,

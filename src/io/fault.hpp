@@ -65,7 +65,19 @@ struct RetryPolicy {
   unsigned max_attempts = 8;
   std::chrono::microseconds initial_backoff{100};
   std::chrono::microseconds max_backoff{100'000};
+  /// Nonzero: derive a deterministic per-attempt jitter from this seed so
+  /// parallel shards / multi-tenant sessions sharing a congested device do
+  /// not retry in lockstep. Zero keeps the classic deterministic schedule.
+  std::uint64_t jitter_seed = 0;
 };
+
+/// Delay before retrying after `attempt` prior failures (0-based): the
+/// exponential initial_backoff * 2^attempt, saturating at max_backoff with
+/// no intermediate overflow even for attempt >= 64. With a nonzero
+/// jitter_seed the delay is decorrelated into [delay/2, delay] using a hash
+/// of (seed, attempt) — deterministic per seed, different across seeds.
+[[nodiscard]] std::chrono::microseconds backoff_delay(const RetryPolicy& retry,
+                                                      unsigned attempt);
 
 /// Deterministic one-shot policy for tests and the crash-matrix harness:
 /// arms a single fault of `kind` that fires on the write covering cumulative

@@ -81,10 +81,8 @@ FileSink::~FileSink() {
 }
 
 void FileSink::backoff(unsigned attempt) const {
-  if (retry_.initial_backoff.count() <= 0) return;
-  unsigned shift = attempt > 16 ? 16 : attempt;
-  auto delay = retry_.initial_backoff * (1u << shift);
-  if (delay > retry_.max_backoff) delay = retry_.max_backoff;
+  const auto delay = backoff_delay(retry_, attempt);
+  if (delay.count() <= 0) return;
   std::this_thread::sleep_for(delay);
 }
 
@@ -217,6 +215,13 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
   FileSink sink(path);
   sink.write(bytes.data(), bytes.size());
   sink.flush();
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
 }
 
 void fsync_parent_dir(const std::string& path) {

@@ -74,6 +74,9 @@ std::vector<std::uint8_t> read_file(const std::string& path);
 /// Write a buffer to a file (truncating). Throws IoError on failure.
 void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
 
+/// True if `path` exists and is openable for reading.
+[[nodiscard]] bool file_exists(const std::string& path);
+
 /// fsync the directory containing `path`, persisting a rename/create/unlink
 /// of that entry. No-op on platforms without directory fsync.
 void fsync_parent_dir(const std::string& path);

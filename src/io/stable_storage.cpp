@@ -320,17 +320,32 @@ struct StableStorage::Impl {
 
 StableStorage::StableStorage(std::string path, StorageOptions opts)
     : path_(std::move(path)), opts_(opts), impl_(new Impl) {
-  // Never append behind unreadable bytes: truncate a damaged tail to the
-  // longest valid prefix first (the removed bytes go to <path>.bak).
+  // Never append behind an unreadable tail: truncate it back to the last
+  // salvageable frame first (the removed bytes go to <path>.bak). Mid-log
+  // corrupt regions with settled frames beyond them are preserved — every
+  // reader of this log salvages over them.
   repair(path_);
   // Resume sequence numbering above anything a salvage scan can still see,
-  // so frames stranded beyond a (pre-repair) corrupt region can never share
-  // a sequence number with a new frame.
-  ScanResult prefix = scan(path_);
+  // so frames beyond a corrupt region can never share a sequence number
+  // with a new frame.
+  ScanResult prefix = scan(path_, {.salvage = true});
   if (!prefix.frames.empty()) next_seq_ = prefix.frames.back().seq + 1;
   ScanResult salvaged = scan(path_ + ".bak", {.salvage = true});
   if (!salvaged.frames.empty())
     next_seq_ = std::max(next_seq_, salvaged.frames.back().seq + 1);
+  // A crash between a rotation's quarantine rename and its rebase append
+  // leaves the live log empty (or young); quarantined generations then hold
+  // the highest sequence numbers, and numbering must continue above them.
+  for (const std::string& gen : generation_chain(path_)) {
+    bool found = false;
+    for (const std::string& p : {gen, gen + ".bak"}) {
+      ScanResult g = scan(p, {.salvage = true});
+      if (g.frames.empty()) continue;
+      next_seq_ = std::max(next_seq_, g.frames.back().seq + 1);
+      found = true;
+    }
+    if (found) break;  // newest-first: older generations hold smaller seqs
+  }
   open_for_append();
 }
 
@@ -398,6 +413,59 @@ void StableStorage::reset() {
   open_for_append();
 }
 
+std::string StableStorage::quarantine_path(const std::string& path,
+                                           unsigned n) {
+  return path + ".quarantine." + std::to_string(n);
+}
+
+std::vector<std::string> StableStorage::generation_chain(
+    const std::string& path) {
+  std::vector<std::string> chain;
+  for (unsigned n = 1; file_exists(quarantine_path(path, n)); ++n)
+    chain.push_back(quarantine_path(path, n));
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+RotateResult StableStorage::rotate(const RotateHook& hook) {
+  obs::Span span("storage.rotate", "io");
+  RotateResult result;
+  unsigned n = 1;
+  while (file_exists(quarantine_path(path_, n))) ++n;
+  result.generation = n;
+  result.quarantine_path = quarantine_path(path_, n);
+  result.bytes_quarantined =
+      impl_->sink != nullptr ? impl_->sink->offset() : 0;
+  if (hook) hook(RotateStage::kBeforeQuarantine);
+  impl_->sink.reset();
+  try {
+    rename_durable(path_, result.quarantine_path);
+  } catch (const IoError&) {
+    // The log never left its live path; restore the append invariant and
+    // let the caller's ladder decide what happens next.
+    open_for_append();
+    throw;
+  }
+  // The .bak tail (if any) belongs to the quarantined generation; carry it
+  // along so post-mortem fsck sees the whole picture. Best-effort: a .bak
+  // is re-creatable damage, never primary data.
+  if (file_exists(path_ + ".bak"))
+    std::rename((path_ + ".bak").c_str(),
+                (result.quarantine_path + ".bak").c_str());
+  if (hook) hook(RotateStage::kAfterQuarantine);
+  open_for_append();
+  if (hook) hook(RotateStage::kAfterReopen);
+  obs::counter("ickpt_log_rotations_total").inc();
+  obs::instant("storage.rotate", "io",
+               std::to_string(result.bytes_quarantined) +
+                   " byte(s) quarantined to " + result.quarantine_path);
+  if (span.active())
+    span.note("generation " + std::to_string(n) + " opened, " +
+              std::to_string(result.bytes_quarantined) +
+              " byte(s) quarantined");
+  return result;
+}
+
 ScanResult StableStorage::scan(const std::string& path, ScanOptions opts) {
   obs::Span span("storage.scan", "io");
   FrameIterator it(path, opts);
@@ -421,13 +489,36 @@ RepairResult StableStorage::repair(const std::string& path) {
     result.frames_kept = scan_result.frames.size();
     return result;
   }
-  result.reason = scan_result.stop_reason;
-  result.frames_kept = scan_result.frames.size();
+
+  // A damaged log can hold settled frames BEYOND the first corrupt region
+  // (a bit flip lands mid-log; later appends — including full checkpoints —
+  // land fine after it). Truncating at the first damage would destroy them,
+  // so repair only removes the genuinely unreadable tail: everything after
+  // the last frame a salvage scan can still read. Mid-log damage stays in
+  // place — every reader of a repaired log (recovery, fsck, seq resume)
+  // already salvages over it, and new appends land after a clean boundary.
+  ScanResult salvaged = scan(path, {/*salvage=*/true});
+  std::uint64_t keep = 0;
+  if (!salvaged.frames.empty()) {
+    const Frame& last = salvaged.frames.back();
+    keep = last.offset + kHeaderSize + last.payload.size();
+  }
+  result.frames_kept = salvaged.frames.size();
+
+  std::vector<std::uint8_t> all = read_file(path);
+  if (keep >= all.size()) {
+    // The file ends exactly at a valid frame boundary: the damage is all
+    // mid-log, and nothing after the last readable frame needs removing.
+    result.reason =
+        scan_result.stop_reason + " (mid-log, preserved for salvage)";
+    return result;
+  }
+  result.reason = salvaged.frames.size() == scan_result.frames.size()
+                      ? scan_result.stop_reason
+                      : scan_result.stop_reason + " + damaged tail";
 
   // Save the bytes being removed before touching the log, so a crash during
   // repair can lose the .bak (re-creatable) but never log bytes.
-  std::vector<std::uint8_t> all = read_file(path);
-  const std::uint64_t keep = scan_result.valid_prefix_bytes;
   result.bytes_removed = all.size() - keep;
   result.bak_path = path + ".bak";
   {

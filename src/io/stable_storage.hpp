@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -57,7 +58,8 @@ struct ScanResult {
   /// file size when clean).
   std::uint64_t stop_offset = 0;
   /// Length of the longest valid prefix: every byte before this decoded as
-  /// valid frames. `fsck --repair` truncates to this.
+  /// valid frames (repair() truncates only the tail after the *last*
+  /// salvageable frame, which can lie beyond this).
   std::uint64_t valid_prefix_bytes = 0;
   /// Salvage only: corrupt regions skipped and the bytes inside them.
   std::size_t regions_skipped = 0;
@@ -106,8 +108,30 @@ struct StorageOptions {
   RetryPolicy retry{};
 };
 
+/// Progress points inside rotate() (and, for kAfterRebase, in the manager's
+/// rebase step that follows it). The crash-matrix tests install a hook that
+/// throws CrashFault at each stage to prove a crash mid-rotation loses at
+/// most the in-flight epoch.
+enum class RotateStage : std::uint8_t {
+  kBeforeQuarantine,  ///< sink still open, log still at its live path
+  kAfterQuarantine,   ///< log renamed to the quarantine path; no live log yet
+  kAfterReopen,       ///< fresh empty generation open at the live path
+  kAfterRebase,       ///< manager-level: rebase full checkpoint appended
+};
+using RotateHook = std::function<void(RotateStage)>;
+
+struct RotateResult {
+  /// Where the damaged generation was preserved (`<path>.quarantine.<n>`).
+  std::string quarantine_path;
+  /// The quarantine slot used (the <n> in the file name).
+  unsigned generation = 0;
+  /// Size of the quarantined log at rotation time.
+  std::uint64_t bytes_quarantined = 0;
+};
+
 struct RepairResult {
-  /// False when the log was already clean (nothing was changed).
+  /// False when nothing was changed: the log was already clean, or its
+  /// damage is mid-log only (no unreadable tail to remove).
   bool repaired = false;
   std::size_t frames_kept = 0;
   std::uint64_t bytes_removed = 0;
@@ -120,10 +144,11 @@ struct RepairResult {
 class StableStorage {
  public:
   /// Opens (creating if absent) the log at `path` for appending. If the
-  /// log's tail is damaged it is first truncated to the longest valid
-  /// prefix (removed bytes saved to `<path>.bak`); sequence numbering
-  /// resumes above every frame a salvage scan can see, so even stranded
-  /// frames can never collide with new ones.
+  /// log's tail is unreadable it is first truncated back to the last
+  /// salvageable frame (removed bytes saved to `<path>.bak`; mid-log
+  /// damage is preserved); sequence numbering resumes above every frame a
+  /// salvage scan can see, so even stranded frames can never collide with
+  /// new ones.
   explicit StableStorage(std::string path, StorageOptions opts);
   explicit StableStorage(std::string path, bool durable = false);
 
@@ -140,8 +165,30 @@ class StableStorage {
   /// Delete all frames (restart the log). Sequence numbering continues.
   void reset();
 
+  /// Quarantine the current log as `<path>.quarantine.<n>` (first free n,
+  /// its `.bak` riding along as `<quarantine>.bak`) and reopen a fresh,
+  /// empty generation at the live path. Sequence numbering continues across
+  /// generations. `hook`, when set, is called at each RotateStage — the
+  /// crash-matrix tests throw CrashFault from it. If the quarantine rename
+  /// fails with IoError the live log is reopened and the error rethrown;
+  /// a CrashFault propagates with whatever state the "crash" left.
+  RotateResult rotate(const RotateHook& hook = {});
+
+  /// Flip per-frame fsync on or off at runtime. The degraded rungs of the
+  /// manager's health ladder force this on so healed epochs are durable.
+  void set_durable(bool durable) noexcept { opts_.durable = durable; }
+  [[nodiscard]] bool durable() const noexcept { return opts_.durable; }
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// The quarantine file name for slot `n`.
+  static std::string quarantine_path(const std::string& path, unsigned n);
+
+  /// Quarantined predecessors of the log at `path`, newest first (highest
+  /// slot number first). Probes consecutive slots from 1; empty when the
+  /// log has never rotated.
+  static std::vector<std::string> generation_chain(const std::string& path);
 
   /// Scan a log file into frames, tolerating a torn tail (and, with
   /// opts.salvage, mid-log corruption). Streams: O(largest frame) memory
@@ -152,9 +199,13 @@ class StableStorage {
   static ScanResult scan_bytes(const std::vector<std::uint8_t>& bytes,
                                ScanOptions opts = {});
 
-  /// Truncate a damaged log to its longest valid prefix, saving the removed
-  /// bytes to `<path>.bak` (overwriting a previous .bak). The truncation is
-  /// durable before repair() returns. A clean log is left untouched.
+  /// Truncate a damaged log's unreadable tail — every byte after the last
+  /// frame a salvage scan can read — saving the removed bytes to
+  /// `<path>.bak` (overwriting a previous .bak). Mid-log corrupt regions
+  /// with settled frames beyond them are left in place (salvage-aware
+  /// readers step over them; truncating there would destroy settled
+  /// state). The truncation is durable before repair() returns. A clean
+  /// log, or one whose damage is mid-log only, is left untouched.
   static RepairResult repair(const std::string& path);
 
  private:

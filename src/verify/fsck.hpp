@@ -49,4 +49,50 @@ Report fsck_log(const std::string& path, const core::TypeRegistry& registry);
 Report fsck_bytes(const std::vector<std::uint8_t>& bytes,
                   const core::TypeRegistry& registry);
 
+/// Structural summary of one generation on a rotation chain (a quarantined
+/// `<path>.quarantine.<n>` file, or the live log itself).
+struct GenerationSummary {
+  std::string path;
+  /// True for the live log (always the last entry of ChainReport).
+  bool live = false;
+  std::size_t frames = 0;
+  /// Frame-level scan saw no damage (salvage found nothing to skip).
+  bool scan_clean = true;
+  /// The generation's first decodable frame is a full checkpoint — the
+  /// rebase invariant every post-rotation generation must satisfy.
+  bool starts_full = false;
+  /// At least one full checkpoint anywhere in the generation.
+  bool has_full = false;
+  /// Stream-header epochs of the first/last decodable frames (0/0 when the
+  /// generation is empty or undecodable).
+  Epoch first_epoch = 0;
+  Epoch last_epoch = 0;
+};
+
+/// fsck_log over every generation of a rotation chain plus chain-level
+/// invariants: generations ordered oldest → newest (live log last).
+struct ChainReport {
+  /// Per-generation fsck findings (messages prefixed with the file) plus
+  /// the chain-level checks:
+  ///   "generation-order"  (kError)   — epoch ranges overlap or go
+  ///                                    backwards across generations;
+  ///   "generation-rebase" (kError)   — a post-rotation generation does not
+  ///                                    begin with a full checkpoint, so an
+  ///                                    incremental chain spans the
+  ///                                    rotation;
+  ///   "generation-empty"  (kNote)    — an empty generation (the signature
+  ///                                    of a crash between quarantine
+  ///                                    rename and rebase).
+  Report report;
+  std::vector<GenerationSummary> generations;
+
+  [[nodiscard]] bool clean() const { return report.clean(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Fsck the whole generation chain of the log at `path`: every quarantined
+/// predecessor (`<path>.quarantine.<n>`) and the live log, oldest first.
+ChainReport fsck_chain(const std::string& path,
+                       const core::TypeRegistry& registry);
+
 }  // namespace ickpt::verify

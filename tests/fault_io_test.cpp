@@ -209,6 +209,97 @@ TEST_F(FaultIoTest, ReopenAfterCrashRepairsTornTail) {
   EXPECT_EQ(io::read_file(path_ + ".bak").size(), 4u);
 }
 
+TEST_F(FaultIoTest, BackoffDelayNeverOverflowsAtHighAttempts) {
+  // Regression guard: the exponential used to be computed as
+  // initial << attempt before the max_backoff cap, which is undefined
+  // behavior from attempt 32 onwards. The delay must saturate instead.
+  io::RetryPolicy retry;
+  retry.initial_backoff = std::chrono::microseconds{100};
+  retry.max_backoff = std::chrono::microseconds{250'000};
+  EXPECT_EQ(io::backoff_delay(retry, 0).count(), 100);
+  EXPECT_EQ(io::backoff_delay(retry, 1).count(), 200);
+  // 100 * 2^11 = 204800 still fits; 2^12 crosses the cap.
+  EXPECT_EQ(io::backoff_delay(retry, 11).count(), 204'800);
+  EXPECT_EQ(io::backoff_delay(retry, 12).count(), 250'000);
+  for (unsigned attempt = 0; attempt < 80; ++attempt) {
+    const auto delay = io::backoff_delay(retry, attempt);
+    EXPECT_GE(delay.count(), 100) << "attempt " << attempt;
+    EXPECT_LE(delay.count(), 250'000) << "attempt " << attempt;
+  }
+  // Degenerate policies stay sane too.
+  retry.max_backoff = std::chrono::microseconds{0};  // cap below initial
+  EXPECT_EQ(io::backoff_delay(retry, 70).count(), 100);
+  retry.initial_backoff = std::chrono::microseconds{0};
+  EXPECT_EQ(io::backoff_delay(retry, 70).count(), 0);
+}
+
+TEST_F(FaultIoTest, SixtyFourRetryAttemptsExhaustWithoutOverflow) {
+  // max_attempts = 64 drives the backoff shift far past the width of the
+  // delay type; the append must fail cleanly after the 65th consultation,
+  // not hit undefined behavior (UBSan is the real assertion here).
+  ScriptedFaultPolicy policy(FaultKind::kTransient, 0, ENOSPC,
+                             /*transient_count=*/1000);
+  io::RetryPolicy retry;
+  retry.max_attempts = 64;
+  retry.initial_backoff = std::chrono::microseconds(1);
+  retry.max_backoff = std::chrono::microseconds(8);
+  StableStorage storage(path_,
+                        StorageOptions{.fault = &policy, .retry = retry});
+  EXPECT_THROW(storage.append(payload_of(0xC1)), IoError);
+  auto scan = StableStorage::scan(path_);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_TRUE(scan.frames.empty());
+  EXPECT_EQ(storage.next_seq(), 0u);
+}
+
+TEST_F(FaultIoTest, BackoffJitterIsDeterministicPerSeedAndBounded) {
+  io::RetryPolicy plain;
+  plain.initial_backoff = std::chrono::microseconds{100};
+  plain.max_backoff = std::chrono::microseconds{250'000};
+  io::RetryPolicy seeded = plain;
+  seeded.jitter_seed = 42;
+  io::RetryPolicy other = plain;
+  other.jitter_seed = 43;
+
+  bool seeds_diverge = false;
+  for (unsigned attempt = 0; attempt < 40; ++attempt) {
+    const auto base = io::backoff_delay(plain, attempt);
+    const auto jittered = io::backoff_delay(seeded, attempt);
+    // Decorrelated into [base/2, base]: never longer than the classic
+    // schedule (liveness bounds hold), never below half (backoff still
+    // backs off).
+    EXPECT_LE(jittered.count(), base.count()) << "attempt " << attempt;
+    EXPECT_GE(jittered.count(), base.count() / 2) << "attempt " << attempt;
+    // Same seed, same attempt => same delay, every time.
+    EXPECT_EQ(jittered.count(), io::backoff_delay(seeded, attempt).count());
+    if (io::backoff_delay(other, attempt) != jittered) seeds_diverge = true;
+  }
+  EXPECT_TRUE(seeds_diverge) << "distinct seeds must decorrelate";
+}
+
+TEST_F(FaultIoTest, ManagerPlumbsJitterSeedIntoRetries) {
+  // retry_jitter_seed reaches the storage retry path: two transient
+  // failures are absorbed exactly as with the classic schedule (the jitter
+  // only shortens the waits — it must never turn a retryable failure into
+  // a hard one).
+  core::TypeRegistry registry;
+  register_test_types(registry);
+  ScriptedFaultPolicy policy(FaultKind::kTransient, 0, EINTR,
+                             /*transient_count=*/2);
+  core::Heap heap;
+  Leaf* leaf = heap.make<Leaf>();
+  core::ManagerOptions opts;
+  opts.fault_policy = &policy;
+  opts.retry.initial_backoff = std::chrono::microseconds{1};
+  opts.retry_jitter_seed = 0x5EED;
+  core::CheckpointManager manager(path_, opts);
+  leaf->set_i32(7);
+  EXPECT_EQ(manager.take(*leaf).seq, 0u);
+  EXPECT_TRUE(policy.fired());
+  EXPECT_EQ(core::CheckpointManager::recover(path_, registry).state.epoch,
+            0u);
+}
+
 // Acceptance criterion: with async_io, an injected append failure surfaces
 // as an exception from flush() carrying the failed frame's seq.
 TEST_F(FaultIoTest, AsyncManagerAppendFailureSurfacesFromFlush) {

@@ -179,6 +179,62 @@ TEST_F(ManagerTest, RecoverAfterTornTailStillStreams) {
   EXPECT_LE(result.stream_passes, 10u);
 }
 
+TEST_F(ManagerTest, RecoverZeroLengthLogThrowsActionable) {
+  // A zero-length file is what a crash right after open leaves behind. It
+  // must be refused with a structured, actionable error — not a crash and
+  // not a partial graph.
+  io::write_file(path_, {});
+  try {
+    CheckpointManager::recover(path_, registry_);
+    FAIL() << "recover() must throw on a zero-length log";
+  } catch (const CorruptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("no recoverable checkpoint"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(path_), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ManagerTest, RecoverHeaderOnlyLogThrowsCorruption) {
+  // A log holding exactly one valid frame *header* and none of its payload:
+  // the torn-final-write worst case. The scan must classify it as a torn
+  // tail (zero complete frames), and recovery must refuse.
+  std::vector<std::uint8_t> bytes;
+  auto be32 = [&](std::uint32_t v) {
+    for (int s = 24; s >= 0; s -= 8)
+      bytes.push_back(static_cast<std::uint8_t>(v >> s));
+  };
+  be32(0x49434B46);            // frame magic
+  for (int i = 0; i < 8; ++i)  // seq 0
+    bytes.push_back(0);
+  be32(64);          // claimed payload length, never written
+  be32(0xDEADBEEF);  // crc (unverifiable without the payload)
+  io::write_file(path_, bytes);
+
+  EXPECT_THROW(CheckpointManager::recover(path_, registry_), CorruptionError);
+}
+
+TEST_F(ManagerTest, RecoverEmptyWindowFramesThrowActionable) {
+  // Frames that decode fine but carry no object records (a checkpoint of an
+  // empty root set): nothing to recover, and the error must say so rather
+  // than hand back an empty graph as if it were state.
+  {
+    CheckpointManager manager(path_);
+    std::vector<core::Checkpointable*> no_roots;
+    manager.take(no_roots);
+    manager.take(no_roots);
+  }
+  try {
+    CheckpointManager::recover(path_, registry_);
+    FAIL() << "recover() must refuse a record-free log";
+  } catch (const CorruptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty checkpoint frames"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(ManagerTest, RecoverSurvivesProcessRestartSimulation) {
   // "Crash" = destroy manager and heap; recover into a fresh heap and keep
   // checkpointing from there.

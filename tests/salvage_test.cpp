@@ -2,8 +2,9 @@
 // window instead of the whole suffix, a corrupt most-recent full falls back
 // to the prior window (or a clean CorruptionError — never a partial graph),
 // FrameIterator streams frames with byte offsets, and
-// StableStorage::repair / reopen-time auto-repair truncate a torn tail to
-// the longest valid prefix with the removed bytes preserved in .bak.
+// StableStorage::repair / reopen-time auto-repair truncate only the
+// unreadable tail (settled frames beyond mid-log damage are preserved)
+// with the removed bytes saved to .bak.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -237,27 +238,71 @@ TEST_F(SalvageTest, RepairOnCleanLogIsNoOp) {
   EXPECT_EQ(io::read_file(path_).size(), size_before);
 }
 
-TEST_F(SalvageTest, ReopenAfterMidLogDamageNeverReusesStrandedSeqs) {
+TEST_F(SalvageTest, ReopenAfterMidLogDamagePreservesLaterFramesAndSeqs) {
   {
     StableStorage storage(path_);
     for (std::uint8_t i = 0; i < 3; ++i) storage.append(payload_of(i));
   }
-  // Corrupt frame 1: the longest valid prefix is frame 0, but frame 2
-  // (seq 2) is still readable inside the truncated tail.
+  // Corrupt frame 1: the plain-scan prefix ends at frame 0, but frame 2
+  // (seq 2) is settled state beyond the damage. Reopen must keep it in the
+  // log — the damage is mid-log, not an unreadable tail — and resume seq
+  // numbering above it so new frames can never collide.
   corrupt_payload_at(kFrameBytes);
 
   StableStorage reopened(path_);
-  // Seq numbering resumes above the stranded frame 2, not above the prefix.
   EXPECT_EQ(reopened.next_seq(), 3u);
   EXPECT_EQ(reopened.append(payload_of(9)), 3u);
 
-  auto scan = StableStorage::scan(path_);
-  EXPECT_TRUE(scan.clean);
-  ASSERT_EQ(scan.frames.size(), 2u);
-  EXPECT_EQ(scan.frames[0].seq, 0u);
-  EXPECT_EQ(scan.frames[1].seq, 3u);
-  // The stranded bytes (corrupt frame 1 + valid frame 2) are in the .bak.
-  EXPECT_EQ(io::read_file(path_ + ".bak").size(), 2 * kFrameBytes);
+  // Nothing was truncated or moved aside: mid-log damage stays in place
+  // for salvage readers, and appends land after the clean tail boundary.
+  EXPECT_FALSE(io::file_exists(path_ + ".bak"));
+  EXPECT_FALSE(StableStorage::scan(path_).clean);
+  auto salvaged = StableStorage::scan(path_, {.salvage = true});
+  ASSERT_EQ(salvaged.frames.size(), 3u);
+  EXPECT_EQ(salvaged.frames[0].seq, 0u);
+  EXPECT_EQ(salvaged.frames[1].seq, 2u);
+  EXPECT_EQ(salvaged.frames[2].seq, 3u);
+}
+
+TEST_F(SalvageTest, RepairOnMidLogDamageOnlyIsNoOp) {
+  auto frames = build_manager_log(/*full_interval=*/100, /*n=*/4);
+  const auto size_before = io::read_file(path_).size();
+  corrupt_payload_at(frames[1].offset);
+
+  auto repaired = StableStorage::repair(path_);
+  EXPECT_FALSE(repaired.repaired);
+  EXPECT_EQ(repaired.bytes_removed, 0u);
+  EXPECT_EQ(repaired.frames_kept, 3u);
+  EXPECT_NE(repaired.reason.find("mid-log"), std::string::npos)
+      << repaired.reason;
+  EXPECT_EQ(io::read_file(path_).size(), size_before);
+}
+
+TEST_F(SalvageTest, RepairKeepsSettledFramesBehindMidLogDamage) {
+  // The chaos-soak data-loss scenario: a bit flip lands in one frame
+  // (silent at write time, CRC-bad at read time), later epochs — including
+  // a fresh full checkpoint — append fine after it, then a crash tears the
+  // tail. Repair must remove only the torn bytes; truncating at the first
+  // damage would destroy the settled suffix.
+  auto frames = build_manager_log(/*full_interval=*/3, /*n=*/7);
+  corrupt_payload_at(frames[1].offset);  // flip an early incremental
+  auto bytes = io::read_file(path_);
+  bytes.resize(bytes.size() - 7);  // tear the final frame (the epoch-6 full)
+  io::write_file(path_, bytes);
+  const std::uint64_t torn_bytes = bytes.size() - frames[6].offset;
+
+  auto repaired = StableStorage::repair(path_);
+  EXPECT_TRUE(repaired.repaired);
+  EXPECT_EQ(repaired.frames_kept, 5u);  // frames 0,2,3,4,5 survive
+  EXPECT_EQ(repaired.bytes_removed, torn_bytes);
+  EXPECT_NE(repaired.reason.find("damaged tail"), std::string::npos)
+      << repaired.reason;
+  EXPECT_EQ(io::read_file(path_).size(), frames[6].offset);
+
+  // Recovery chains the epoch-3 full with incrementals 4 and 5.
+  auto result = CheckpointManager::recover(path_, registry_);
+  EXPECT_EQ(result.state.epoch, 5u);
+  EXPECT_EQ(result.state.root_as<Leaf>()->i32, 15);
 }
 
 }  // namespace
