@@ -12,6 +12,7 @@ set(ICKPT_BENCHES
   bench_ablation
   bench_pagelevel
   bench_parallel
+  bench_profile
 )
 foreach(name ${ICKPT_BENCHES})
   add_executable(${name} bench/${name}.cpp)
@@ -22,6 +23,12 @@ foreach(name ${ICKPT_BENCHES})
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
+
+# The profiler harness certifies its own attribution (stage sums within 10%
+# of busy time, JSON re-parsed independently), so its reduced grid runs as a
+# ctest smoke test under the `profile` label alongside the profiler suite.
+add_test(NAME bench_profile_smoke COMMAND bench_profile --smoke)
+set_tests_properties(bench_profile_smoke PROPERTIES LABELS "profile")
 
 add_executable(bench_micro bench/bench_micro.cpp)
 target_link_libraries(bench_micro PRIVATE

@@ -101,9 +101,29 @@ std::size_t AsyncLog::dropped() const {
   return dropped_;
 }
 
+void AsyncLog::set_profiling(bool on) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  profiling_ = on;
+}
+
+obs::CaptureProfile AsyncLog::take_profile() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  obs::CaptureProfile out = worker_profile_;
+  worker_profile_.reset();
+  return out;
+}
+
+void AsyncLog::rebind_metrics() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  obs_depth_ = obs::gauge("ickpt_async_queue_depth");
+  obs_appends_ = obs::counter("ickpt_async_appends_total");
+  obs_append_seconds_ = obs::histogram("ickpt_async_append_seconds");
+}
+
 void AsyncLog::worker() {
   for (;;) {
     std::vector<std::uint8_t> payload;
+    bool profiling = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -114,6 +134,7 @@ void AsyncLog::worker() {
       payload = std::move(queue_.front());
       queue_.pop_front();
       in_flight_ = true;
+      profiling = profiling_;
     }
     // The seq this frame will carry; appends are FIFO so nothing else can
     // claim it first.
@@ -122,6 +143,16 @@ void AsyncLog::worker() {
     const bool timed = obs_append_seconds_.live();
     std::chrono::steady_clock::time_point t0;
     if (timed) t0 = std::chrono::steady_clock::now();
+    // Stage attribution for this one append: the storage's FileSink accrues
+    // the fsync slice into `local` (hook installed just below), and the
+    // write slice is the append wall minus that. Stack-local, so the only
+    // synchronization is the add() under mutex_ afterwards.
+    obs::CaptureProfile local;
+    std::uint64_t prof_t0 = 0;
+    if (profiling) {
+      storage_.set_profile(&local);
+      prof_t0 = obs::trace_now_ns();
+    }
     try {
       storage_.append(payload);
       obs_appends_.inc();
@@ -137,11 +168,20 @@ void AsyncLog::worker() {
       obs_append_seconds_.observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count());
+    if (profiling) {
+      const std::uint64_t elapsed = obs::trace_now_ns() - prof_t0;
+      storage_.set_profile(nullptr);
+      using P = obs::CaptureProfile;
+      const std::uint64_t fsync_ns = local.stage_ns[P::kFsync];
+      local.stage_ns[P::kWrite] += elapsed > fsync_ns ? elapsed - fsync_ns : 0;
+      local.busy_ns += elapsed;
+    }
     bool poisoned_now = false;
     std::size_t dropped_now = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       in_flight_ = false;
+      if (profiling) worker_profile_.add(local);
       if (error != nullptr && error_ == nullptr) {
         error_ = error;
         // Appending the rest would assign them earlier seqs than the

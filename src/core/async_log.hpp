@@ -27,6 +27,7 @@
 
 #include "io/stable_storage.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace ickpt::core {
 
@@ -60,6 +61,24 @@ class AsyncLog {
   /// manager adds 1 for it when accounting lost epochs.
   [[nodiscard]] std::size_t dropped() const;
 
+  /// Toggle per-append stage attribution on the worker thread. While on,
+  /// each background append accrues kWrite/kFsync (fsync split measured via
+  /// the storage's FileSink profile hook) into an internal accumulator;
+  /// collect it with take_profile() after drain(). While profiling, the
+  /// worker temporarily points the storage's profile hook at a stack-local
+  /// accumulator per append — the caller must not install its own storage
+  /// profile concurrently.
+  void set_profiling(bool on);
+
+  /// Return and reset the accumulated background-append profile. Call after
+  /// drain() for a consistent cut (otherwise an in-flight append's cost
+  /// lands in the next take).
+  [[nodiscard]] obs::CaptureProfile take_profile();
+
+  /// Re-resolve metric handles against the currently installed registry
+  /// (handles bind at construction). See docs/OBSERVABILITY.md.
+  void rebind_metrics();
+
  private:
   void worker();
   void rethrow_locked(std::unique_lock<std::mutex>& lock);
@@ -74,6 +93,8 @@ class AsyncLog {
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::vector<std::uint8_t>> queue_;
+  bool profiling_ = false;
+  obs::CaptureProfile worker_profile_;
   std::exception_ptr error_;
   bool error_observed_ = false;
   std::size_t dropped_ = 0;

@@ -16,6 +16,10 @@
 #include "core/claim_table.hpp"
 #include "io/data_writer.hpp"
 
+namespace ickpt::obs {
+struct CaptureProfile;
+}
+
 namespace ickpt::core {
 
 class ParallelCheckpoint;
@@ -51,6 +55,12 @@ struct CheckpointOptions {
   /// Traversal observation hooks; must outlive the Checkpoint. revisit only
   /// fires when cycle_guard is on.
   const VisitHooks* hooks = nullptr;
+  /// Stage-attribution accumulator (obs/profile.hpp); must outlive the
+  /// Checkpoint and be written by one thread at a time. Null (the default)
+  /// keeps the paper-faithful hot loop: the only cost is one pointer test
+  /// per visit. Non-null routes every visit through the out-of-line
+  /// profiled walker, which pays 2-4 clock reads per object.
+  obs::CaptureProfile* profile = nullptr;
 };
 
 class Checkpoint {
@@ -66,6 +76,10 @@ class Checkpoint {
 
   /// Paper Fig. 1: test, record, reset, fold.
   void checkpoint(Checkpointable& o) {
+    if (prof_ != nullptr) {
+      checkpoint_profiled(o);
+      return;
+    }
     if (guard_) {
       // Local visited set first (a revisit within this walker is the common
       // case and stays lock-free); on a genuinely new id, a shard walker
@@ -121,6 +135,12 @@ class Checkpoint {
   /// visited decisions to `claims` (may be null when cycle_guard is off).
   Checkpoint(io::DataWriter& d, CheckpointOptions opts, ClaimTable* claims);
 
+  /// Out-of-line visit with stage attribution (only reached when
+  /// opts.profile is set); recurses back through checkpoint() for children,
+  /// so the dispatch costs one extra pointer test per object while
+  /// profiling and nothing when not.
+  void checkpoint_profiled(Checkpointable& o);
+
   /// Hoist the per-hook null checks out of the visit loop: each unset hook
   /// is a null pointer here, so a visit pays one pointer test per hook
   /// instead of re-deriving `hooks_ != nullptr && hooks_->x` every object.
@@ -141,6 +161,7 @@ class Checkpoint {
   const std::function<void(Checkpointable&)>* leave_ = nullptr;
   const std::function<void(Checkpointable&)>* revisit_ = nullptr;
   ClaimTable* claims_ = nullptr;
+  obs::CaptureProfile* prof_ = nullptr;
   bool ended_ = false;
   CheckpointStats stats_;
   std::unordered_set<ObjectId> visited_;

@@ -29,6 +29,19 @@ bool ClaimTable::claim(ObjectId id) {
   return s.ids.insert(id).second;
 }
 
+bool ClaimTable::claim(ObjectId id, std::uint64_t* contended) {
+  if (contended == nullptr) return claim(id);
+  Stripe& s = stripes_[mix(id) & mask_];
+  if (!s.mu.try_lock()) {
+    // The stripe is held by another shard right now: this claim is going to
+    // wait. Count it, then take the lock for real.
+    ++*contended;
+    s.mu.lock();
+  }
+  std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+  return s.ids.insert(id).second;
+}
+
 std::vector<ObjectId> ClaimTable::ids() const {
   std::vector<ObjectId> out;
   for (std::size_t i = 0; i <= mask_; ++i) {

@@ -31,6 +31,12 @@ class ClaimTable {
   /// owns the object — it records and traverses it; everyone else skips.
   bool claim(ObjectId id);
 
+  /// Profiled variant: when `contended` is non-null, each claim that finds
+  /// its stripe already locked (a try_lock miss, i.e. a real cross-shard
+  /// lock wait) increments it — the contention signal the parallel-capture
+  /// profiler ranks stripe counts by. Semantics identical to claim(id).
+  bool claim(ObjectId id, std::uint64_t* contended);
+
   /// Every id claimed so far. Not for use concurrently with claim().
   [[nodiscard]] std::vector<ObjectId> ids() const;
   [[nodiscard]] std::size_t size() const;

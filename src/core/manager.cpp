@@ -78,6 +78,7 @@ Epoch chain_next_epoch(const std::string& path) {
 
 CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
     : opts_(std::move(opts)),
+      flightrec_(opts_.flightrec_capacity),
       storage_(std::move(path), storage_options(opts_)) {
   if (opts_.full_interval == 0)
     throw Error("ManagerOptions.full_interval must be >= 1");
@@ -99,13 +100,38 @@ CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
     if (epoch_ > 0) needs_rebase_ = true;
   }
   metrics_.health.set(static_cast<std::int64_t>(health_));
-  if (opts_.async_io) async_ = std::make_unique<AsyncLog>(storage_);
+  // Fault decisions inside the sink become kFault events; the wiring
+  // survives rotation (StableStorage re-applies it to reopened sinks).
+  storage_.set_flightrec(&flightrec_);
+  if (opts_.async_io) {
+    async_ = std::make_unique<AsyncLog>(storage_);
+    async_->set_profiling(opts_.profile);
+  }
+}
+
+void CheckpointManager::dump_flight_recorder() const {
+  const std::string path = flightrec_path();
+  flightrec_.record(obs::FlightEventType::kDump,
+                    epoch_ > 0 ? epoch_ - 1 : 0, 0, 0, path);
+  flightrec_.dump_to_file(path);
+}
+
+void CheckpointManager::rebind_metrics() {
+  metrics_ = Metrics();
+  metrics_.health.set(static_cast<std::int64_t>(health_));
+  metrics_.epoch.set(epoch_ > 0 ? static_cast<std::int64_t>(epoch_ - 1) : 0);
+  storage_.rebind_metrics();
+  if (async_ != nullptr) async_->rebind_metrics();
 }
 
 void CheckpointManager::flush() {
   if (async_ == nullptr) return;
   try {
     async_->drain();
+    // The background appends' write/fsync slices, measured on the worker
+    // thread; merged here so last_capture_profile() covers the whole
+    // pipeline once the epochs it describes are durable.
+    if (opts_.profile) last_profile_.add(async_->take_profile());
     if (any_submitted_) note_settled(last_submitted_);
   } catch (const IoError& e) {
     if (!opts_.heal.enabled) throw;
@@ -134,6 +160,12 @@ void CheckpointManager::set_health(Health next) {
   if (next == health_) return;
   obs::instant("manager.health", "checkpoint",
                std::string(to_string(health_)) + " -> " + to_string(next));
+  flightrec_.record(obs::FlightEventType::kHealthTransition,
+                    epoch_ > 0 ? epoch_ - 1 : 0,
+                    static_cast<std::uint64_t>(health_),
+                    static_cast<std::uint64_t>(next),
+                    std::string(to_string(health_)) + " -> " +
+                        to_string(next));
   health_ = next;
   metrics_.health.set(static_cast<std::int64_t>(next));
 }
@@ -153,6 +185,11 @@ void CheckpointManager::heal_poison(const std::string& what) {
   async_.reset();  // the poison was observed by the submit/drain that threw
   storage_.set_durable(true);
   clean_epochs_ = 0;
+  flightrec_.record(obs::FlightEventType::kPoison, epoch_ > 0 ? epoch_ - 1 : 0,
+                    lost, 0, what);
+  flightrec_.record(obs::FlightEventType::kFallback,
+                    epoch_ > 0 ? epoch_ - 1 : 0, 0, 0,
+                    "async disarmed -> synchronous durable appends");
   set_health(Health::kDegraded);
   obs::instant("manager.degrade", "checkpoint",
                "async log poisoned (" + std::to_string(lost) +
@@ -175,10 +212,13 @@ void CheckpointManager::reheal() {
   storage_.set_durable(opts_.durable);
   if (opts_.async_io && async_ == nullptr)
     async_ = std::make_unique<AsyncLog>(storage_);
+  if (async_ != nullptr) async_->set_profiling(opts_.profile);
   ++reheals_;
   metrics_.reheals.inc();
   const unsigned clean = clean_epochs_;
   clean_epochs_ = 0;
+  flightrec_.record(obs::FlightEventType::kReheal,
+                    epoch_ > 0 ? epoch_ - 1 : 0, clean);
   set_health(Health::kHealthy);
   if (span.active())
     span.note("pipeline re-armed after " + std::to_string(clean) +
@@ -198,7 +238,7 @@ TakeResult CheckpointManager::take(Checkpointable& root) {
 
 CheckpointStats CheckpointManager::capture(
     Epoch epoch, std::span<Checkpointable* const> roots, Mode mode,
-    io::VectorSink& sink) {
+    io::VectorSink& sink, obs::CaptureProfile* prof) {
   sink.clear();
   CheckpointStats stats;
   io::DataWriter writer(sink);
@@ -207,16 +247,35 @@ CheckpointStats CheckpointManager::capture(
     popts.mode = mode;
     popts.cycle_guard = opts_.cycle_guard;
     popts.threads = opts_.capture_threads;
+    popts.profile = prof;
     stats = ParallelCheckpoint::run(writer, epoch, roots, popts).totals;
   } else {
     CheckpointOptions copts;
     copts.mode = mode;
     copts.cycle_guard = opts_.cycle_guard;
+    copts.profile = prof;
     stats = Checkpoint::run(writer, epoch, roots, copts);
   }
   writer.flush();
   return stats;
 }
+
+namespace {
+
+/// Feed one profiled capture into the per-stage latency histograms. Cold:
+/// once per profiled take, per-call lookups by design (a profiled session
+/// may install its registry late).
+void publish_stage_histograms(const obs::CaptureProfile& p) {
+  using P = obs::CaptureProfile;
+  for (int s = 0; s < P::kStageCount; ++s) {
+    if (p.stage_ns[s] == 0) continue;
+    obs::histogram("ickpt_capture_stage_seconds",
+                   {{"stage", P::stage_name(static_cast<P::Stage>(s))}})
+        .observe(static_cast<double>(p.stage_ns[s]) / 1e9);
+  }
+}
+
+}  // namespace
 
 TakeResult CheckpointManager::take_with_mode(
     std::span<Checkpointable* const> roots, Mode mode) {
@@ -233,7 +292,17 @@ TakeResult CheckpointManager::take_with_mode(
   std::chrono::steady_clock::time_point t0;
   if (timed) t0 = std::chrono::steady_clock::now();
   const Epoch epoch = epoch_++;
-  CheckpointStats stats = capture(epoch, roots, mode, sink);
+  obs::CaptureProfile* prof = nullptr;
+  if (opts_.profile) {
+    // One profile per take: the walk writes it during capture(), the sink
+    // adds the fsync slice during the synchronous append (async appends
+    // accrue on the worker and merge in at flush()).
+    last_profile_.reset();
+    prof = &last_profile_;
+  }
+  flightrec_.record(obs::FlightEventType::kEpochBegin, epoch, roots.size(), 0,
+                    nullptr, static_cast<std::uint8_t>(mode));
+  CheckpointStats stats = capture(epoch, roots, mode, sink, prof);
   if (timed)
     metrics_.build_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -241,6 +310,33 @@ TakeResult CheckpointManager::take_with_mode(
   TakeResult result;
   result.epoch = epoch;
   result.bytes = sink.size();
+  // Synchronous append with kWrite/kFsync attribution: the sink accrues the
+  // fsync slice into `prof` while the hook is installed, and the remainder
+  // of the append wall is the write stage. A healed append attributes the
+  // whole episode (retries, rotation, rebase re-capture) to kWrite — heal
+  // episodes are rare and the time is genuinely spent getting bytes down.
+  auto append_sync = [&]() {
+    if (prof == nullptr) {
+      result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+      return;
+    }
+    using P = obs::CaptureProfile;
+    storage_.set_profile(prof);
+    const std::uint64_t fsync0 = prof->stage_ns[P::kFsync];
+    const std::uint64_t a0 = obs::trace_now_ns();
+    try {
+      result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+    } catch (...) {
+      storage_.set_profile(nullptr);
+      throw;
+    }
+    storage_.set_profile(nullptr);
+    const std::uint64_t elapsed = obs::trace_now_ns() - a0;
+    const std::uint64_t fsync_ns = prof->stage_ns[P::kFsync] - fsync0;
+    prof->stage_ns[P::kWrite] +=
+        elapsed > fsync_ns ? elapsed - fsync_ns : 0;
+    prof->busy_ns += elapsed;
+  };
   if (async_ != nullptr) {
     // Appends are FIFO and 1:1 with epochs, so the frame will carry the
     // epoch as its sequence number.
@@ -259,12 +355,12 @@ TakeResult CheckpointManager::take_with_mode(
       // The poison punched a hole in the incremental chain (frames were
       // lost); this epoch must restart it with a synchronous full.
       mode = Mode::kFull;
-      stats = capture(epoch, roots, mode, sink);
+      stats = capture(epoch, roots, mode, sink, prof);
       result.bytes = sink.size();
-      result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+      append_sync();
     }
   } else {
-    result.seq = append_healed(roots, result.epoch, mode, sink, stats);
+    append_sync();
   }
   (mode == Mode::kFull ? metrics_.checkpoints_full
                        : metrics_.checkpoints_incremental)
@@ -279,6 +375,25 @@ TakeResult CheckpointManager::take_with_mode(
   result.mode = mode;
   result.stats = stats;
   needs_rebase_ = false;
+  if (prof != nullptr) {
+    publish_stage_histograms(*prof);
+    using P = obs::CaptureProfile;
+    flightrec_.record(
+        obs::FlightEventType::kEpochEnd, result.epoch, result.bytes,
+        stats.objects_recorded,
+        "busy " + std::to_string(prof->busy_ns / 1000) + "us, walk " +
+            std::to_string(prof->stage_ns[P::kRootWalk] / 1000) +
+            "us, write " +
+            std::to_string((prof->stage_ns[P::kWrite] +
+                            prof->stage_ns[P::kFsync]) /
+                           1000) +
+            "us",
+        static_cast<std::uint8_t>(mode));
+  } else {
+    flightrec_.record(obs::FlightEventType::kEpochEnd, result.epoch,
+                      result.bytes, stats.objects_recorded, nullptr,
+                      static_cast<std::uint8_t>(mode));
+  }
   on_epoch_complete();
   if (span.active())
     span.note(std::string(mode == Mode::kFull ? "full" : "incremental") +
@@ -321,6 +436,8 @@ std::uint64_t CheckpointManager::heal_append_failure(
   // In-place retries first: the failed append rolled itself back, so the
   // log is still valid and the failure may have been a burst.
   for (unsigned i = 0; i < opts_.heal.append_retries; ++i) {
+    flightrec_.record(obs::FlightEventType::kRetry, epoch, i + 1, 0,
+                      last_error_);
     try {
       const std::uint64_t seq = storage_.append(sink.bytes());
       note_settled(epoch);
@@ -341,6 +458,9 @@ std::uint64_t CheckpointManager::heal_append_failure(
     try {
       io::RotateResult rotated = storage_.rotate(opts_.heal.rotate_hook);
       ++rotations_;
+      flightrec_.record(obs::FlightEventType::kRotation, epoch,
+                        rotated.generation, rotated.bytes_quarantined,
+                        rotated.quarantine_path);
       if (mode != Mode::kFull) {
         mode = Mode::kFull;
         stats = capture(epoch, roots, mode, sink);
@@ -350,6 +470,8 @@ std::uint64_t CheckpointManager::heal_append_failure(
         opts_.heal.rotate_hook(io::RotateStage::kAfterRebase);
       note_settled(epoch);
       needs_rebase_ = false;
+      flightrec_.record(obs::FlightEventType::kRebase, epoch, seq, 0,
+                        rotated.quarantine_path);
       set_health(Health::kDegraded);
       obs::instant("manager.rebase", "checkpoint",
                    "epoch " + std::to_string(epoch) +
@@ -366,6 +488,15 @@ std::uint64_t CheckpointManager::heal_append_failure(
     }
   }
   set_health(Health::kFailed);
+  // Terminal rung: serialize the event timeline next to the log before
+  // throwing — the counters die with the process, the flight recording does
+  // not. A dump failure must never mask the append failure being reported.
+  try {
+    const std::string dump_path = flightrec_path();
+    flightrec_.record(obs::FlightEventType::kDump, epoch, 0, 0, dump_path);
+    flightrec_.dump_to_file(dump_path);
+  } catch (const Error&) {
+  }
   throw IoError("checkpoint pipeline failed: append retries and " +
                 std::to_string(opts_.heal.rotate_attempts) +
                 " rotation attempt(s) exhausted (last error: " + last_error_ +

@@ -25,7 +25,9 @@
 #include "core/recovery.hpp"
 #include "io/byte_sink.hpp"
 #include "io/stable_storage.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace ickpt::core {
 
@@ -65,6 +67,17 @@ struct ManagerOptions {
   /// Give parallel shards / future tenants distinct seeds so congested
   /// devices don't see lockstep retry storms.
   std::uint64_t retry_jitter_seed = 0;
+  /// Attribute every take()'s wall time to capture stages (root walk, dirty
+  /// test, serialize, claim, merge, write, fsync) plus contention counters;
+  /// read the result with last_capture_profile(). Off by default: the hot
+  /// paths then pay exactly one pointer test per object/flush (the null
+  /// profile rule, docs/OBSERVABILITY.md). Profiled captures additionally
+  /// feed the ickpt_capture_stage_seconds{stage=...} histograms.
+  bool profile = false;
+  /// Slots in the always-on epoch flight recorder (rounded up to a power of
+  /// two). The recorder itself cannot be disabled: recording one event per
+  /// epoch boundary/health transition is a handful of relaxed atomic writes.
+  std::size_t flightrec_capacity = 256;
 };
 
 struct TakeResult {
@@ -144,6 +157,36 @@ class CheckpointManager {
   /// settled-epoch watermark, ...).
   [[nodiscard]] HealthStatus health_status() const;
 
+  /// Stage attribution of the most recent take() (all-zero unless
+  /// ManagerOptions::profile). In async mode the background write/fsync
+  /// slices land here at the next flush(), not at take() return.
+  [[nodiscard]] const obs::CaptureProfile& last_capture_profile()
+      const noexcept {
+    return last_profile_;
+  }
+
+  /// The always-on epoch flight recorder: one structured event per epoch
+  /// boundary, health transition, fault, retry, rotation, rebase, poison,
+  /// and reheal. Dumped automatically to flightrec_path() when the ladder
+  /// reaches kFailed; dump it on demand with dump_flight_recorder().
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const noexcept {
+    return flightrec_;
+  }
+
+  /// `<log>.flightrec` — where the recorder serializes on terminal failure.
+  [[nodiscard]] std::string flightrec_path() const {
+    return obs::FlightRecorder::default_path(storage_.path());
+  }
+
+  /// Serialize the flight recorder next to the log (flightrec_path()).
+  void dump_flight_recorder() const;
+
+  /// Re-resolve every cached metric handle (the manager's, stable
+  /// storage's, the live sink's, and the async worker's) against the
+  /// currently installed registry. Call while no take()/flush() is in
+  /// flight. See docs/OBSERVABILITY.md, "Handle lifetime".
+  void rebind_metrics();
+
   /// Drain any asynchronous appends; afterwards every taken checkpoint is
   /// on stable storage. No-op in synchronous mode. Rethrows a deferred
   /// background append failure (never swallowed).
@@ -194,8 +237,10 @@ class CheckpointManager {
   /// Run one capture of `roots` into `sink` (clearing it first), serial or
   /// parallel per capture_threads. Factored out because healing re-captures
   /// (rebase fulls) for the same epoch after epoch_ has already advanced.
+  /// `prof` (nullable) receives stage attribution for the walk.
   CheckpointStats capture(Epoch epoch, std::span<Checkpointable* const> roots,
-                          Mode mode, io::VectorSink& sink);
+                          Mode mode, io::VectorSink& sink,
+                          obs::CaptureProfile* prof = nullptr);
 
   /// Synchronous append with the healing ladder behind it: in-place
   /// retries, then rotation + rebase, then kFailed. With heal.enabled off
@@ -222,10 +267,18 @@ class CheckpointManager {
   void reheal();
 
   ManagerOptions opts_;
+  /// Declared before storage_/async_: the sink (and through it the async
+  /// worker thread) records fault events into the recorder, so it must be
+  /// destroyed only after the worker has joined and the sink is gone.
+  /// Mutable so the const on-demand dump can record itself on the
+  /// timeline; record() is lock-free and logically non-mutating (pure
+  /// observability, like bumping a metric).
+  mutable obs::FlightRecorder flightrec_;
   io::StableStorage storage_;
   std::unique_ptr<AsyncLog> async_;
   Epoch epoch_ = 0;
   Metrics metrics_;
+  obs::CaptureProfile last_profile_;
 
   // Degradation-ladder state (all quiescent while heal.enabled is off).
   Health health_ = Health::kHealthy;

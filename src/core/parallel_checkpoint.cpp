@@ -52,6 +52,7 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
     copts.mode = opts.mode;
     copts.dry_run = opts.dry_run;
     copts.cycle_guard = opts.cycle_guard;
+    copts.profile = opts.profile;
     ParallelStats p;
     p.totals = Checkpoint::run(d, epoch, roots, copts);
     return p;
@@ -99,6 +100,12 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
   std::vector<std::uint64_t> worker_visited(threads, 0);
   std::atomic<std::size_t> steals{0};
   std::atomic<bool> failed{false};
+  // Steal-probe accounting, touched only when profiling: a probe is one
+  // fetch_add on a victim's cursor, a failure is a probe that found the
+  // victim's block already drained.
+  const bool profiling = opts.profile != nullptr;
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> steal_failures{0};
 
   CheckpointOptions shard_opts;
   shard_opts.mode = opts.mode;
@@ -112,10 +119,17 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
       io::DataWriter writer(shard.sink);
       // A fresh walker per shard = a fresh visited-set epoch: revisits
       // inside the shard stay lock-free, cross-shard sharing goes through
-      // the claim table.
-      Checkpoint walker(writer, shard_opts, claims.get());
-      for (std::size_t r = shard.begin; r < shard.end; ++r)
-        if (roots[r] != nullptr) walker.checkpoint(*roots[r]);
+      // the claim table. When profiling, the shard walks with a private
+      // CaptureProfile (single writer: whichever worker executes the
+      // shard), folded into the caller's profile after the pool joins.
+      CheckpointOptions so = shard_opts;
+      if (profiling) so.profile = &shard_stats[si].profile;
+      Checkpoint walker(writer, so, claims.get());
+      {
+        obs::ScopedWalk walk(so.profile);
+        for (std::size_t r = shard.begin; r < shard.end; ++r)
+          if (roots[r] != nullptr) walker.checkpoint(*roots[r]);
+      }
       walker.end();
       writer.flush();
       shard.stats = walker.stats();
@@ -128,6 +142,7 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
     out.stolen = w != shard.home;
     out.stats = shard.stats;
     out.bytes = shard.sink.size();
+    if (profiling) out.profile.shard_sink_bytes = out.bytes;
     worker_visited[w] += shard.stats.objects_visited;
     if (shard_span.active())
       shard_span.note("shard " + std::to_string(si) + ": roots [" +
@@ -157,9 +172,14 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
         const unsigned victim = (w + off) % threads;
         for (;;) {
           if (failed.load(std::memory_order_relaxed)) return;
+          if (profiling) steal_attempts.fetch_add(1, std::memory_order_relaxed);
           const std::size_t si =
               cursors[victim].next.fetch_add(1, std::memory_order_relaxed);
-          if (si >= cursors[victim].end) break;
+          if (si >= cursors[victim].end) {
+            if (profiling)
+              steal_failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
           steals.fetch_add(1, std::memory_order_relaxed);
           execute_shard(si, w);
           ++executed;
@@ -216,6 +236,24 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
   if (sum_visited > 0)
     result.imbalance = static_cast<double>(max_visited) * threads /
                        static_cast<double>(sum_visited);
+
+  if (profiling) {
+    // Fold the per-shard profiles into the caller's accumulator. busy_ns
+    // becomes the sum of per-shard walk intervals plus the serial merge —
+    // attributable time, deliberately larger than coordinator wall when
+    // shards overlap.
+    using P = obs::CaptureProfile;
+    for (const ShardStats& s : result.shard_stats)
+      opts.profile->add(s.profile);
+    opts.profile->steal_attempts +=
+        steal_attempts.load(std::memory_order_relaxed);
+    opts.profile->steal_failures +=
+        steal_failures.load(std::memory_order_relaxed);
+    const auto merge_ns = static_cast<std::uint64_t>(merge_seconds * 1e9);
+    opts.profile->stage_ns[P::kMerge] += merge_ns;
+    opts.profile->busy_ns += merge_ns;
+    opts.profile->epochs += 1;
+  }
 
   // Once-per-capture telemetry; per-call lookups are fine off the worker
   // hot path (same budget recover() spends).

@@ -39,6 +39,7 @@
 
 #include "core/checkpoint.hpp"
 #include "io/data_writer.hpp"
+#include "obs/profile.hpp"
 
 namespace ickpt::core {
 
@@ -57,6 +58,13 @@ struct ParallelOptions {
   unsigned shards_per_thread = 4;
   /// Stripes in the cross-shard claim table (cycle_guard only).
   std::size_t claim_stripes = 64;
+  /// Stage-attribution accumulator. Null (the default) keeps every worker on
+  /// the unprofiled hot loop. Non-null: each shard walks with a private
+  /// CaptureProfile (no cross-worker synchronization on the hot path), and
+  /// after the pool joins the shard profiles, steal counters, sink bytes and
+  /// merge time are folded into *profile. Written by the caller's thread
+  /// only outside the walk; must outlive run().
+  obs::CaptureProfile* profile = nullptr;
 };
 
 /// Capture accounting for one shard (one contiguous root range).
@@ -70,6 +78,9 @@ struct ShardStats {
   bool stolen = false;
   CheckpointStats stats;
   std::size_t bytes = 0;
+  /// Per-shard stage attribution; all-zero unless ParallelOptions::profile
+  /// was set for the capture.
+  obs::CaptureProfile profile;
 };
 
 struct ParallelStats {

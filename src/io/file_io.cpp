@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 #ifdef __unix__
@@ -122,6 +124,9 @@ void FileSink::write(const std::uint8_t* data, std::size_t n) {
                    {{"kind", fault_kind_name(d.kind)}})
           .inc();
       obs::instant("storage.fault", "io", fault_kind_name(d.kind));
+      if (flightrec_ != nullptr)
+        flightrec_->record(obs::FlightEventType::kFault, 0, offset_, n,
+                           fault_kind_name(d.kind));
     }
     switch (d.kind) {
       case FaultKind::kNone:
@@ -180,10 +185,23 @@ void FileSink::flush() {
 
 void FileSink::durable_flush() {
   flush();
+  if (prof_ != nullptr) {
+    const std::uint64_t t0 = obs::trace_now_ns();
 #ifdef __unix__
-  if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
+    if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
 #endif
+    prof_->stage_ns[obs::CaptureProfile::kFsync] += obs::trace_now_ns() - t0;
+  } else {
+#ifdef __unix__
+    if (::fsync(::fileno(file_)) != 0) fail("fsync", path_);
+#endif
+  }
   obs_fsyncs_.inc();
+}
+
+void FileSink::rebind_metrics() noexcept {
+  obs_bytes_ = obs::counter("ickpt_storage_bytes_written_total");
+  obs_fsyncs_ = obs::counter("ickpt_storage_fsyncs_total");
 }
 
 void FileSink::truncate_to(std::uint64_t size) {

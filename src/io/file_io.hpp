@@ -20,6 +20,11 @@
 #include "io/fault.hpp"
 #include "obs/metrics.hpp"
 
+namespace ickpt::obs {
+struct CaptureProfile;
+class FlightRecorder;
+}
+
 namespace ickpt::io {
 
 class FileSink final : public ByteSink {
@@ -42,6 +47,23 @@ class FileSink final : public ByteSink {
   void set_fault_policy(FaultPolicy* policy) noexcept { fault_ = policy; }
   void set_retry_policy(const RetryPolicy& retry) noexcept { retry_ = retry; }
 
+  /// Stage-attribution accumulator (not owned; nullptr disables): each
+  /// durable_flush adds its fsync wall time to kFsync, letting the capture
+  /// profiler split append cost into write vs. device sync. One pointer
+  /// test per flush when unset.
+  void set_profile(obs::CaptureProfile* profile) noexcept { prof_ = profile; }
+
+  /// Flight recorder (not owned; nullptr disables): every injected fault
+  /// decision is recorded as a kFault event carrying the byte offset,
+  /// request size, and fault kind.
+  void set_flightrec(obs::FlightRecorder* rec) noexcept { flightrec_ = rec; }
+
+  /// Re-resolve metric handles against the currently installed registry.
+  /// Handles bind at construction; a sink that outlives the registry it was
+  /// built under (or was built before install) holds stale/null handles
+  /// until this is called. See docs/OBSERVABILITY.md, "Handle lifetime".
+  void rebind_metrics() noexcept;
+
   /// Bytes in the file including buffered-but-unflushed ones; the file
   /// offset the next write() starts at.
   [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
@@ -62,6 +84,8 @@ class FileSink final : public ByteSink {
   std::uint64_t offset_ = 0;
   FaultPolicy* fault_ = nullptr;
   RetryPolicy retry_;
+  obs::CaptureProfile* prof_ = nullptr;
+  obs::FlightRecorder* flightrec_ = nullptr;
   // Null handles (one pointer test per op) unless a registry is installed
   // when the sink is constructed; see docs/OBSERVABILITY.md.
   obs::Counter obs_bytes_;

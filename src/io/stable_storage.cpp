@@ -358,6 +358,26 @@ void StableStorage::open_for_append() {
   impl_->sink = std::make_unique<FileSink>(path_, FileSink::Mode::kAppend);
   impl_->sink->set_fault_policy(opts_.fault);
   impl_->sink->set_retry_policy(opts_.retry);
+  // Re-apply observation hooks: rotate()/reset() replace the sink, and the
+  // profiler/flight-recorder wiring must survive the swap.
+  impl_->sink->set_profile(prof_);
+  impl_->sink->set_flightrec(flightrec_);
+}
+
+void StableStorage::set_profile(obs::CaptureProfile* profile) noexcept {
+  prof_ = profile;
+  if (impl_->sink != nullptr) impl_->sink->set_profile(profile);
+}
+
+void StableStorage::set_flightrec(obs::FlightRecorder* rec) noexcept {
+  flightrec_ = rec;
+  if (impl_->sink != nullptr) impl_->sink->set_flightrec(rec);
+}
+
+void StableStorage::rebind_metrics() noexcept {
+  impl_->obs_appends = obs::counter("ickpt_storage_appends_total");
+  impl_->obs_rollbacks = obs::counter("ickpt_storage_rollbacks_total");
+  if (impl_->sink != nullptr) impl_->sink->rebind_metrics();
 }
 
 std::uint64_t StableStorage::append(const std::vector<std::uint8_t>& payload) {

@@ -30,6 +30,11 @@
 
 #include "io/fault.hpp"
 
+namespace ickpt::obs {
+struct CaptureProfile;
+class FlightRecorder;
+}
+
 namespace ickpt::io {
 
 struct Frame {
@@ -179,6 +184,19 @@ class StableStorage {
   void set_durable(bool durable) noexcept { opts_.durable = durable; }
   [[nodiscard]] bool durable() const noexcept { return opts_.durable; }
 
+  /// Stage-attribution accumulator, forwarded to the underlying FileSink
+  /// (fsync time accrues to kFsync). Persists across rotate()/reset() —
+  /// the pointer is re-applied to every reopened sink. nullptr disables.
+  void set_profile(obs::CaptureProfile* profile) noexcept;
+
+  /// Flight recorder, forwarded to the underlying FileSink (injected fault
+  /// decisions become kFault events). Persists across rotate()/reset().
+  void set_flightrec(obs::FlightRecorder* rec) noexcept;
+
+  /// Re-resolve metric handles (this object's and the live sink's) against
+  /// the currently installed registry. See FileSink::rebind_metrics().
+  void rebind_metrics() noexcept;
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
 
@@ -214,6 +232,8 @@ class StableStorage {
   std::string path_;
   StorageOptions opts_;
   std::uint64_t next_seq_ = 0;
+  obs::CaptureProfile* prof_ = nullptr;
+  obs::FlightRecorder* flightrec_ = nullptr;
   struct Impl;
   Impl* impl_ = nullptr;
 };

@@ -389,7 +389,13 @@ std::string Snapshot::to_json() const {
         break;
       case MetricKind::kHistogram: {
         out += ",\"count\":" + std::to_string(m.count) +
-               ",\"sum\":" + fmt_double(m.sum) + ",\"buckets\":[";
+               ",\"sum\":" + fmt_double(m.sum) +
+               // Interpolated from the buckets (same estimator as
+               // histogram_quantile); dashboards get percentiles without
+               // re-deriving them from the raw bucket array.
+               ",\"p50\":" + fmt_double(m.quantile(0.50)) +
+               ",\"p95\":" + fmt_double(m.quantile(0.95)) +
+               ",\"p99\":" + fmt_double(m.quantile(0.99)) + ",\"buckets\":[";
         for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
           if (i != 0) out += ',';
           out += "{\"le\":";

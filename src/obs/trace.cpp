@@ -6,9 +6,20 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace ickpt::obs {
 
 namespace {
+
+/// Silent span loss must be visible in the Prometheus export, not only via
+/// TraceCollector::dropped(). Looked up per drop: drops are exceptional by
+/// design, and rings outlive registries (they are process-lifetime
+/// thread_locals), so a cached handle here would dangle after a test-scoped
+/// registry is destroyed.
+void count_dropped(const char* reason) {
+  obs::counter("ickpt_trace_dropped_total", {{"reason", reason}}).inc();
+}
 
 void copy_capped(char* dst, std::size_t cap, const char* src) {
   if (src == nullptr) {
@@ -31,11 +42,14 @@ struct TraceRing {
   void push(const TraceEvent& ev) {
     if (!mu.try_lock()) {
       dropped_contended.fetch_add(1, std::memory_order_relaxed);
+      count_dropped("contended");
       return;
     }
+    bool overwrote = false;
     if (size == slots.size()) {
       // Overwrite the oldest event: head is the oldest slot when full.
       dropped_overwritten += 1;
+      overwrote = true;
       slots[head] = ev;
       head = (head + 1) % slots.size();
     } else {
@@ -43,6 +57,9 @@ struct TraceRing {
       size += 1;
     }
     mu.unlock();
+    // Metric registration takes the registry mutex; keep it off the ring
+    // lock so a draining collector is never made to wait on it.
+    if (overwrote) count_dropped("overwritten");
   }
 
   std::mutex mu;

@@ -10,6 +10,8 @@
 #include "common/error.hpp"
 #include "core/checkpoint_info.hpp"
 #include "io/byte_sink.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace ickpt::spec {
 
@@ -157,6 +159,31 @@ void PlanExecutor::run(void* root, io::DataWriter& d) const {
   }
 }
 
+void PlanExecutor::run(void* root, io::DataWriter& d,
+                       obs::CaptureProfile* prof) const {
+  if (prof == nullptr) {
+    run(root, d);
+    return;
+  }
+  using P = obs::CaptureProfile;
+  const std::uint64_t t0 = obs::trace_now_ns();
+  run(root, d);
+  const std::uint64_t elapsed = obs::trace_now_ns() - t0;
+  prof->stage_ns[P::kSerialize] += elapsed;
+  prof->busy_ns += elapsed;
+  prof->plan_tests += tests_per_run_;
+  prof->objects += plan_->nodes_covered;
+}
+
+void PlanExecutor::rebind_metrics() noexcept {
+  obs_runs_ =
+      obs::counter("ickpt_plan_runs_total", {{"plan", plan_->shape_name}});
+  obs_tests_performed_ = obs::counter("ickpt_plan_tests_performed_total",
+                                      {{"plan", plan_->shape_name}});
+  obs_tests_elided_ = obs::counter("ickpt_plan_tests_elided_total",
+                                   {{"plan", plan_->shape_name}});
+}
+
 void PlanExecutor::run_dry(void* root) const {
   const Op* ops = plan_->ops.data();
   char* cur = static_cast<char*>(root);
@@ -200,7 +227,8 @@ void PlanExecutor::run_dry(void* root) const {
 
 void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
                          std::span<void* const> roots,
-                         const PlanExecutor& exec, core::Mode mode) {
+                         const PlanExecutor& exec, core::Mode mode,
+                         obs::CaptureProfile* profile) {
   const Plan& plan = exec.plan();
   d.write_u8(core::kStreamMagic);
   d.write_u8(core::kFormatVersion);
@@ -212,19 +240,21 @@ void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
         static_cast<const char*>(root) + plan.root_info_offset);
     d.write_varint(info->id());
   }
-  for (void* root : roots) exec.run(root, d);
+  for (void* root : roots) exec.run(root, d, profile);
   d.write_u8(core::kEndTag);
+  if (profile != nullptr) profile->epochs += 1;
 }
 
 void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
                                   std::span<void* const> roots,
                                   const PlanExecutor& exec, unsigned threads,
-                                  core::Mode mode) {
+                                  core::Mode mode,
+                                  obs::CaptureProfile* profile) {
   const std::size_t nroots = roots.size();
   if (static_cast<std::size_t>(threads) > nroots)
     threads = static_cast<unsigned>(nroots == 0 ? 1 : nroots);
   if (threads <= 1) {
-    run_plan_checkpoint(d, epoch, roots, exec, mode);
+    run_plan_checkpoint(d, epoch, roots, exec, mode, profile);
     return;
   }
 
@@ -245,6 +275,11 @@ void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
   const std::size_t nshards =
       std::min(nroots, static_cast<std::size_t>(threads) * 4);
   std::vector<io::VectorSink> segments(nshards);
+  // Per-shard profiles (single writer each: whichever worker claims the
+  // shard), folded into *profile after the join — same discipline as
+  // core::ParallelCheckpoint.
+  std::vector<obs::CaptureProfile> shard_profiles(
+      profile != nullptr ? nshards : 0);
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::vector<std::exception_ptr> errors(threads);
@@ -258,8 +293,10 @@ void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
         const std::size_t begin = si * nroots / nshards;
         const std::size_t end = (si + 1) * nroots / nshards;
         io::DataWriter writer(segments[si]);
+        obs::CaptureProfile* sp =
+            profile != nullptr ? &shard_profiles[si] : nullptr;
         for (std::size_t r = begin; r < end; ++r)
-          exec.run(roots[r], writer);
+          exec.run(roots[r], writer, sp);
         writer.flush();
       }
     } catch (...) {
@@ -278,9 +315,23 @@ void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
   for (unsigned w = 0; w < threads; ++w)
     if (errors[w]) std::rethrow_exception(errors[w]);
 
+  const std::uint64_t merge_t0 =
+      profile != nullptr ? obs::trace_now_ns() : 0;
   for (const io::VectorSink& segment : segments)
     d.write_bytes(segment.bytes().data(), segment.size());
   d.write_u8(core::kEndTag);
+  if (profile != nullptr) {
+    using P = obs::CaptureProfile;
+    const std::uint64_t merge_ns = obs::trace_now_ns() - merge_t0;
+    for (std::size_t si = 0; si < nshards; ++si) {
+      shard_profiles[si].shards = 1;
+      shard_profiles[si].shard_sink_bytes = segments[si].size();
+      profile->add(shard_profiles[si]);
+    }
+    profile->stage_ns[P::kMerge] += merge_ns;
+    profile->busy_ns += merge_ns;
+    profile->epochs += 1;
+  }
 }
 
 }  // namespace ickpt::spec

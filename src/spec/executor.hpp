@@ -15,6 +15,10 @@
 #include "obs/metrics.hpp"
 #include "spec/plan.hpp"
 
+namespace ickpt::obs {
+struct CaptureProfile;
+}
+
 namespace ickpt::spec {
 
 class PlanExecutor {
@@ -25,9 +29,20 @@ class PlanExecutor {
   /// the concrete type the plan's shape describes.
   void run(void* root, io::DataWriter& d) const;
 
+  /// Profiled variant: the whole run's wall accrues to kSerialize (a plan
+  /// run IS serialization — the pattern already removed the per-object
+  /// dispatch the other stages would measure), plan_tests advances by the
+  /// plan's per-run test count, objects by its node cover. `prof == nullptr`
+  /// falls through to the unprofiled run.
+  void run(void* root, io::DataWriter& d, obs::CaptureProfile* prof) const;
+
   /// Traverse without writing or resetting flags (traversal-time metric,
   /// paper Table 1 last row).
   void run_dry(void* root) const;
+
+  /// Re-resolve the per-plan metric handles against the currently installed
+  /// registry (handles bind at construction; see docs/OBSERVABILITY.md).
+  void rebind_metrics() noexcept;
 
   [[nodiscard]] const Plan& plan() const noexcept { return *plan_; }
 
@@ -48,7 +63,8 @@ class PlanExecutor {
 void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
                          std::span<void* const> roots,
                          const PlanExecutor& exec,
-                         core::Mode mode = core::Mode::kIncremental);
+                         core::Mode mode = core::Mode::kIncremental,
+                         obs::CaptureProfile* profile = nullptr);
 
 /// Sharded variant: partition the roots into contiguous shards, execute the
 /// plan per shard on `threads` workers into private segments, and merge the
@@ -62,6 +78,7 @@ void run_plan_checkpoint(io::DataWriter& d, Epoch epoch,
 void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
                                   std::span<void* const> roots,
                                   const PlanExecutor& exec, unsigned threads,
-                                  core::Mode mode = core::Mode::kIncremental);
+                                  core::Mode mode = core::Mode::kIncremental,
+                                  obs::CaptureProfile* profile = nullptr);
 
 }  // namespace ickpt::spec

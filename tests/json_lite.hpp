@@ -1,0 +1,277 @@
+// json_lite: a minimal recursive-descent JSON parser for test assertions.
+//
+// The repo's exporters (Chrome trace_event JSON, the stats --json
+// exposition, BENCH_*.json reports) must produce output that real tools can
+// parse, so the tests that gate them need an independent parser — not a
+// substring check that would pass on malformed output. This one supports
+// the full JSON grammar the exporters can emit (objects, arrays, strings
+// with escapes, numbers, booleans, null) and throws std::runtime_error
+// with a byte offset on the first violation. It is a *test* helper:
+// correctness and error locality over speed, no production use.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ickpt::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) != 0;
+  }
+  /// Object member access; throws on a missing key so a test failure names
+  /// the key instead of dereferencing null.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (kind != Kind::kObject)
+      throw std::runtime_error("json_lite: .at(\"" + key +
+                               "\") on a non-object");
+    auto it = object.find(key);
+    if (it == object.end())
+      throw std::runtime_error("json_lite: missing key \"" + key + "\"");
+    return *it->second;
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (kind != Kind::kString)
+      throw std::runtime_error("json_lite: .str() on a non-string");
+    return string;
+  }
+  [[nodiscard]] double num() const {
+    if (kind != Kind::kNumber)
+      throw std::runtime_error("json_lite: .num() on a non-number");
+    return number;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parse the whole input as one JSON document; trailing non-whitespace
+  /// is an error (a truncated or doubled document must not pass).
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json_lite: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    auto v = std::make_shared<Value>();
+    switch (peek()) {
+      case '{':
+        parse_object(*v);
+        return v;
+      case '[':
+        parse_array(*v);
+        return v;
+      case '"':
+        v->kind = Value::Kind::kString;
+        v->string = parse_string();
+        return v;
+      case 't':
+        if (!consume_word("true")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        v->boolean = true;
+        return v;
+      case 'f':
+        if (!consume_word("false")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        return v;
+      case 'n':
+        if (!consume_word("null")) fail("bad literal");
+        return v;
+      default:
+        v->kind = Value::Kind::kNumber;
+        v->number = parse_number();
+        return v;
+    }
+  }
+
+  void parse_object(Value& v) {
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // The exporters only escape ASCII; encode the BMP code point as
+          // UTF-8 so comparisons still work if that ever changes.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("bad fraction");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("bad exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace ickpt::testjson

@@ -49,6 +49,16 @@
 //                            spec::pattern_io; --self-test asserts all three
 //                            phases infer/verify/compile/round-trip cleanly
 //                            and exits 0/2
+//   ickptctl flightrec [--self-test] <log>
+//                            print the epoch flight recorder dumped next to
+//                            the log (<log>.flightrec — written automatically
+//                            when a manager reaches terminal kFailed, or on
+//                            demand via CheckpointManager::
+//                            dump_flight_recorder); accepts the .flightrec
+//                            file directly too; --self-test instead induces
+//                            a rotation + rebase episode in-process, dumps
+//                            the recorder, and checks the reloaded timeline
+//                            reconstructs it (exits 0/2, no log file)
 //   ickptctl extract [--self-test]
 //                            run the whole write-set extraction proof
 //                            offline: drive the real AnalysisEngine over the
@@ -73,6 +83,7 @@
 #include "io/data_writer.hpp"
 #include "io/file_io.hpp"
 #include "io/stable_storage.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spec/adaptive.hpp"
@@ -350,6 +361,122 @@ int health_self_test() {
   remove_chain(path2);
 
   std::printf("health self-test: %d failure(s)\n", failures);
+  return failures == 0 ? 0 : 2;
+}
+
+/// Load and print the flight-recorder image for a log (or the .flightrec
+/// file itself). Exit 0 with events, 2 on an empty timeline.
+int cmd_flightrec(const char* path) {
+  std::string frpath = path;
+  static constexpr const char kSuffix[] = ".flightrec";
+  const std::size_t slen = sizeof(kSuffix) - 1;
+  if (frpath.size() < slen ||
+      frpath.compare(frpath.size() - slen, slen, kSuffix) != 0)
+    frpath = obs::FlightRecorder::default_path(frpath);
+  std::uint64_t total = 0;
+  std::vector<obs::FlightEvent> events =
+      obs::FlightRecorder::load_file(frpath, &total);
+  std::printf("%s: %zu event(s) retained of %llu recorded\n", frpath.c_str(),
+              events.size(), (unsigned long long)total);
+  std::fputs(obs::FlightRecorder::render_timeline(events, total).c_str(),
+             stdout);
+  return events.empty() ? 2 : 0;
+}
+
+/// End-to-end exercise of the recorder: induce the same persistent-ENOSPC
+/// rotation + rebase episode the health self-test uses, dump the recorder
+/// on demand, reload the file, and check the timeline reconstructs the
+/// episode in order.
+int flightrec_self_test() {
+#ifdef __unix__
+  const std::string pid = std::to_string(::getpid());
+#else
+  const std::string pid = "0";
+#endif
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "ok  " : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  const std::string path = "/tmp/ickptctl-flightrec-" + pid + ".log";
+  remove_chain(path);
+  std::remove(obs::FlightRecorder::default_path(path).c_str());
+
+  // Calibrate the fault offset exactly as health_self_test does.
+  synth::SynthConfig config;
+  config.num_structures = 16;
+  config.percent_modified = 50;
+  std::uint64_t size_after_two = 0;
+  {
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+    core::CheckpointManager manager(path, heal_opts(nullptr));
+    for (int i = 0; i < 2; ++i) {
+      manager.take(workload.root_bases());
+      workload.mutate();
+    }
+    size_after_two = io::read_file(path).size();
+  }
+  remove_chain(path);
+  {
+    core::Heap heap;
+    synth::SynthWorkload workload(heap, config);
+    io::ScriptedFaultPolicy fault(io::FaultKind::kTransient,
+                                  size_after_two + 10, ENOSPC, 6);
+    core::CheckpointManager manager(path, heal_opts(&fault));
+    for (int i = 0; i < 5; ++i) {
+      manager.take(workload.root_bases());
+      workload.mutate();
+    }
+    check(manager.health() == core::Health::kHealthy,
+          "episode ran: degraded by ENOSPC, rehealed by clean epochs");
+    manager.dump_flight_recorder();
+  }
+
+  std::uint64_t total = 0;
+  std::vector<obs::FlightEvent> events;
+  try {
+    events = obs::FlightRecorder::load_file(
+        obs::FlightRecorder::default_path(path), &total);
+  } catch (const Error& e) {
+    std::printf("FAIL dump did not load: %s\n", e.what());
+    remove_chain(path);
+    std::remove(obs::FlightRecorder::default_path(path).c_str());
+    return 2;
+  }
+  auto count = [&events](obs::FlightEventType type) {
+    std::size_t n = 0;
+    for (const obs::FlightEvent& e : events)
+      if (e.type == type) ++n;
+    return n;
+  };
+  using T = obs::FlightEventType;
+  check(total == events.size(), "nothing overwritten in a short episode");
+  check(count(T::kEpochBegin) == 5 && count(T::kEpochEnd) == 5,
+        "all five epochs bracketed by begin/end events");
+  check(count(T::kFault) >= 1, "injected faults recorded");
+  check(count(T::kRetry) >= 1, "in-place retry recorded");
+  check(count(T::kRotation) == 1 && count(T::kRebase) == 1,
+        "exactly one rotation and one rebase on the timeline");
+  check(count(T::kReheal) == 1, "reheal recorded");
+  check(count(T::kDump) == 1, "the on-demand dump recorded itself");
+  // Order: the rotation precedes the rebase precedes the reheal.
+  std::size_t i_rot = events.size(), i_reb = events.size(),
+              i_heal = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == T::kRotation && i_rot == events.size()) i_rot = i;
+    if (events[i].type == T::kRebase && i_reb == events.size()) i_reb = i;
+    if (events[i].type == T::kReheal && i_heal == events.size()) i_heal = i;
+  }
+  check(i_rot < i_reb && i_reb < i_heal,
+        "timeline orders rotation -> rebase -> reheal");
+  std::fputs(obs::FlightRecorder::render_timeline(events, total).c_str(),
+             stdout);
+
+  remove_chain(path);
+  std::remove(obs::FlightRecorder::default_path(path).c_str());
+  std::printf("flightrec self-test: %d failure(s)\n", failures);
   return failures == 0 ? 0 : 2;
 }
 
@@ -664,6 +791,13 @@ int usage() {
       "  trace              same workload; emit collected spans as Chrome\n"
       "                     trace_event JSON (chrome://tracing / Perfetto).\n"
       "                     Takes no log file.\n"
+      "  flightrec [--self-test]\n"
+      "                     print the epoch flight recorder dumped next to\n"
+      "                     the log (<log>.flightrec; also accepts that file\n"
+      "                     directly). Exit 0 with events, 2 on an empty\n"
+      "                     timeline. --self-test induces a rotation+rebase\n"
+      "                     episode in-process and checks the reloaded\n"
+      "                     timeline reconstructs it; takes no log file.\n"
       "  infer [--phase se|bt|et] [--self-test] [<pattern-file>]\n"
       "                     statically infer the phase's modification pattern\n"
       "                     from the bundled model's write sets, prove it with\n"
@@ -721,7 +855,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "extract") == 0) return cmd_extract(self_test);
     if (std::strcmp(command, "health") == 0 && self_test)
       return health_self_test();
+    if (std::strcmp(command, "flightrec") == 0 && self_test)
+      return flightrec_self_test();
     if (path == nullptr) return usage();
+    if (std::strcmp(command, "flightrec") == 0) return cmd_flightrec(path);
     if (std::strcmp(command, "health") == 0) return cmd_health(path);
     if (std::strcmp(command, "scan") == 0) return cmd_scan(path, salvage);
     if (std::strcmp(command, "inspect") == 0) return cmd_inspect(path);
