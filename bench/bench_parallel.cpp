@@ -13,6 +13,13 @@
 // every thread count timeslices one core and the curve is flat at ~1x (plus
 // sharding overhead) — the merge stays cheap either way, which is the part
 // this harness can always certify.
+//
+// `--smoke` runs a reduced grid as a ctest regression gate: on a box with
+// >= 4 hardware threads, threads=4 best wall time must be <= serial best
+// (the "parallel capture actually wins" contract, with a small noise
+// allowance); below 4 cores that comparison is timeslicing noise, so the
+// gate reports a skip and exits clean.
+#include <string>
 #include <thread>
 
 #include "bench/bench_util.hpp"
@@ -43,7 +50,12 @@ Measured measure_parallel(synth::SynthWorkload& workload, core::Mode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  if (smoke) {
+    setenv("ICKPT_BENCH_STRUCTURES", "4000", /*overwrite=*/0);
+    setenv("ICKPT_BENCH_REPS", "3", /*overwrite=*/0);
+  }
   // This bench gets its own report file so the scaling curve is not mixed
   // into BENCH_obs.json (the shared default).
   setenv("ICKPT_BENCH_JSON", "BENCH_parallel.json", /*overwrite=*/0);
@@ -54,6 +66,12 @@ int main() {
               std::thread::hardware_concurrency());
   print_row({"structs", "mode", "threads", "serial", "parallel", "par-p50",
              "par-p95", "ckpt size", "speedup"});
+
+  // The smoke gate only means something when 4 workers get 4 real cores;
+  // best-of-reps absorbs most scheduler noise, the factor absorbs the rest.
+  const bool gated = smoke && std::thread::hardware_concurrency() >= 4;
+  constexpr double kNoiseFactor = 1.05;
+  int gate_failures = 0;
 
   for (std::size_t structures :
        {bench_structures() / 4, bench_structures()}) {
@@ -92,8 +110,24 @@ int main() {
             "parallel",
             grid_base + " engine=parallel threads=" + std::to_string(threads),
             par.stats, par.bytes);
+        if (gated && threads == 4 &&
+            par.seconds > serial.seconds * kNoiseFactor) {
+          std::printf("GATE threads=4 %s: parallel %.6fs vs serial %.6fs\n",
+                      grid_base.c_str(), par.seconds, serial.seconds);
+          ++gate_failures;
+        }
       }
     }
+  }
+  if (smoke) {
+    if (!gated)
+      std::printf("\nsmoke: <4 hardware threads (%u) — threads=4 <= serial "
+                  "gate skipped\n",
+                  std::thread::hardware_concurrency());
+    else
+      std::printf("\nsmoke: threads=4 <= serial gate %s (%d failure(s))\n",
+                  gate_failures == 0 ? "passed" : "FAILED", gate_failures);
+    return gate_failures == 0 ? 0 : 1;
   }
   std::printf(
       "\nexpected shape: speedup approaches the smaller of the thread count\n"

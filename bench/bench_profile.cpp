@@ -106,10 +106,12 @@ class ProfileReport {
     u64("records", p.records);
     u64("shards", p.shards);
     u64("visited_probes", p.visited_probes);
-    u64("claim_contended", p.claim_contended);
+    u64("claim_cas_retries", p.claim_cas_retries);
     u64("steal_attempts", p.steal_attempts);
     u64("steal_failures", p.steal_failures);
     u64("shard_sink_bytes", p.shard_sink_bytes);
+    u64("direct_stream_bytes", p.direct_stream_bytes);
+    u64("merge_buffered_peak_bytes", p.merge_buffered_peak_bytes);
     row += "}";
     rows_.push_back(row);
   }
@@ -192,7 +194,7 @@ int main(int argc, char** argv) {
   std::printf("structures=%zu reps=%d%s\n\n", bench_structures(), bench_reps(),
               smoke ? " (smoke)" : "");
   print_row({"structs", "mode", "engine", "best", "walk", "dirty", "serlz",
-             "claim", "merge", "sum/busy", "contend"},
+             "claim", "merge", "mwait", "sum/busy", "casretry"},
             10);
 
   ProfileReport report;
@@ -243,8 +245,9 @@ int main(int argc, char** argv) {
                    fmt_pct(p.stage_ns[P::kDirtyTest], p.busy_ns),
                    fmt_pct(p.stage_ns[P::kSerialize], p.busy_ns),
                    fmt_pct(p.stage_ns[P::kClaim], p.busy_ns),
-                   fmt_pct(p.stage_ns[P::kMerge], p.busy_ns), ratio,
-                   std::to_string(p.claim_contended)},
+                   fmt_pct(p.stage_ns[P::kMerge], p.busy_ns),
+                   fmt_pct(p.stage_ns[P::kMergeWait], p.busy_ns), ratio,
+                   std::to_string(p.claim_cas_retries)},
                   10);
         report.add(cfg, run);
         if (!check_sum_invariant(cfg.c_str(), p)) ++failures;

@@ -30,6 +30,12 @@ endforeach()
 add_test(NAME bench_profile_smoke COMMAND bench_profile --smoke)
 set_tests_properties(bench_profile_smoke PROPERTIES LABELS "profile")
 
+# The parallel-capture regression gate: on a >= 4-hardware-thread box the
+# reduced grid asserts threads=4 capture is no slower than serial; below
+# that it reports a skip and passes, so single-core CI stays green.
+add_test(NAME bench_parallel_smoke COMMAND bench_parallel --smoke)
+set_tests_properties(bench_parallel_smoke PROPERTIES LABELS "parallel")
+
 add_executable(bench_micro bench/bench_micro.cpp)
 target_link_libraries(bench_micro PRIVATE
   ickpt_analysis ickpt_synth ickpt_spec ickpt_core ickpt_io

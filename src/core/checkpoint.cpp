@@ -1,6 +1,7 @@
 #include "core/checkpoint.hpp"
 
 #include "common/error.hpp"
+#include "io/byte_sink.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -37,7 +38,33 @@ Checkpoint::Checkpoint(io::DataWriter& d, CheckpointOptions opts,
   bind_hooks(opts.hooks);
 }
 
-void Checkpoint::checkpoint_profiled(Checkpointable& o) {
+void Checkpoint::checkpoint_record_only(Checkpointable& o) {
+  if (prof_ != nullptr) {
+    checkpoint_profiled(o, /*fold_children=*/false);
+    return;
+  }
+  if (guard_) {
+    if (!visited_.insert(o.info().id()).second ||
+        (claims_ != nullptr && !claims_->claim(o.info().id()))) {
+      if (revisit_ != nullptr) (*revisit_)(o);
+      return;
+    }
+  }
+  ++stats_.objects_visited;
+  CheckpointInfo& info = o.info();
+  if (mode_ == Mode::kFull || info.modified()) {
+    ++stats_.objects_recorded;
+    if (!dry_) {
+      d_.write_u8(kRecordTag);
+      d_.write_varint(o.type_id());
+      d_.write_varint(info.id());
+      o.record(d_);
+      info.reset_modified();
+    }
+  }
+}
+
+void Checkpoint::checkpoint_profiled(Checkpointable& o, bool fold_children) {
   // Mark-based attribution: `mark` advances past each measured segment, so
   // every nanosecond between entry and the start of fold() lands in exactly
   // one stage. The fold interval itself is accounted by the children's own
@@ -50,7 +77,7 @@ void Checkpoint::checkpoint_profiled(Checkpointable& o) {
     bool claimed = true;
     if (fresh && claims_ != nullptr) {
       prof_->claim_attempts += 1;
-      claimed = claims_->claim(o.info().id(), &prof_->claim_contended);
+      claimed = claims_->claim(o.info().id(), &prof_->claim_cas_retries);
       if (!claimed) prof_->claims_lost += 1;
     }
     const std::uint64_t now = obs::trace_now_ns();
@@ -82,6 +109,7 @@ void Checkpoint::checkpoint_profiled(Checkpointable& o) {
     }
     prof_->stage_ns[P::kSerialize] += obs::trace_now_ns() - mark;
   }
+  if (!fold_children) return;
   if (enter_ != nullptr) (*enter_)(o);
   o.fold(*this);
   if (leave_ != nullptr) (*leave_)(o);
@@ -91,6 +119,17 @@ void Checkpoint::end() {
   if (ended_) throw Error("Checkpoint::end() called twice");
   ended_ = true;
   if (!dry_ && framing_) d_.write_u8(kEndTag);
+}
+
+void Checkpoint::collect_children(Checkpointable& o,
+                                  std::vector<Checkpointable*>& out) {
+  io::CountingSink sink;
+  io::DataWriter d(sink, 16);
+  CheckpointOptions opts;
+  opts.dry_run = true;
+  Checkpoint collector(d, opts, nullptr);
+  collector.collect_ = &out;
+  o.fold(collector);
 }
 
 CheckpointStats Checkpoint::run(io::DataWriter& d, Epoch epoch,

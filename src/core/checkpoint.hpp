@@ -10,6 +10,7 @@
 #include <functional>
 #include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "core/checkpoint_format.hpp"
 #include "core/checkpointable.hpp"
@@ -76,6 +77,11 @@ class Checkpoint {
 
   /// Paper Fig. 1: test, record, reset, fold.
   void checkpoint(Checkpointable& o) {
+    if (collect_ != nullptr) {
+      // Collect mode (collect_children): don't walk, just report the child.
+      collect_->push_back(&o);
+      return;
+    }
     if (prof_ != nullptr) {
       checkpoint_profiled(o);
       return;
@@ -126,6 +132,14 @@ class Checkpoint {
                              std::span<Checkpointable* const> roots,
                              CheckpointOptions opts);
 
+  /// Enumerate `o`'s direct fold targets without visiting them: runs
+  /// o.fold() against a collect-mode walker that appends each child to
+  /// `out` instead of recording or recursing. Used by ParallelCheckpoint
+  /// to split a giant root's fold into per-child work items. Writes
+  /// nothing, tests no flags, touches no visited state.
+  static void collect_children(Checkpointable& o,
+                               std::vector<Checkpointable*>& out);
+
  private:
   friend class ParallelCheckpoint;
 
@@ -135,11 +149,19 @@ class Checkpoint {
   /// visited decisions to `claims` (may be null when cycle_guard is off).
   Checkpoint(io::DataWriter& d, CheckpointOptions opts, ClaimTable* claims);
 
+  /// Internal (ParallelCheckpoint): the records-only half of checkpoint() —
+  /// guard/claim, dirty test, record, reset — without folding children.
+  /// A split root's record and its per-child subtrees become separate work
+  /// items; this entry point emits the root's own record for the first item
+  /// while the children ride their own walkers.
+  void checkpoint_record_only(Checkpointable& o);
+
   /// Out-of-line visit with stage attribution (only reached when
   /// opts.profile is set); recurses back through checkpoint() for children,
   /// so the dispatch costs one extra pointer test per object while
-  /// profiling and nothing when not.
-  void checkpoint_profiled(Checkpointable& o);
+  /// profiling and nothing when not. `fold_children = false` is the
+  /// profiled checkpoint_record_only.
+  void checkpoint_profiled(Checkpointable& o, bool fold_children = true);
 
   /// Hoist the per-hook null checks out of the visit loop: each unset hook
   /// is a null pointer here, so a visit pays one pointer test per hook
@@ -157,6 +179,10 @@ class Checkpoint {
   bool guard_;
   /// False for shard walkers: end() then emits no end tag.
   bool framing_ = true;
+  /// Collect mode (collect_children): non-null diverts every checkpoint()
+  /// call into this list. Tested first in the inline fast path — the same
+  /// one-pointer-test cost rule as the hooks.
+  std::vector<Checkpointable*>* collect_ = nullptr;
   const std::function<void(Checkpointable&)>* enter_ = nullptr;
   const std::function<void(Checkpointable&)>* leave_ = nullptr;
   const std::function<void(Checkpointable&)>* revisit_ = nullptr;

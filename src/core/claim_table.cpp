@@ -1,61 +1,133 @@
 #include "core/claim_table.hpp"
 
+#include <utility>
+
 namespace ickpt::core {
 
-namespace {
-
-std::size_t round_up_pow2(std::size_t n) {
+std::size_t ClaimTable::round_up_pow2(std::size_t n) noexcept {
+  constexpr std::size_t kTop = (SIZE_MAX >> 1) + 1;  // largest size_t power of two
+  if (n >= kTop) return kTop;
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
 }
 
-/// Fibonacci mixing so consecutive ids (the common allocation pattern)
-/// spread across stripes instead of marching through one.
-std::size_t mix(ObjectId id) noexcept {
+ClaimTable::Segment::Segment(std::size_t capacity)
+    : mask(capacity - 1),
+      slots(std::make_unique<std::atomic<ObjectId>[]>(capacity)) {
+  for (std::size_t i = 0; i <= mask; ++i) {
+    slots[i].store(kNullObjectId, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+// Head capacity: twice the estimate so the common case stays in one segment
+// at <= 50% load, floored so tiny estimates don't thrash overflow segments.
+std::size_t head_capacity(std::size_t expected_ids) {
+  constexpr std::size_t kMinCapacity = 64;
+  if (expected_ids < kMinCapacity / 2) return kMinCapacity;
+  if (expected_ids > (SIZE_MAX >> 2)) return ClaimTable::round_up_pow2(expected_ids);
+  return ClaimTable::round_up_pow2(expected_ids * 2);
+}
+
+// Fibonacci mixing so consecutive ids (the common allocation pattern)
+// spread across the table instead of clustering into one probe window.
+std::size_t slot_hash(ObjectId id) noexcept {
   return static_cast<std::size_t>(
       (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> 32);
 }
-
 }  // namespace
 
-ClaimTable::ClaimTable(std::size_t stripes)
-    : mask_(round_up_pow2(stripes == 0 ? 1 : stripes) - 1),
-      stripes_(new Stripe[mask_ + 1]) {}
+ClaimTable::ClaimTable(std::size_t expected_ids)
+    : head_(head_capacity(expected_ids)) {}
 
-bool ClaimTable::claim(ObjectId id) {
-  Stripe& s = stripes_[mix(id) & mask_];
-  std::lock_guard<std::mutex> lock(s.mu);
-  return s.ids.insert(id).second;
+ClaimTable::~ClaimTable() {
+  Segment* seg = head_.next.load(std::memory_order_acquire);
+  while (seg != nullptr) {
+    Segment* next = seg->next.load(std::memory_order_acquire);
+    delete seg;
+    seg = next;
+  }
 }
 
-bool ClaimTable::claim(ObjectId id, std::uint64_t* contended) {
-  if (contended == nullptr) return claim(id);
-  Stripe& s = stripes_[mix(id) & mask_];
-  if (!s.mu.try_lock()) {
-    // The stripe is held by another shard right now: this claim is going to
-    // wait. Count it, then take the lock for real.
-    ++*contended;
-    s.mu.lock();
+ClaimTable::Probe ClaimTable::probe(Segment& seg, ObjectId id,
+                                    std::uint64_t* cas_retries) {
+  const std::size_t window =
+      kProbeWindow <= seg.mask ? kProbeWindow : seg.mask + 1;
+  std::size_t idx = slot_hash(id) & seg.mask;
+  for (std::size_t i = 0; i < window; ++i, idx = (idx + 1) & seg.mask) {
+    std::atomic<ObjectId>& slot = seg.slots[idx];
+    ObjectId cur = slot.load(std::memory_order_acquire);
+    if (cur == id) return Probe::kLost;
+    if (cur != kNullObjectId) continue;
+    // Slot transitions are monotonic (empty -> one id, never back), so a
+    // single strong CAS decides the race: success is the unique claim of
+    // this id's first free slot, failure reloads whatever beat us.
+    ObjectId expected = kNullObjectId;
+    if (slot.compare_exchange_strong(expected, id, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return Probe::kWon;
+    }
+    if (cas_retries != nullptr) ++*cas_retries;
+    if (expected == id) return Probe::kLost;
+    // A different id landed here first; keep probing the window.
   }
-  std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
-  return s.ids.insert(id).second;
+  return Probe::kFull;
+}
+
+ClaimTable::Segment* ClaimTable::next_segment(Segment& seg) {
+  Segment* next = seg.next.load(std::memory_order_acquire);
+  if (next != nullptr) return next;
+  const std::size_t capacity = seg.mask + 1;
+  const std::size_t grown =
+      capacity <= (SIZE_MAX >> 1) ? capacity * 2 : capacity;
+  auto* fresh = new Segment(grown);
+  Segment* expected = nullptr;
+  if (seg.next.compare_exchange_strong(expected, fresh,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // another thread installed the overflow first
+  return expected;
+}
+
+bool ClaimTable::claim(ObjectId id) { return claim(id, nullptr); }
+
+bool ClaimTable::claim(ObjectId id, std::uint64_t* cas_retries) {
+  Segment* seg = &head_;
+  for (;;) {
+    switch (probe(*seg, id, cas_retries)) {
+      case Probe::kWon:
+        return true;
+      case Probe::kLost:
+        return false;
+      case Probe::kFull:
+        seg = next_segment(*seg);
+        break;
+    }
+  }
 }
 
 std::vector<ObjectId> ClaimTable::ids() const {
   std::vector<ObjectId> out;
-  for (std::size_t i = 0; i <= mask_; ++i) {
-    std::lock_guard<std::mutex> lock(stripes_[i].mu);
-    out.insert(out.end(), stripes_[i].ids.begin(), stripes_[i].ids.end());
+  for (const Segment* seg = &head_; seg != nullptr;
+       seg = seg->next.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i <= seg->mask; ++i) {
+      ObjectId id = seg->slots[i].load(std::memory_order_acquire);
+      if (id != kNullObjectId) out.push_back(id);
+    }
   }
   return out;
 }
 
-std::size_t ClaimTable::size() const {
+std::size_t ClaimTable::size() const { return ids().size(); }
+
+std::size_t ClaimTable::segments() const {
   std::size_t n = 0;
-  for (std::size_t i = 0; i <= mask_; ++i) {
-    std::lock_guard<std::mutex> lock(stripes_[i].mu);
-    n += stripes_[i].ids.size();
+  for (const Segment* seg = &head_; seg != nullptr;
+       seg = seg->next.load(std::memory_order_acquire)) {
+    ++n;
   }
   return n;
 }

@@ -1,4 +1,4 @@
-// ClaimTable: striped first-claim table over object ids, the cross-shard
+// ClaimTable: lock-free first-claim table over object ids, the cross-shard
 // half of cycle_guard semantics for parallel capture.
 //
 // Serial cycle_guard keeps one visited set for the whole checkpoint session:
@@ -6,14 +6,23 @@
 // Parallel capture gives each shard its own private visited set (a fresh
 // epoch per shard, no synchronization on the hot revisit path) and resolves
 // *cross-shard* sharing here: the first shard to claim() an id records and
-// traverses the object, every other shard treats it as already visited. The
-// table is striped — ids hash onto independently locked buckets — so claims
-// from different shards contend only when they hash onto the same stripe.
+// traverses the object, every other shard treats it as already visited.
+//
+// The table is an open-addressed array of atomic slots claimed by CAS —
+// no mutexes, no resizing. A slot only ever makes one transition, empty
+// (kNullObjectId) to a claimed id, which is what makes first-claim exact:
+// two threads racing the same id probe the same deterministic slot sequence,
+// so whichever CAS lands first is observed by the other as a lost claim.
+// A probe that finds its whole window occupied by *other* ids moves to the
+// next overflow segment (CAS-installed, geometrically growing), so a bad
+// capacity estimate degrades to extra probing instead of failing or
+// stalling — the table is sized from a root-count estimate, not an object
+// count nobody has before the walk.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -22,34 +31,56 @@ namespace ickpt::core {
 
 class ClaimTable {
  public:
-  /// `stripes` is rounded up to a power of two.
-  explicit ClaimTable(std::size_t stripes = 64);
+  /// `expected_ids` is a capacity hint (typically roots x branching guess);
+  /// the head segment is sized to twice that, rounded up to a power of two.
+  /// Underestimates cost overflow segments, never correctness.
+  explicit ClaimTable(std::size_t expected_ids = 256);
+  ~ClaimTable();
   ClaimTable(const ClaimTable&) = delete;
   ClaimTable& operator=(const ClaimTable&) = delete;
 
   /// True exactly once per id across all threads: the caller that gets true
   /// owns the object — it records and traverses it; everyone else skips.
+  /// `id` must not be kNullObjectId (it marks an empty slot).
   bool claim(ObjectId id);
 
-  /// Profiled variant: when `contended` is non-null, each claim that finds
-  /// its stripe already locked (a try_lock miss, i.e. a real cross-shard
-  /// lock wait) increments it — the contention signal the parallel-capture
-  /// profiler ranks stripe counts by. Semantics identical to claim(id).
-  bool claim(ObjectId id, std::uint64_t* contended);
+  /// Profiled variant: when `cas_retries` is non-null, each compare-exchange
+  /// that loses its race (the slot changed under us — a real cross-shard
+  /// collision on one cache line) increments it. This replaces the striped
+  /// table's lock-wait counter: there is nothing left to wait on, only
+  /// retried CASes. Semantics identical to claim(id).
+  bool claim(ObjectId id, std::uint64_t* cas_retries);
 
-  /// Every id claimed so far. Not for use concurrently with claim().
+  /// Every id claimed so far. Not linearizable against concurrent claim();
+  /// meant for post-join inspection and tests.
   [[nodiscard]] std::vector<ObjectId> ids() const;
   [[nodiscard]] std::size_t size() const;
+  /// Number of segments allocated (1 = the estimate held).
+  [[nodiscard]] std::size_t segments() const;
+
+  /// Round up to a power of two, clamped to the largest representable one —
+  /// `p <<= 1` must never shift out to 0 and loop forever (same guard as the
+  /// backoff_delay clamp). Exposed for the boundary unit test.
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) noexcept;
+
+  /// Slots probed within one segment before spilling to the next.
+  static constexpr std::size_t kProbeWindow = 32;
 
  private:
-  /// One lock + id set per stripe, padded so stripes never share a line.
-  struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::unordered_set<ObjectId> ids;
+  struct Segment {
+    explicit Segment(std::size_t capacity);
+    const std::size_t mask;  // capacity - 1 (capacity is a power of two)
+    std::unique_ptr<std::atomic<ObjectId>[]> slots;  // kNullObjectId = empty
+    std::atomic<Segment*> next{nullptr};
   };
 
-  std::size_t mask_;
-  std::unique_ptr<Stripe[]> stripes_;
+  enum class Probe : std::uint8_t { kWon, kLost, kFull };
+
+  Probe probe(Segment& seg, ObjectId id, std::uint64_t* cas_retries);
+  /// The segment after `seg`, installing a fresh (doubled) one if none.
+  Segment* next_segment(Segment& seg);
+
+  Segment head_;
 };
 
 }  // namespace ickpt::core

@@ -1,13 +1,12 @@
 #include "core/parallel_checkpoint.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <exception>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include "core/segment_merge.hpp"
 #include "io/byte_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -16,24 +15,24 @@ namespace ickpt::core {
 
 namespace {
 
-/// One contiguous root range with its private output segment. Workers touch
-/// disjoint Shard objects, so no field here needs synchronization.
-struct Shard {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  unsigned home = 0;  // worker the shard was dealt to
-  io::VectorSink sink;
-  CheckpointStats stats;
+/// One ordered unit of capture work. Items concatenate in index order to
+/// reproduce the serial stream: a plain contiguous root range, or — when a
+/// small root set is split to feed the pool — a single root's record
+/// followed by ranges over its top-level fold children.
+struct WorkItem {
+  enum Kind : std::uint8_t { kRootRange, kRootRecord, kChildRange };
+  Kind kind = kRootRange;
+  std::size_t begin = 0;  ///< first root index (the root, for split kinds)
+  std::size_t end = 0;    ///< one past the last root index
+  const std::vector<Checkpointable*>* kids = nullptr;  ///< kChildRange only
+  std::size_t child_begin = 0;
+  std::size_t child_end = 0;
 };
 
-/// Per-worker claim cursor over that worker's contiguous block of shard
-/// indices. The owner and thieves race on the same fetch_add, so a shard is
-/// executed exactly once no matter who grabs it; padding keeps cursors of
-/// different workers off each other's cache lines.
-struct alignas(64) Cursor {
-  std::atomic<std::size_t> next{0};
-  std::size_t end = 0;
-};
+std::size_t resolve_backlog_budget(std::size_t requested, unsigned threads) {
+  if (requested != ParallelOptions::kAutoBacklog) return requested;
+  return StreamingShardRunner::auto_backlog_budget(threads);
+}
 
 }  // namespace
 
@@ -41,11 +40,8 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
                                       std::span<Checkpointable* const> roots,
                                       const ParallelOptions& opts) {
   const std::size_t nroots = roots.size();
-  unsigned threads = opts.threads;
-  if (static_cast<std::size_t>(threads) > nroots)
-    threads = static_cast<unsigned>(nroots == 0 ? 1 : nroots);
 
-  if (threads <= 1) {
+  auto run_serial = [&] {
     // The serial paper-faithful path, untouched: byte-identical output and
     // identical cost profile to calling Checkpoint::run directly.
     CheckpointOptions copts;
@@ -56,179 +52,173 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
     ParallelStats p;
     p.totals = Checkpoint::run(d, epoch, roots, copts);
     return p;
+  };
+  if (opts.threads <= 1 || nroots == 0) return run_serial();
+
+  // ---- Build the ordered work-item list. ----------------------------------
+  const std::size_t target = static_cast<std::size_t>(opts.threads) *
+                             std::max(1u, opts.shards_per_thread);
+  std::vector<WorkItem> items;
+  std::deque<std::vector<Checkpointable*>> kid_store;  // stable references
+  if (nroots >= target) {
+    // Range mode: item 0 is a single root so the stream header (which the
+    // merge cursor emits just before item 0's bytes) is unblocked almost
+    // immediately; the rest of the roots split evenly.
+    items.reserve(target);
+    items.push_back(WorkItem{WorkItem::kRootRange, 0, 1, nullptr, 0, 0});
+    const std::size_t rest = nroots - 1;
+    const std::size_t nrest = target - 1;
+    for (std::size_t i = 0; i < nrest; ++i) {
+      const std::size_t b = 1 + i * rest / nrest;
+      const std::size_t e = 1 + (i + 1) * rest / nrest;
+      if (b < e)
+        items.push_back(WorkItem{WorkItem::kRootRange, b, e, nullptr, 0, 0});
+    }
+  } else {
+    // Split mode: too few roots to feed the pool, so a compound root's fold
+    // is broken into its own record plus per-child ranges behind the shared
+    // claim epoch. Concatenating record-then-children in fold order is the
+    // exact byte sequence the root's serial visit would have produced.
+    const std::size_t per_root =
+        std::max<std::size_t>(1, (target + nroots - 1) / nroots);
+    for (std::size_t r = 0; r < nroots; ++r) {
+      if (roots[r] == nullptr) continue;  // serial emits nothing for nulls
+      kid_store.emplace_back();
+      std::vector<Checkpointable*>& kids = kid_store.back();
+      Checkpoint::collect_children(*roots[r], kids);
+      if (kids.empty()) {
+        items.push_back(WorkItem{WorkItem::kRootRange, r, r + 1, nullptr, 0, 0});
+        continue;
+      }
+      items.push_back(WorkItem{WorkItem::kRootRecord, r, r + 1, nullptr, 0, 0});
+      const std::size_t chunk =
+          std::max<std::size_t>(1, (kids.size() + per_root - 1) / per_root);
+      for (std::size_t cb = 0; cb < kids.size(); cb += chunk) {
+        const std::size_t ce = std::min(kids.size(), cb + chunk);
+        items.push_back(WorkItem{WorkItem::kChildRange, r, r + 1, &kids, cb, ce});
+      }
+    }
   }
+
+  const std::size_t nitems = items.size();
+  const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+      opts.threads, nitems == 0 ? 1 : nitems));
+  if (threads <= 1 || nitems == 0) return run_serial();
 
   obs::Span span("checkpoint.parallel", "checkpoint");
 
-  // The stream header is written serially by the caller's thread; shard
-  // segments carry records only, so the on-disk format is unchanged.
-  if (!opts.dry_run) {
-    d.write_u8(kStreamMagic);
-    d.write_u8(kFormatVersion);
-    d.write_u8(static_cast<std::uint8_t>(opts.mode));
-    d.write_u64(epoch);
-    d.write_varint(nroots);
-    for (const Checkpointable* root : roots)
-      d.write_varint(root != nullptr ? root->info().id() : kNullObjectId);
-  }
-
-  const std::size_t nshards =
-      std::min(nroots, static_cast<std::size_t>(threads) *
-                           std::max(1u, opts.shards_per_thread));
-  std::vector<Shard> shards(nshards);
-  for (std::size_t i = 0; i < nshards; ++i) {
-    shards[i].begin = i * nroots / nshards;
-    shards[i].end = (i + 1) * nroots / nshards;
-  }
-
   std::unique_ptr<ClaimTable> claims;
-  if (opts.cycle_guard)
-    claims = std::make_unique<ClaimTable>(opts.claim_stripes);
-
-  // Deal each worker a contiguous block of shard indices; idle workers
-  // steal from other blocks through the victims' cursors.
-  std::unique_ptr<Cursor[]> cursors(new Cursor[threads]);
-  for (unsigned w = 0; w < threads; ++w) {
-    const std::size_t begin = static_cast<std::size_t>(w) * nshards / threads;
-    cursors[w].next.store(begin, std::memory_order_relaxed);
-    cursors[w].end = static_cast<std::size_t>(w + 1) * nshards / threads;
-    for (std::size_t i = begin; i < cursors[w].end; ++i) shards[i].home = w;
+  if (opts.cycle_guard) {
+    const std::size_t capacity =
+        opts.claim_capacity != 0 ? opts.claim_capacity : nroots * 8 + 1024;
+    claims = std::make_unique<ClaimTable>(capacity);
   }
 
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<ShardStats> shard_stats(nshards);
-  std::vector<std::uint64_t> worker_visited(threads, 0);
-  std::atomic<std::size_t> steals{0};
-  std::atomic<bool> failed{false};
-  // Steal-probe accounting, touched only when profiling: a probe is one
-  // fetch_add on a victim's cursor, a failure is a probe that found the
-  // victim's block already drained.
+  std::vector<ShardStats> shard_stats(nitems);
   const bool profiling = opts.profile != nullptr;
-  std::atomic<std::uint64_t> steal_attempts{0};
-  std::atomic<std::uint64_t> steal_failures{0};
 
   CheckpointOptions shard_opts;
   shard_opts.mode = opts.mode;
   shard_opts.dry_run = opts.dry_run;
   shard_opts.cycle_guard = opts.cycle_guard;
 
-  auto execute_shard = [&](std::size_t si, unsigned w) {
-    Shard& shard = shards[si];
+  auto execute_item = [&](std::size_t i, std::size_t w,
+                          io::DataWriter& writer) -> std::size_t {
+    const WorkItem& item = items[i];
+    ShardStats& out = shard_stats[i];
     obs::Span shard_span("checkpoint.shard", "checkpoint");
+    const std::size_t before = writer.bytes_written();
     {
-      io::DataWriter writer(shard.sink);
-      // A fresh walker per shard = a fresh visited-set epoch: revisits
-      // inside the shard stay lock-free, cross-shard sharing goes through
-      // the claim table. When profiling, the shard walks with a private
+      // A fresh walker per item = a fresh visited-set epoch: revisits
+      // inside the item stay lock-free, cross-item sharing goes through
+      // the claim table. When profiling, the item walks with a private
       // CaptureProfile (single writer: whichever worker executes the
-      // shard), folded into the caller's profile after the pool joins.
+      // item), folded into the caller's profile after the pool joins.
       CheckpointOptions so = shard_opts;
-      if (profiling) so.profile = &shard_stats[si].profile;
+      if (profiling) so.profile = &out.profile;
       Checkpoint walker(writer, so, claims.get());
       {
         obs::ScopedWalk walk(so.profile);
-        for (std::size_t r = shard.begin; r < shard.end; ++r)
-          if (roots[r] != nullptr) walker.checkpoint(*roots[r]);
-      }
-      walker.end();
-      writer.flush();
-      shard.stats = walker.stats();
-    }
-    ShardStats& out = shard_stats[si];
-    out.shard = si;
-    out.root_begin = shard.begin;
-    out.root_end = shard.end;
-    out.worker = w;
-    out.stolen = w != shard.home;
-    out.stats = shard.stats;
-    out.bytes = shard.sink.size();
-    if (profiling) out.profile.shard_sink_bytes = out.bytes;
-    worker_visited[w] += shard.stats.objects_visited;
-    if (shard_span.active())
-      shard_span.note("shard " + std::to_string(si) + ": roots [" +
-                      std::to_string(shard.begin) + ", " +
-                      std::to_string(shard.end) + "), " +
-                      std::to_string(shard.stats.objects_recorded) + "/" +
-                      std::to_string(shard.stats.objects_visited) +
-                      " recorded, " + std::to_string(out.bytes) + " byte(s)" +
-                      (out.stolen ? ", stolen" : ""));
-  };
-
-  auto worker_fn = [&](unsigned w) {
-    obs::Span worker_span("checkpoint.worker", "checkpoint");
-    std::size_t executed = 0;
-    try {
-      // Own block first (cache-friendly: contiguous root ranges) ...
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t si =
-            cursors[w].next.fetch_add(1, std::memory_order_relaxed);
-        if (si >= cursors[w].end) break;
-        execute_shard(si, w);
-        ++executed;
-      }
-      // ... then steal whole shards from the other workers' blocks.
-      for (unsigned off = 1; off < threads; ++off) {
-        const unsigned victim = (w + off) % threads;
-        for (;;) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          if (profiling) steal_attempts.fetch_add(1, std::memory_order_relaxed);
-          const std::size_t si =
-              cursors[victim].next.fetch_add(1, std::memory_order_relaxed);
-          if (si >= cursors[victim].end) {
-            if (profiling)
-              steal_failures.fetch_add(1, std::memory_order_relaxed);
+        switch (item.kind) {
+          case WorkItem::kRootRange:
+            for (std::size_t r = item.begin; r < item.end; ++r)
+              if (roots[r] != nullptr) walker.checkpoint(*roots[r]);
             break;
-          }
-          steals.fetch_add(1, std::memory_order_relaxed);
-          execute_shard(si, w);
-          ++executed;
+          case WorkItem::kRootRecord:
+            walker.checkpoint_record_only(*roots[item.begin]);
+            break;
+          case WorkItem::kChildRange:
+            for (std::size_t c = item.child_begin; c < item.child_end; ++c)
+              walker.checkpoint(*(*item.kids)[c]);
+            break;
         }
       }
-    } catch (...) {
-      errors[w] = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
+      walker.end();
+      out.stats = walker.stats();
     }
-    if (worker_span.active())
-      worker_span.note("worker " + std::to_string(w) + ": " +
-                       std::to_string(executed) + " shard(s)");
+    out.shard = i;
+    out.root_begin = item.begin;
+    out.root_end = item.end;
+    out.worker = static_cast<unsigned>(w);
+    const std::size_t bytes = writer.bytes_written() - before;
+    if (shard_span.active())
+      shard_span.note("item " + std::to_string(i) + ": roots [" +
+                      std::to_string(item.begin) + ", " +
+                      std::to_string(item.end) + "), " +
+                      std::to_string(out.stats.objects_recorded) + "/" +
+                      std::to_string(out.stats.objects_visited) +
+                      " recorded, " + std::to_string(bytes) + " byte(s)");
+    return bytes;
   };
 
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker_fn, w);
-    worker_fn(0);  // the caller's thread is worker 0
-    for (std::thread& t : pool) t.join();
-  }
-  for (unsigned w = 0; w < threads; ++w)
-    if (errors[w]) std::rethrow_exception(errors[w]);
+  // ---- Stream through the merge frontier. ---------------------------------
+  auto emit_header = [&](io::DataWriter& writer) {
+    if (opts.dry_run) return;
+    writer.write_u8(kStreamMagic);
+    writer.write_u8(kFormatVersion);
+    writer.write_u8(static_cast<std::uint8_t>(opts.mode));
+    writer.write_u64(epoch);
+    writer.write_varint(nroots);
+    for (const Checkpointable* root : roots)
+      writer.write_varint(root != nullptr ? root->info().id() : kNullObjectId);
+  };
+  SegmentMerge merge(d, nitems, emit_header);
 
-  // Deterministic merge: segments concatenated in shard (= root-range)
-  // order regardless of which worker captured them, then the end tag.
-  const auto merge_t0 = std::chrono::steady_clock::now();
-  if (!opts.dry_run) {
-    for (const Shard& shard : shards)
-      d.write_bytes(shard.sink.bytes().data(), shard.sink.size());
-    d.write_u8(kEndTag);
-  }
-  const double merge_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    merge_t0)
-          .count();
+  StreamingShardRunner::Options ropts;
+  ropts.threads = threads;
+  ropts.backlog_budget =
+      resolve_backlog_budget(opts.merge_backlog_bytes, threads);
+  ropts.item_hook = opts.test_item_hook;
+  const MergeRunResult rr =
+      StreamingShardRunner::run(merge, nitems, ropts, execute_item);
 
+  merge.finish();
+  if (!opts.dry_run) d.write_u8(kEndTag);
+
+  // ---- Fold results. ------------------------------------------------------
   ParallelStats result;
-  result.shards = nshards;
+  result.shards = nitems;
   result.threads_used = threads;
-  result.steals = steals.load(std::memory_order_relaxed);
-  result.merge_seconds = merge_seconds;
+  result.steals = rr.steals;
+  result.merge_seconds = static_cast<double>(rr.merge_ns) / 1e9;
+  result.merge_wait_seconds = static_cast<double>(rr.wait_ns) / 1e9;
+  result.merge_buffered_peak_bytes = rr.buffered_peak_bytes;
+  result.direct_items = rr.direct_items;
   result.shard_stats = std::move(shard_stats);
-  std::uint64_t max_visited = 0;
-  std::uint64_t sum_visited = 0;
-  for (const ShardStats& s : result.shard_stats) {
+
+  std::vector<std::uint64_t> worker_visited(threads, 0);
+  for (std::size_t i = 0; i < nitems; ++i) {
+    ShardStats& s = result.shard_stats[i];
+    const MergeItemResult& ir = rr.items[i];
+    s.stolen = ir.stolen;
+    s.streamed_direct = ir.direct;
+    s.bytes = ir.bytes;
     result.totals.objects_visited += s.stats.objects_visited;
     result.totals.objects_recorded += s.stats.objects_recorded;
+    worker_visited[ir.worker] += s.stats.objects_visited;
   }
+  std::uint64_t max_visited = 0;
+  std::uint64_t sum_visited = 0;
   for (unsigned w = 0; w < threads; ++w) {
     max_visited = std::max(max_visited, worker_visited[w]);
     sum_visited += worker_visited[w];
@@ -238,37 +228,50 @@ ParallelStats ParallelCheckpoint::run(io::DataWriter& d, Epoch epoch,
                        static_cast<double>(sum_visited);
 
   if (profiling) {
-    // Fold the per-shard profiles into the caller's accumulator. busy_ns
-    // becomes the sum of per-shard walk intervals plus the serial merge —
-    // attributable time, deliberately larger than coordinator wall when
-    // shards overlap.
+    // Fold the per-item profiles into the caller's accumulator. busy_ns
+    // becomes the sum of per-item walk intervals plus the merge-cursor and
+    // join-wait time — attributable time, deliberately larger than
+    // coordinator wall when items overlap.
     using P = obs::CaptureProfile;
-    for (const ShardStats& s : result.shard_stats)
+    for (std::size_t i = 0; i < nitems; ++i) {
+      ShardStats& s = result.shard_stats[i];
+      if (s.streamed_direct)
+        s.profile.direct_stream_bytes = s.bytes;
+      else
+        s.profile.shard_sink_bytes = s.bytes;
       opts.profile->add(s.profile);
-    opts.profile->steal_attempts +=
-        steal_attempts.load(std::memory_order_relaxed);
-    opts.profile->steal_failures +=
-        steal_failures.load(std::memory_order_relaxed);
-    const auto merge_ns = static_cast<std::uint64_t>(merge_seconds * 1e9);
-    opts.profile->stage_ns[P::kMerge] += merge_ns;
-    opts.profile->busy_ns += merge_ns;
+    }
+    opts.profile->steal_attempts += rr.steal_attempts;
+    opts.profile->steal_failures += rr.steal_failures;
+    opts.profile->stage_ns[P::kMerge] += rr.merge_ns;
+    opts.profile->stage_ns[P::kMergeWait] += rr.wait_ns;
+    opts.profile->busy_ns += rr.merge_ns + rr.wait_ns;
+    if (rr.buffered_peak_bytes > opts.profile->merge_buffered_peak_bytes)
+      opts.profile->merge_buffered_peak_bytes = rr.buffered_peak_bytes;
     opts.profile->epochs += 1;
   }
 
   // Once-per-capture telemetry; per-call lookups are fine off the worker
   // hot path (same budget recover() spends).
-  obs::gauge("ickpt_capture_shards").set(static_cast<std::int64_t>(nshards));
+  obs::gauge("ickpt_capture_shards").set(static_cast<std::int64_t>(nitems));
   obs::gauge("ickpt_capture_threads").set(threads);
+  obs::gauge("ickpt_capture_merge_buffered_peak_bytes")
+      .set(static_cast<std::int64_t>(result.merge_buffered_peak_bytes));
   if (result.steals > 0)
     obs::counter("ickpt_capture_steals_total").inc(result.steals);
-  obs::histogram("ickpt_capture_merge_seconds").observe(merge_seconds);
-  obs::histogram("ickpt_capture_imbalance_ratio", {},
-                 obs::Histogram::exponential_bounds(1.0, 1.25, 16))
-      .observe(result.imbalance);
+  obs::histogram("ickpt_capture_merge_seconds").observe(result.merge_seconds);
+  // Skip the imbalance sample when nothing was visited (all-null roots):
+  // max/mean is undefined there, and the bounds start at ratio 1.0.
+  if (sum_visited > 0)
+    obs::histogram("ickpt_capture_imbalance_ratio", {},
+                   obs::Histogram::exponential_bounds(1.0, 1.25, 16))
+        .observe(result.imbalance);
   if (span.active())
     span.note(std::to_string(threads) + " worker(s) x " +
-              std::to_string(nshards) + " shard(s), " +
+              std::to_string(nitems) + " item(s), " +
               std::to_string(result.steals) + " steal(s), " +
+              std::to_string(result.direct_items) + " direct, peak backlog " +
+              std::to_string(result.merge_buffered_peak_bytes) + " byte(s), " +
               std::to_string(result.totals.objects_recorded) + "/" +
               std::to_string(result.totals.objects_visited) + " recorded");
   return result;

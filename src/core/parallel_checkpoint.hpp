@@ -2,38 +2,60 @@
 //
 // The paper's driver (Fig. 1) walks the object graph serially, so capture
 // latency scales with graph size regardless of cores. This component
-// partitions the *root set* into contiguous shards, captures each shard's
-// records into a private in-memory segment on a work-stealing worker pool,
-// and deterministically merges the segments — in shard order, behind a
-// single stream header — so the emitted payload obeys the exact format of
-// docs/FORMAT.md and Recovery/fsck need no new cases.
+// partitions the capture into ordered work items, records each item on a
+// work-stealing worker pool, and streams the results into the caller's
+// DataWriter through an ordered merge frontier (core/segment_merge.hpp):
 //
-// Determinism contract (enforced by tests/parallel_equiv_test.cpp, not by
-// review):
-//  - cycle_guard off (the paper's acyclic/unshared assumption): shard
+//  - An item at the merge frontier writes *directly* into the caller's
+//    writer — those bytes are never buffered. Items ahead of the frontier
+//    record into private segments that the frontier drains in order, so
+//    extra memory is bounded by out-of-order segments only (the high-water
+//    mark is tracked in ParallelStats, the profile, and a gauge).
+//  - The stream header is emitted by the merge cursor just before the
+//    first byte of item 0 — never earlier — so a worker throw before any
+//    segment streams leaves the caller's writer untouched (the serial path
+//    would already have written its header; see Failure semantics).
+//  - Work items are root ranges, except when the root set is too small to
+//    feed the pool (fewer roots than threads x shards_per_thread): then a
+//    compound root is split into its record (a records-only visit) plus
+//    per-child ranges of its top-level fold targets, so one giant root no
+//    longer serializes the walk.
+//
+// The emitted payload obeys the exact format of docs/FORMAT.md — item-order
+// concatenation reproduces the serial layout — and Recovery/fsck need no
+// new cases.
+//
+// Determinism contract (enforced by tests/parallel_equiv_test.cpp and
+// tests/parallel_stream_test.cpp, not by review):
+//  - cycle_guard off (the paper's acyclic/unshared assumption): item
 //    segments are exactly the record runs the serial driver would emit for
-//    those roots, and shard-order concatenation reproduces the serial
-//    stream BYTE-IDENTICALLY for every thread count.
-//  - cycle_guard on: each shard walks with its own private visited-set
-//    epoch and cross-shard sharing is resolved through a striped ClaimTable
+//    those roots (a split root's record followed by its children's walks is
+//    the same byte sequence the root's own fold would have produced), and
+//    item-order concatenation reproduces the serial stream BYTE-IDENTICALLY
+//    for every thread count.
+//  - cycle_guard on: each item walks with its own private visited-set epoch
+//    and cross-shard sharing is resolved through a lock-free CAS ClaimTable
 //    keyed on CheckpointInfo ids — every shared object is recorded by
-//    exactly one shard (whichever claims it first), so the stream carries
+//    exactly one item (whichever claims it first), so the stream carries
 //    the same record set, possibly placed in a different segment than the
 //    serial walk would choose. Recovery resolves records by id, so the
 //    recovered graph is VALUE-IDENTICAL to the serial stream's, and
-//    per-shard CheckpointStats still sum to the serial totals.
+//    per-item CheckpointStats still sum to the serial totals.
 //
-// Failure semantics match the serial driver: a throw from record()/fold()
-// (or out-of-memory in a segment) propagates to the caller after the pool
-// drains, and the caller must discard the stream — exactly as it must when
-// the serial Checkpoint throws mid-record. Flags reset before the failure
-// stay reset, which is why CheckpointManager only appends fully merged
-// payloads to stable storage.
+// Failure semantics: a throw from record()/fold() propagates to the caller
+// after the pool drains. If nothing had streamed yet the caller's writer is
+// untouched (strictly cleaner than a serial throw, which leaves header +
+// record prefix); once streaming has begun a torn prefix is possible,
+// exactly as with the serial walker. Flags reset before the failure stay
+// reset, which is why CheckpointManager only appends fully merged payloads
+// to stable storage.
 //
 // VisitHooks are not threaded through: hooks observe a single traversal
 // order, which sharded capture deliberately does not have.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -44,6 +66,10 @@
 namespace ickpt::core {
 
 struct ParallelOptions {
+  /// Backlog sentinel: pick the budget from the thread/core ratio (see
+  /// merge_backlog_bytes).
+  static constexpr std::size_t kAutoBacklog = SIZE_MAX;
+
   Mode mode = Mode::kIncremental;
   /// Traverse and test but write nothing and reset no flags.
   bool dry_run = false;
@@ -52,55 +78,80 @@ struct ParallelOptions {
   /// Worker pool size. <= 1 delegates to the serial Checkpoint::run — the
   /// paper-faithful path, byte-for-byte and cost-for-cost.
   unsigned threads = 1;
-  /// Shards per worker: the work-stealing granularity. More shards balance
-  /// skewed root subtrees better at the cost of more (cheap) segment
-  /// merges; shard count never exceeds the root count.
+  /// Work items per worker: the work-stealing granularity. More items
+  /// balance skewed root subtrees better at the cost of more (cheap)
+  /// frontier advances.
   unsigned shards_per_thread = 4;
-  /// Stripes in the cross-shard claim table (cycle_guard only).
-  std::size_t claim_stripes = 64;
+  /// Capacity hint for the lock-free claim table (cycle_guard only):
+  /// expected distinct object ids. 0 = derive from the root count.
+  /// Underestimates cost overflow-segment probing, never correctness.
+  std::size_t claim_capacity = 0;
+  /// Published-segment backlog (bytes) beyond which workers stop recording
+  /// ahead of the merge frontier and yield instead. kAutoBacklog resolves
+  /// to: unbounded when threads <= hardware cores (recording ahead is the
+  /// parallelism win), 0 when oversubscribed (buffering ahead of a frontier
+  /// that shares your core only grows memory). Explicit values pass
+  /// through; tests pin large budgets to force concurrent buffering.
+  std::size_t merge_backlog_bytes = kAutoBacklog;
   /// Stage-attribution accumulator. Null (the default) keeps every worker on
-  /// the unprofiled hot loop. Non-null: each shard walks with a private
+  /// the unprofiled hot loop. Non-null: each item walks with a private
   /// CaptureProfile (no cross-worker synchronization on the hot path), and
-  /// after the pool joins the shard profiles, steal counters, sink bytes and
-  /// merge time are folded into *profile. Written by the caller's thread
-  /// only outside the walk; must outlive run().
+  /// after the pool joins the item profiles, steal counters, sink bytes and
+  /// merge/wait time are folded into *profile. Written by the caller's
+  /// thread only outside the walk; must outlive run().
   obs::CaptureProfile* profile = nullptr;
+  /// Test-only: fires on the executing worker after each work item is
+  /// published to (or committed through) the merge cursor, with the item
+  /// index. Used to force out-of-order completion deterministically.
+  std::function<void(std::size_t)> test_item_hook;
 };
 
-/// Capture accounting for one shard (one contiguous root range).
+/// Capture accounting for one work item (a contiguous root range, a split
+/// root's record, or a split root's child range).
 struct ShardStats {
   std::size_t shard = 0;
   std::size_t root_begin = 0;
   std::size_t root_end = 0;
-  /// Worker that executed the shard; `stolen` when that is not the worker
-  /// the shard was initially dealt to.
+  /// Worker that executed the item; `stolen` when that is not the worker
+  /// the item was initially dealt to.
   unsigned worker = 0;
   bool stolen = false;
+  /// The item was at the merge frontier and streamed straight into the
+  /// caller's writer — its bytes were never buffered.
+  bool streamed_direct = false;
   CheckpointStats stats;
   std::size_t bytes = 0;
-  /// Per-shard stage attribution; all-zero unless ParallelOptions::profile
+  /// Per-item stage attribution; all-zero unless ParallelOptions::profile
   /// was set for the capture.
   obs::CaptureProfile profile;
 };
 
 struct ParallelStats {
-  /// Sum over shards; equals the serial CheckpointStats for the same state.
+  /// Sum over items; equals the serial CheckpointStats for the same state.
   CheckpointStats totals;
   std::size_t shards = 1;
   unsigned threads_used = 1;
   std::size_t steals = 0;
   /// max/mean objects visited per worker (1.0 = perfectly balanced).
   double imbalance = 1.0;
-  /// Wall time of the deterministic merge stage (segment concatenation).
+  /// Wall time spent inside the merge cursor streaming segments.
   double merge_seconds = 0.0;
-  /// Per-shard breakdown; empty when the serial path ran.
+  /// Coordinator wall spent waiting for the last workers after its own
+  /// work ran dry.
+  double merge_wait_seconds = 0.0;
+  /// High-water mark of bytes buffered behind the merge frontier — the
+  /// streaming merge's memory bound, observed.
+  std::size_t merge_buffered_peak_bytes = 0;
+  /// Items that streamed directly into the caller's writer.
+  std::size_t direct_items = 0;
+  /// Per-item breakdown; empty when the serial path ran.
   std::vector<ShardStats> shard_stats;
 };
 
 class ParallelCheckpoint {
  public:
   /// Write one checkpoint payload of `roots` at `epoch` into `d`:
-  /// header + sharded records (merged in shard order) + end tag.
+  /// header + sharded records (streamed in item order) + end tag.
   static ParallelStats run(io::DataWriter& d, Epoch epoch,
                            std::span<Checkpointable* const> roots,
                            const ParallelOptions& opts);

@@ -1,0 +1,268 @@
+#include "core/segment_merge.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "io/byte_sink.hpp"
+#include "obs/trace.hpp"
+
+namespace ickpt::core {
+
+SegmentMerge::SegmentMerge(io::DataWriter& d, std::size_t nitems,
+                           std::function<void(io::DataWriter&)> emit_header)
+    : d_(d), emit_header_(std::move(emit_header)), items_(nitems) {}
+
+void SegmentMerge::publish(std::size_t i, std::vector<std::uint8_t>&& bytes) {
+  Item& it = items_[i];
+  const std::size_t n = bytes.size();
+  reserve_hint_.store(n, std::memory_order_relaxed);
+  segment_bytes_.fetch_add(n, std::memory_order_relaxed);
+  const std::size_t backlog =
+      backlog_.fetch_add(n, std::memory_order_acq_rel) + n;
+  it.bytes = std::move(bytes);
+  it.state.store(kPublished, std::memory_order_release);
+  // Sample the backlog high-water on publish — its maximum is only ever
+  // attained right after an add. The frontier item is excluded: its bytes
+  // are about to stream, so they are not out-of-order volume.
+  if (i != frontier_.load(std::memory_order_acquire)) {
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (backlog > peak && !peak_.compare_exchange_weak(
+                                 peak, backlog, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void SegmentMerge::drain_locked() {
+  std::size_t f = frontier_.load(std::memory_order_relaxed);
+  if (f >= items_.size() ||
+      items_[f].state.load(std::memory_order_acquire) != kPublished) {
+    return;
+  }
+  const std::uint64_t t0 = obs::trace_now_ns();
+  do {
+    Item& it = items_[f];
+    if (!header_written_) {
+      emit_header_(d_);
+      header_written_ = true;
+    }
+    if (!it.bytes.empty()) {
+      d_.write_bytes(it.bytes.data(), it.bytes.size());
+      backlog_.fetch_sub(it.bytes.size(), std::memory_order_acq_rel);
+      std::vector<std::uint8_t>().swap(it.bytes);
+    }
+    it.state.store(kStreamed, std::memory_order_release);
+    frontier_.store(++f, std::memory_order_release);
+  } while (f < items_.size() &&
+           items_[f].state.load(std::memory_order_acquire) == kPublished);
+  merge_ns_.fetch_add(obs::trace_now_ns() - t0, std::memory_order_relaxed);
+}
+
+void SegmentMerge::try_drain() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  drain_locked();
+}
+
+std::optional<SegmentMerge::Direct> SegmentMerge::try_direct(std::size_t i) {
+  // Cheap pre-checks without the lock; re-validated under it.
+  if (frontier_.load(std::memory_order_acquire) != i) return std::nullopt;
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return std::nullopt;
+  // header_written_ implies item 0 already streamed, so i > 0 here: item 0
+  // always takes the buffered path, which is what keeps a pre-header worker
+  // throw byte-free in the caller's sink.
+  if (!header_written_ || frontier_.load(std::memory_order_relaxed) != i) {
+    return std::nullopt;
+  }
+  Direct grant(*this, i, std::move(lock));
+  grant.d_ = &d_;
+  return std::optional<Direct>(std::move(grant));
+}
+
+void SegmentMerge::Direct::commit() {
+  m_->items_[item_].state.store(kStreamed, std::memory_order_release);
+  m_->frontier_.store(item_ + 1, std::memory_order_release);
+  m_->direct_items_.fetch_add(1, std::memory_order_relaxed);
+  m_->drain_locked();  // stream whatever this item was blocking
+  lock_.unlock();
+}
+
+void SegmentMerge::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  if (!header_written_) {
+    emit_header_(d_);
+    header_written_ = true;
+  }
+}
+
+std::size_t StreamingShardRunner::auto_backlog_budget(
+    std::size_t threads) noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || threads <= hw) return SIZE_MAX;
+  return 0;
+}
+
+MergeRunResult StreamingShardRunner::run(SegmentMerge& merge,
+                                         std::size_t nitems,
+                                         const Options& opts,
+                                         const Execute& execute) {
+  MergeRunResult out;
+  out.items.resize(nitems);
+  if (nitems == 0) return out;
+  const std::size_t nthreads =
+      opts.threads == 0 ? 1 : (opts.threads < nitems ? opts.threads : nitems);
+
+  struct alignas(64) Cursor {
+    std::atomic<std::size_t> next{0};
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Cursor> cursors(nthreads);
+  const std::size_t base = nitems / nthreads;
+  const std::size_t extra = nitems % nthreads;
+  std::size_t at = 0;
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    cursors[w].begin = at;
+    cursors[w].next.store(at, std::memory_order_relaxed);
+    cursors[w].end = at + len;
+    at += len;
+  }
+
+  auto taken = std::make_unique<std::atomic<bool>[]>(nitems);
+  for (std::size_t i = 0; i < nitems; ++i)
+    taken[i].store(false, std::memory_order_relaxed);
+  std::atomic<std::size_t> remaining{nitems};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto try_take = [&](std::size_t i) {
+    bool expected = false;
+    if (taken[i].compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  };
+
+  // Scan a cursor's block for the next unclaimed item. The cursor only
+  // moves forward past items that are already taken (possibly out-of-band
+  // by the frontier preference), so an unclaimed item is never skipped.
+  auto take_from = [&](Cursor& c) -> std::size_t {
+    for (;;) {
+      if (c.next.load(std::memory_order_relaxed) >= c.end) return SIZE_MAX;
+      const std::size_t i = c.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= c.end) return SIZE_MAX;
+      if (try_take(i)) return i;
+    }
+  };
+
+  struct Tally {
+    std::uint64_t steals = 0, attempts = 0, failures = 0;
+  };
+  std::vector<Tally> tallies(nthreads);
+
+  auto worker_fn = [&](std::size_t w) {
+    Tally& tally = tallies[w];
+    io::VectorSink sink;
+    try {
+      for (;;) {
+        if (failed.load(std::memory_order_acquire)) break;
+        std::size_t item = SIZE_MAX;
+        bool stolen = false;
+        // Priority 1: the frontier item — getting it done is the only way
+        // the stream (and everyone's direct path) moves forward.
+        const std::size_t f = merge.frontier();
+        if (f < nitems && !taken[f].load(std::memory_order_acquire) &&
+            try_take(f)) {
+          item = f;
+          stolen = f < cursors[w].begin || f >= cursors[w].end;
+          if (stolen) ++tally.steals;
+        }
+        if (item == SIZE_MAX) {
+          if (remaining.load(std::memory_order_acquire) == 0) break;
+          // Priority 2: over budget — recording further ahead of the
+          // frontier only grows memory; help drain and let the frontier
+          // owner run (the oversubscribed-box policy).
+          if (merge.backlog_bytes() > opts.backlog_budget) {
+            merge.try_drain();
+            std::this_thread::yield();
+            continue;
+          }
+          // Priority 3: own block, then steal.
+          item = take_from(cursors[w]);
+          if (item == SIZE_MAX) {
+            for (std::size_t v = 1; v < nthreads && item == SIZE_MAX; ++v) {
+              Cursor& victim = cursors[(w + v) % nthreads];
+              ++tally.attempts;
+              item = take_from(victim);
+              if (item == SIZE_MAX) ++tally.failures;
+            }
+            if (item == SIZE_MAX) {
+              if (remaining.load(std::memory_order_acquire) == 0) break;
+              std::this_thread::yield();  // lost a race; re-scan
+              continue;
+            }
+            stolen = true;
+            ++tally.steals;
+          }
+        }
+
+        bool direct = false;
+        std::size_t bytes = 0;
+        if (auto grant = merge.try_direct(item)) {
+          bytes = execute(item, w, grant->writer());
+          grant->commit();
+          direct = true;
+        } else {
+          sink.clear();
+          std::size_t hint = merge.reserve_hint();
+          if (hint < opts.reserve_floor) hint = opts.reserve_floor;
+          if (hint != 0) sink.reserve(hint);
+          {
+            io::DataWriter dw(sink);
+            bytes = execute(item, w, dw);
+            dw.flush();
+          }
+          merge.publish(item, sink.take());
+        }
+        out.items[item] = MergeItemResult{w, stolen, direct, bytes};
+        if (opts.item_hook) opts.item_hook(item);
+        if (!direct) merge.try_drain();
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (std::size_t w = 1; w < nthreads; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  // kMergeWait: the coordinator ran dry; everything from here to the join
+  // is waiting on the slowest workers.
+  const std::uint64_t wait0 = obs::trace_now_ns();
+  for (auto& t : pool) t.join();
+  out.wait_ns = obs::trace_now_ns() - wait0;
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const Tally& t : tallies) {
+    out.steals += t.steals;
+    out.steal_attempts += t.attempts;
+    out.steal_failures += t.failures;
+  }
+  out.merge_ns = merge.merge_ns();
+  out.direct_items = merge.direct_items();
+  out.segment_bytes = merge.segment_bytes();
+  out.buffered_peak_bytes = merge.buffered_peak_bytes();
+  for (const MergeItemResult& r : out.items)
+    if (r.direct) out.direct_bytes += r.bytes;
+  return out;
+}
+
+}  // namespace ickpt::core

@@ -39,6 +39,9 @@ class VectorSink final : public ByteSink {
   }
   void clear() noexcept { bytes_.clear(); }
   [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  /// Pre-size the backing store; shard walkers pass the previous segment's
+  /// size so steady-state captures skip the realloc-and-copy ramp.
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
  private:
   std::vector<std::uint8_t> bytes_;

@@ -43,7 +43,10 @@ struct CaptureProfile {
     kDirtyTest,      ///< modified-flag tests
     kSerialize,      ///< record() field writes (and whole plan runs)
     kClaim,          ///< visited-set insert + cross-shard claim arbitration
-    kMerge,          ///< deterministic shard-segment concatenation
+    kMerge,          ///< in-order streaming of completed segments into the
+                     ///< caller's writer (lock hold time inside the cursor)
+    kMergeWait,      ///< coordinator wall waiting for the last workers to
+                     ///< finish after its own work ran dry
     kWrite,          ///< stable-storage append minus its fsync
     kFsync,          ///< durable_flush fsync wall
     kStageCount
@@ -55,13 +58,22 @@ struct CaptureProfile {
   std::uint64_t visited_probes = 0;   ///< cycle-guard visited-set lookups
   std::uint64_t claim_attempts = 0;   ///< cross-shard ClaimTable::claim calls
   std::uint64_t claims_lost = 0;      ///< claims another shard won
-  std::uint64_t claim_contended = 0;  ///< claim-stripe lock acquisitions that
-                                      ///< found the stripe held (lock waits)
+  std::uint64_t claim_cas_retries = 0;  ///< claim CASes that lost their race
+                                        ///< (a real cross-shard collision on
+                                        ///< one slot); replaces the striped
+                                        ///< table's lock-wait counter
   std::uint64_t steal_attempts = 0;   ///< cursor bumps on other workers
   std::uint64_t steal_failures = 0;   ///< steal attempts that found the
                                       ///< victim's block exhausted
   std::uint64_t shard_sink_bytes = 0; ///< bytes buffered in shard-private
-                                      ///< sinks before the merge
+                                      ///< sinks before streaming out
+  std::uint64_t direct_stream_bytes = 0;  ///< bytes a frontier worker wrote
+                                          ///< straight into the caller's
+                                          ///< writer, never buffered
+  std::uint64_t merge_buffered_peak_bytes = 0;  ///< high-water of bytes
+                                                ///< buffered behind the merge
+                                                ///< frontier (out-of-order
+                                                ///< volume); add() takes max
   std::uint64_t plan_tests = 0;       ///< flag tests performed by plan runs
   std::uint64_t objects = 0;          ///< objects visited under profiling
   std::uint64_t records = 0;          ///< objects recorded under profiling

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "core/checkpoint_info.hpp"
+#include "core/segment_merge.hpp"
 #include "io/byte_sink.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -259,77 +260,78 @@ void run_plan_checkpoint_parallel(io::DataWriter& d, Epoch epoch,
   }
 
   const Plan& plan = exec.plan();
-  d.write_u8(core::kStreamMagic);
-  d.write_u8(core::kFormatVersion);
-  d.write_u8(static_cast<std::uint8_t>(mode));
-  d.write_u64(epoch);
-  d.write_varint(nroots);
-  for (void* root : roots) {
-    const auto* info = reinterpret_cast<const core::CheckpointInfo*>(
-        static_cast<const char*>(root) + plan.root_info_offset);
-    d.write_varint(info->id());
-  }
 
-  // Shards finer than the worker count so a skewed root range cannot strand
-  // one worker with most of the records.
-  const std::size_t nshards =
+  // Work items finer than the worker count so a skewed root range cannot
+  // strand one worker with most of the records; item 0 is a single root so
+  // the deferred header (emitted by the merge cursor just before the first
+  // streamed byte) is unblocked almost immediately. Item-order
+  // concatenation reproduces the serial layout byte for byte.
+  const std::size_t nitems =
       std::min(nroots, static_cast<std::size_t>(threads) * 4);
-  std::vector<io::VectorSink> segments(nshards);
-  // Per-shard profiles (single writer each: whichever worker claims the
-  // shard), folded into *profile after the join — same discipline as
-  // core::ParallelCheckpoint.
-  std::vector<obs::CaptureProfile> shard_profiles(
-      profile != nullptr ? nshards : 0);
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(nitems);
+  ranges.emplace_back(0, 1);
+  const std::size_t rest = nroots - 1;
+  const std::size_t nrest = nitems - 1;
+  for (std::size_t i = 0; i < nrest; ++i)
+    ranges.emplace_back(1 + i * rest / nrest, 1 + (i + 1) * rest / nrest);
 
-  auto worker_fn = [&](unsigned w) {
-    try {
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t si = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (si >= nshards) return;
-        const std::size_t begin = si * nroots / nshards;
-        const std::size_t end = (si + 1) * nroots / nshards;
-        io::DataWriter writer(segments[si]);
-        obs::CaptureProfile* sp =
-            profile != nullptr ? &shard_profiles[si] : nullptr;
-        for (std::size_t r = begin; r < end; ++r)
-          exec.run(roots[r], writer, sp);
-        writer.flush();
-      }
-    } catch (...) {
-      errors[w] = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
+  // Per-item profiles (single writer each: whichever worker claims the
+  // item), folded into *profile after the join — same discipline as
+  // core::ParallelCheckpoint.
+  std::vector<obs::CaptureProfile> item_profiles(
+      profile != nullptr ? nitems : 0);
+
+  auto emit_header = [&](io::DataWriter& w) {
+    w.write_u8(core::kStreamMagic);
+    w.write_u8(core::kFormatVersion);
+    w.write_u8(static_cast<std::uint8_t>(mode));
+    w.write_u64(epoch);
+    w.write_varint(nroots);
+    for (void* root : roots) {
+      const auto* info = reinterpret_cast<const core::CheckpointInfo*>(
+          static_cast<const char*>(root) + plan.root_info_offset);
+      w.write_varint(info->id());
     }
   };
+  core::SegmentMerge merge(d, nitems, emit_header);
 
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker_fn, w);
-    worker_fn(0);
-    for (std::thread& t : pool) t.join();
-  }
-  for (unsigned w = 0; w < threads; ++w)
-    if (errors[w]) std::rethrow_exception(errors[w]);
+  auto execute_item = [&](std::size_t i, std::size_t,
+                          io::DataWriter& writer) -> std::size_t {
+    obs::CaptureProfile* sp = profile != nullptr ? &item_profiles[i] : nullptr;
+    const std::size_t before = writer.bytes_written();
+    for (std::size_t r = ranges[i].first; r < ranges[i].second; ++r)
+      exec.run(roots[r], writer, sp);
+    return writer.bytes_written() - before;
+  };
 
-  const std::uint64_t merge_t0 =
-      profile != nullptr ? obs::trace_now_ns() : 0;
-  for (const io::VectorSink& segment : segments)
-    d.write_bytes(segment.bytes().data(), segment.size());
+  core::StreamingShardRunner::Options ropts;
+  ropts.threads = threads;
+  ropts.backlog_budget =
+      core::StreamingShardRunner::auto_backlog_budget(threads);
+  const core::MergeRunResult rr =
+      core::StreamingShardRunner::run(merge, nitems, ropts, execute_item);
+
+  merge.finish();
   d.write_u8(core::kEndTag);
+
   if (profile != nullptr) {
     using P = obs::CaptureProfile;
-    const std::uint64_t merge_ns = obs::trace_now_ns() - merge_t0;
-    for (std::size_t si = 0; si < nshards; ++si) {
-      shard_profiles[si].shards = 1;
-      shard_profiles[si].shard_sink_bytes = segments[si].size();
-      profile->add(shard_profiles[si]);
+    for (std::size_t i = 0; i < nitems; ++i) {
+      item_profiles[i].shards = 1;
+      if (rr.items[i].direct)
+        item_profiles[i].direct_stream_bytes = rr.items[i].bytes;
+      else
+        item_profiles[i].shard_sink_bytes = rr.items[i].bytes;
+      profile->add(item_profiles[i]);
     }
-    profile->stage_ns[P::kMerge] += merge_ns;
-    profile->busy_ns += merge_ns;
+    profile->steal_attempts += rr.steal_attempts;
+    profile->steal_failures += rr.steal_failures;
+    profile->stage_ns[P::kMerge] += rr.merge_ns;
+    profile->stage_ns[P::kMergeWait] += rr.wait_ns;
+    profile->busy_ns += rr.merge_ns + rr.wait_ns;
+    if (rr.buffered_peak_bytes > profile->merge_buffered_peak_bytes)
+      profile->merge_buffered_peak_bytes = rr.buffered_peak_bytes;
     profile->epochs += 1;
   }
 }
