@@ -1,5 +1,6 @@
 #include "core/manager.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -7,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/parallel_checkpoint.hpp"
 #include "core/recovery_note.hpp"
+#include "core/retention.hpp"
 #include "io/byte_sink.hpp"
 #include "io/file_io.hpp"
 #include "io/data_writer.hpp"
@@ -74,7 +76,36 @@ Epoch chain_next_epoch(const std::string& path) {
   return next;
 }
 
+std::string not_retained_message(const std::string& path, Epoch target,
+                                 std::optional<Epoch> below,
+                                 std::optional<Epoch> above) {
+  std::string msg = "epoch " + std::to_string(target) +
+                    " is not retained on '" + path + "'";
+  if (below.has_value() && above.has_value()) {
+    msg += "; nearest retained epochs: " + std::to_string(*below) +
+           " (below) and " + std::to_string(*above) + " (above)";
+  } else if (below.has_value()) {
+    msg += "; nearest retained epoch: " + std::to_string(*below) +
+           " (below), none above";
+  } else if (above.has_value()) {
+    msg += "; nearest retained epoch: " + std::to_string(*above) +
+           " (above), none below";
+  } else {
+    msg += "; the log holds no parseable epochs at all";
+  }
+  return msg + " — run `ickptctl history` for the full retained set";
+}
+
 }  // namespace
+
+EpochNotRetainedError::EpochNotRetainedError(const std::string& path,
+                                             Epoch target,
+                                             std::optional<Epoch> below,
+                                             std::optional<Epoch> above)
+    : CorruptionError(not_retained_message(path, target, below, above)),
+      target_(target),
+      below_(below),
+      above_(above) {}
 
 CheckpointManager::CheckpointManager(std::string path, ManagerOptions opts)
     : opts_(std::move(opts)),
@@ -506,15 +537,17 @@ std::uint64_t CheckpointManager::heal_append_failure(
 namespace {
 
 /// Payload-free record of one frame, built by the indexing pass. Holding
-/// only these (16-ish bytes each) instead of io::Frame payloads is what
+/// only these (24-ish bytes each) instead of io::Frame payloads is what
 /// bounds recovery memory by the largest frame rather than the log size.
 struct FrameMeta {
   std::uint64_t seq = 0;
   bool resync = false;
   /// Mode peeked from the payload while it was streaming past; nullopt when
   /// even the stream header is undecodable (such a frame cannot anchor a
-  /// window).
+  /// window or be addressed by epoch).
   std::optional<Mode> mode;
+  /// Stream-header epoch; meaningful iff mode is set.
+  Epoch epoch = 0;
 };
 
 /// End-of-scan state of the indexing pass (mirrors io::ScanResult minus the
@@ -530,25 +563,24 @@ struct LogIndex {
 
 LogIndex index_log(const std::string& path, const io::ScanOptions& sopts) {
   obs::Span span("storage.scan", "io");
+  io::FrameIndex raw = io::index_frames(path, sopts, stream_header_probe());
   LogIndex index;
-  io::FrameIterator it(path, sopts);
-  io::Frame frame;
-  while (it.next(frame)) {
+  index.frames.reserve(raw.frames.size());
+  for (const io::IndexedFrame& f : raw.frames) {
     FrameMeta meta;
-    meta.seq = frame.seq;
-    meta.resync = frame.resync;
-    try {
-      meta.mode = peek_header(frame.payload).mode;
-    } catch (const Error&) {
-      meta.mode = std::nullopt;
+    meta.seq = f.seq;
+    meta.resync = f.resync;
+    if (f.header_ok) {
+      meta.mode = static_cast<Mode>(f.mode);
+      meta.epoch = f.epoch;
     }
     index.frames.push_back(meta);
   }
-  index.clean = it.clean();
-  index.stop_reason = it.stop_reason();
-  index.stop_offset = it.stop_offset();
-  index.regions_skipped = it.regions_skipped();
-  index.bytes_skipped = it.bytes_skipped();
+  index.clean = raw.clean;
+  index.stop_reason = raw.stop_reason;
+  index.stop_offset = raw.stop_offset;
+  index.regions_skipped = raw.regions_skipped;
+  index.bytes_skipped = raw.bytes_skipped;
   // recover() used to obtain its frames through StableStorage::scan, which
   // feeds the scan counters; keep feeding them now that it streams the log
   // itself (ickptctl stats --self-test checks these stay live). Cold path:
@@ -650,9 +682,38 @@ RecoverResult recover_one(const std::string& path,
   // Pass 1: index the log without materializing payloads.
   LogIndex index = index_log(path, sopts);
   std::size_t passes = 1;
-  if (index.frames.empty())
+  if (index.frames.empty()) {
+    if (opts.target_epoch.has_value())
+      throw EpochNotRetainedError(path, *opts.target_epoch, std::nullopt,
+                                  std::nullopt);
     throw CorruptionError("no recoverable checkpoint in '" + path + "'" +
                           (index.clean ? "" : " (" + index.stop_reason + ")"));
+  }
+
+  // Time-travel: locate the newest parseable frame carrying the target
+  // epoch. Its absence is an EpochNotRetainedError naming the nearest
+  // parseable neighbors — never a silent fall-forward to different state.
+  std::optional<std::size_t> target_at;
+  if (opts.target_epoch.has_value()) {
+    const Epoch target = *opts.target_epoch;
+    for (std::size_t i = index.frames.size(); i-- > 0;) {
+      if (index.frames[i].mode.has_value() &&
+          index.frames[i].epoch == target) {
+        target_at = i;
+        break;
+      }
+    }
+    if (!target_at.has_value()) {
+      std::optional<Epoch> below;
+      std::optional<Epoch> above;
+      for (const FrameMeta& f : index.frames) {
+        if (!f.mode.has_value()) continue;
+        if (f.epoch < target && (!below || f.epoch > *below)) below = f.epoch;
+        if (f.epoch > target && (!above || f.epoch < *above)) above = f.epoch;
+      }
+      throw EpochNotRetainedError(path, target, below, above);
+    }
+  }
 
   RecoverResult result;
   result.recovered_path = path;
@@ -686,24 +747,28 @@ RecoverResult recover_one(const std::string& path,
   bool recovered = false;
   bool saw_empty_window = false;
   std::size_t records_applied = 0;
-  // Newest usable window wins: walk segments from the back, and inside a
-  // segment prefer the latest full checkpoint. Pass 2..n: each candidate
-  // window re-streams the log (frame payloads decoded one at a time).
-  for (std::size_t s = starts.size() - 1; s-- > 0 && !recovered;) {
-    const std::size_t seg_begin = starts[s];
-    const std::size_t seg_end = starts[s + 1];
-    for (std::size_t i = seg_end; i-- > seg_begin && !recovered;) {
+  if (target_at.has_value()) {
+    // Time-travel window: anchored on a full checkpoint at or before the
+    // target, ending right after the target's frame, inside the target's
+    // contiguous segment (across a corrupt gap, deltas may be missing).
+    std::size_t seg_begin = 0;
+    for (std::size_t s = 0; s + 1 < starts.size(); ++s)
+      if (starts[s] <= *target_at && *target_at < starts[s + 1])
+        seg_begin = starts[s];
+    const std::size_t end_limit = *target_at + 1;
+    for (std::size_t i = end_limit; i-- > seg_begin && !recovered;) {
       if (index.frames[i].mode != Mode::kFull) continue;
       std::size_t applied = 0;
       obs::Span apply_span("recover.apply_window", "recovery");
-      if (apply_window(path, sopts, index.frames, i, seg_end, registry,
+      if (apply_window(path, sopts, index.frames, i, end_limit, registry,
                        result.state, applied, note, records_applied,
                        passes)) {
-        if (result.state.by_id.empty() && result.state.roots.empty()) {
-          // The window's frames decode but hold no object records (e.g. a
-          // bare stream header). Never return an empty graph as recovered
-          // state; keep searching older windows.
-          saw_empty_window = true;
+        // apply_window trims damaged tails; a trimmed window no longer
+        // reaches the target, and time-travel must never report success
+        // with a different epoch's state.
+        if (result.state.epoch != *opts.target_epoch ||
+            (result.state.by_id.empty() && result.state.roots.empty())) {
+          saw_empty_window = result.state.by_id.empty();
           result.state = RecoveredState{};
           continue;
         }
@@ -711,18 +776,53 @@ RecoverResult recover_one(const std::string& path,
         recovered = true;
       }
     }
-  }
-  result.stream_passes = passes;
-  if (!recovered) {
-    if (saw_empty_window)
+    result.stream_passes = passes;
+    if (!recovered)
       throw CorruptionError(
-          "log '" + path +
-          "' contains only empty checkpoint frames (stream headers with no "
-          "object records) — nothing to recover; restore the log or recover "
-          "from an older generation");
-    throw CorruptionError("log '" + path +
-                          "' contains no usable full checkpoint" +
-                          (index.clean ? "" : " (" + index.stop_reason + ")"));
+          "epoch " + std::to_string(*opts.target_epoch) + " is on log '" +
+          path +
+          "' but no undamaged window reaches it (its full-checkpoint anchor "
+          "or an intervening delta is unreadable)");
+  } else {
+    // Newest usable window wins: walk segments from the back, and inside a
+    // segment prefer the latest full checkpoint. Pass 2..n: each candidate
+    // window re-streams the log (frame payloads decoded one at a time).
+    for (std::size_t s = starts.size() - 1; s-- > 0 && !recovered;) {
+      const std::size_t seg_begin = starts[s];
+      const std::size_t seg_end = starts[s + 1];
+      for (std::size_t i = seg_end; i-- > seg_begin && !recovered;) {
+        if (index.frames[i].mode != Mode::kFull) continue;
+        std::size_t applied = 0;
+        obs::Span apply_span("recover.apply_window", "recovery");
+        if (apply_window(path, sopts, index.frames, i, seg_end, registry,
+                         result.state, applied, note, records_applied,
+                         passes)) {
+          if (result.state.by_id.empty() && result.state.roots.empty()) {
+            // The window's frames decode but hold no object records (e.g. a
+            // bare stream header). Never return an empty graph as recovered
+            // state; keep searching older windows.
+            saw_empty_window = true;
+            result.state = RecoveredState{};
+            continue;
+          }
+          result.checkpoints_applied = applied;
+          recovered = true;
+        }
+      }
+    }
+    result.stream_passes = passes;
+    if (!recovered) {
+      if (saw_empty_window)
+        throw CorruptionError(
+            "log '" + path +
+            "' contains only empty checkpoint frames (stream headers with no "
+            "object records) — nothing to recover; restore the log or recover "
+            "from an older generation");
+      throw CorruptionError("log '" + path +
+                            "' contains no usable full checkpoint" +
+                            (index.clean ? "" : " (" + index.stop_reason +
+                                                ")"));
+    }
   }
 
   result.frames_dropped = result.frames_total - result.checkpoints_applied;
@@ -732,6 +832,13 @@ RecoverResult recover_one(const std::string& path,
   obs::counter("ickpt_recoveries_total",
                {{"log", index.clean ? "clean" : "damaged"}})
       .inc();
+  // Deltas replayed on top of the window's full-checkpoint anchor. For
+  // time-travel recoveries this is the quantity RetentionPolicy bounds
+  // (strictly below 2*granularity(age)); for newest-state recoveries it
+  // tracks full_interval. Cold path, per-call lookup.
+  if (result.checkpoints_applied > 0)
+    obs::histogram("ickpt_recover_replay_depth")
+        .observe(static_cast<double>(result.checkpoints_applied - 1));
   obs::counter("ickpt_recover_frames_total", {{"result", "applied"}})
       .inc(result.checkpoints_applied);
   obs::counter("ickpt_recover_frames_total", {{"result", "dropped"}})
@@ -756,12 +863,34 @@ RecoverResult recover_one(const std::string& path,
 RecoverResult CheckpointManager::recover(const std::string& path,
                                          const TypeRegistry& registry,
                                          RecoverOptions opts) {
+  // Neighbor knowledge accumulated across the chain while a target epoch is
+  // being hunted: the best lower neighbor is the max over files, the best
+  // upper the min — so the final EpochNotRetainedError names the tightest
+  // bracket any file can offer.
+  std::optional<Epoch> below;
+  std::optional<Epoch> above;
+  bool target_found_damaged = false;
+  std::exception_ptr damaged_failure;
+  auto note_failure = [&](const CorruptionError& e) {
+    if (const auto* missing = dynamic_cast<const EpochNotRetainedError*>(&e)) {
+      if (missing->below() && (!below || *missing->below() > *below))
+        below = missing->below();
+      if (missing->above() && (!above || *missing->above() < *above))
+        above = missing->above();
+    } else if (opts.target_epoch.has_value()) {
+      // The file carried the target but its window is damaged: if nothing
+      // recovers, report the damage, not "not retained".
+      target_found_damaged = true;
+      damaged_failure = std::current_exception();
+    }
+  };
   std::exception_ptr live_failure;
   std::string live_error;
   try {
     return recover_one(path, registry, opts);
   } catch (const CorruptionError& e) {
     if (!opts.walk_generations) throw;
+    note_failure(e);
     live_failure = std::current_exception();
     live_error = e.what();
   }
@@ -786,9 +915,16 @@ RecoverResult CheckpointManager::recover(const std::string& path,
       obs::counter("ickpt_recover_generation_fallbacks_total").inc();
       obs::instant("recover.generation_fallback", "recovery", gen);
       return result;
-    } catch (const CorruptionError&) {
+    } catch (const CorruptionError& e) {
       // Fall through to the next (older) generation.
+      note_failure(e);
     }
+  }
+  if (opts.target_epoch.has_value()) {
+    // The whole chain was consulted. Damage outranks absence: a file that
+    // held the target but could not replay it is the actionable failure.
+    if (target_found_damaged) std::rethrow_exception(damaged_failure);
+    throw EpochNotRetainedError(path, *opts.target_epoch, below, above);
   }
   if (chain.empty()) std::rethrow_exception(live_failure);
   throw CorruptionError(
@@ -797,57 +933,184 @@ RecoverResult CheckpointManager::recover(const std::string& path,
       live_error + ")");
 }
 
+RecoverResult CheckpointManager::recover_to_epoch(const std::string& path,
+                                                  const TypeRegistry& registry,
+                                                  Epoch target,
+                                                  RecoverOptions opts) {
+  opts.target_epoch = target;
+  return recover(path, registry, opts);
+}
+
+std::vector<HistoryEntry> CheckpointManager::history(const std::string& path) {
+  std::vector<HistoryEntry> out;
+  auto list_file = [&out](const std::string& file, bool live) {
+    const io::FrameIndex index =
+        io::index_frames(file, {.salvage = true}, stream_header_probe());
+    // Newest frame per epoch within a file wins (a rebase can rewrite an
+    // epoch); walk backwards and keep first-seen.
+    std::vector<Epoch> seen;
+    for (std::size_t i = index.frames.size(); i-- > 0;) {
+      const io::IndexedFrame& f = index.frames[i];
+      if (!f.header_ok) continue;
+      if (std::find(seen.begin(), seen.end(), f.epoch) != seen.end())
+        continue;
+      seen.push_back(f.epoch);
+      HistoryEntry entry;
+      entry.epoch = f.epoch;
+      entry.mode = static_cast<Mode>(f.mode);
+      entry.seq = f.seq;
+      entry.bytes = f.payload_bytes;
+      entry.file = file;
+      entry.live = live;
+      entry.resync = f.resync;
+      out.push_back(entry);
+    }
+  };
+  list_file(path, true);
+  for (const std::string& gen : io::StableStorage::generation_chain(path))
+    list_file(gen, false);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HistoryEntry& a, const HistoryEntry& b) {
+                     if (a.epoch != b.epoch) return a.epoch < b.epoch;
+                     return a.live && !b.live;
+                   });
+  return out;
+}
+
+namespace {
+
+/// Serialize `state` as one full-checkpoint payload carrying its epoch.
+std::vector<std::uint8_t> full_payload_of(RecoveredState& state) {
+  std::vector<Checkpointable*> roots;
+  roots.reserve(state.roots.size());
+  for (ObjectId id : state.roots) {
+    Checkpointable* obj = state.find(id);
+    if (obj == nullptr)
+      throw CorruptionError("compaction: root vanished during recovery");
+    roots.push_back(obj);
+  }
+  io::VectorSink sink;
+  {
+    io::DataWriter writer(sink);
+    CheckpointOptions copts;
+    copts.mode = Mode::kFull;
+    Checkpoint::run(writer, state.epoch, roots, copts);
+    writer.flush();
+  }
+  return sink.take();
+}
+
+}  // namespace
+
 CompactResult CheckpointManager::compact(const std::string& path,
                                          const TypeRegistry& registry,
-                                         io::FaultPolicy* fault) {
+                                         CompactOptions opts) {
   obs::Span span("checkpoint.compact", "checkpoint");
+  const bool binomial = opts.policy == CompactPolicy::kBinomial;
   obs::Histogram compact_seconds = obs::histogram("ickpt_compact_seconds");
   const bool timed = compact_seconds.live();
   std::chrono::steady_clock::time_point t0;
   if (timed) t0 = std::chrono::steady_clock::now();
 
-  RecoverResult recovered = recover(path, registry);
-
   CompactResult result;
-  result.objects = recovered.state.by_id.size();
   try {
     result.bytes_before = io::read_file(path).size();
   } catch (const IoError&) {
     result.bytes_before = 0;
   }
 
-  // One full checkpoint of the recovered state, built in a sibling file and
-  // atomically published over the log: temp write + fsync + rename +
-  // directory fsync. A crash anywhere in here loses only the compaction;
-  // the original log is not touched until the rename.
-  std::vector<Checkpointable*> roots;
-  roots.reserve(recovered.state.roots.size());
-  for (ObjectId id : recovered.state.roots) {
-    Checkpointable* obj = recovered.state.find(id);
-    if (obj == nullptr)
-      throw CorruptionError("compaction: root vanished during recovery");
-    roots.push_back(obj);
-  }
-
+  // The replacement log is built in a sibling file and atomically published
+  // over the original: temp write + fsync + rename + directory fsync. A
+  // crash anywhere before the rename loses only the compaction; the
+  // original log is not touched until then (recovery reads it while the
+  // replacement grows).
   const std::string tmp_path = path + ".compact";
   std::remove(tmp_path.c_str());  // stale leftover of a crashed compaction
+  Epoch newest = 0;
   {
     io::StableStorage fresh(tmp_path,
                             io::StorageOptions{.durable = true,
-                                               .fault = fault});
-    io::VectorSink sink;
-    {
-      io::DataWriter writer(sink);
-      CheckpointOptions copts;
-      copts.mode = Mode::kFull;
-      Checkpoint::run(writer, recovered.state.epoch, roots, copts);
-      writer.flush();
+                                               .fault = opts.fault});
+    if (binomial) {
+      // Which epochs does the schedule want, of the ones actually here?
+      // Only the live log is rewritten — quarantined generations are
+      // post-mortem artifacts, not subject to retention.
+      const io::FrameIndex index =
+          io::index_frames(path, {.salvage = true}, stream_header_probe());
+      const std::vector<Epoch> present = index.epochs();
+      if (present.empty())
+        throw CorruptionError("no parseable epochs on '" + path +
+                              "' to retain");
+      newest = present.back();
+      std::vector<Epoch> targets;
+      for (Epoch e : RetentionPolicy::schedule(newest)) {
+        if (std::binary_search(present.begin(), present.end(), e))
+          targets.push_back(e);
+      }
+      // Materialize each retained epoch as a full frame with seq == epoch:
+      // every retained epoch then recovers in one frame, and epoch
+      // numbering (epoch_ = next_seq()) resumes correctly past the rewrite.
+      // O(log n) recoveries of the unchanged original log, oldest first.
+      for (Epoch e : targets) {
+        RecoverOptions ropts;
+        ropts.walk_generations = false;
+        ropts.target_epoch = e;
+        RecoveredState state;
+        try {
+          state = recover(path, registry, ropts).state;
+        } catch (const CorruptionError&) {
+          // A scheduled epoch whose window is damaged cannot be carried
+          // forward; drop it rather than fail the whole compaction.
+          ++result.epochs_dropped;
+          continue;
+        }
+        const std::vector<std::uint8_t> payload = full_payload_of(state);
+        result.objects = state.by_id.size();  // newest survives the loop
+        fresh.set_next_seq(e);
+        fresh.append(payload);
+        result.retained.push_back(e);
+      }
+      if (result.retained.empty())
+        throw CorruptionError("policy compaction of '" + path +
+                              "': no scheduled epoch is recoverable");
+      result.bytes_after = result.bytes_before;  // placeholder; fixed below
+    } else {
+      RecoverResult recovered = recover(path, registry);
+      result.objects = recovered.state.by_id.size();
+      newest = recovered.state.epoch;
+      const std::vector<std::uint8_t> payload =
+          full_payload_of(recovered.state);
+      result.bytes_after = payload.size();
+      fresh.set_next_seq(newest);
+      fresh.append(payload);
+      result.retained.push_back(newest);
     }
-    result.bytes_after = sink.size();
-    fresh.append(sink.bytes());
   }
   io::rename_durable(tmp_path, path);
-  obs::counter("ickpt_compacts_total").inc();
+  if (binomial) {
+    try {
+      result.bytes_after = io::read_file(path).size();
+    } catch (const IoError&) {
+      result.bytes_after = 0;
+    }
+    // Declare what was kept. Published after the log so a crash between the
+    // two leaves a *stale* manifest — safe by schedule monotonicity (a
+    // newer schedule only drops epochs the stale one already declared), and
+    // exactly what fsck's retention audit checks for.
+    RetentionManifest manifest;
+    manifest.newest = newest;
+    manifest.epochs = result.retained;
+    manifest.save(path);
+    obs::gauge("ickpt_retained_epochs")
+        .set(static_cast<std::int64_t>(result.retained.size()));
+  } else {
+    // A squashed log has no history; a leftover declaration would make
+    // fsck audit the fresh single-frame log against a dead schedule.
+    RetentionManifest::remove(path);
+  }
+  obs::counter("ickpt_compacts_total",
+               {{"policy", binomial ? "binomial" : "squash"}})
+      .inc();
   if (timed)
     compact_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -855,8 +1118,18 @@ CompactResult CheckpointManager::compact(const std::string& path,
   if (span.active())
     span.note(std::to_string(result.objects) + " object(s), " +
               std::to_string(result.bytes_before) + " -> " +
-              std::to_string(result.bytes_after) + " byte(s)");
+              std::to_string(result.bytes_after) + " byte(s), " +
+              std::to_string(result.retained.size()) +
+              " epoch(s) retained");
   return result;
+}
+
+CompactResult CheckpointManager::compact(const std::string& path,
+                                         const TypeRegistry& registry,
+                                         io::FaultPolicy* fault) {
+  return compact(path, registry,
+                 CompactOptions{.policy = CompactPolicy::kSquashAll,
+                                .fault = fault});
 }
 
 }  // namespace ickpt::core

@@ -18,6 +18,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/async_log.hpp"
 #include "core/checkpoint.hpp"
@@ -96,6 +97,35 @@ struct RecoverOptions {
   /// quarantined generations (`<path>.quarantine.<n>`, newest first) that
   /// rotation left behind, instead of failing immediately.
   bool walk_generations = true;
+  /// Time-travel target: recover the state as of exactly this epoch instead
+  /// of the newest one — the newest full checkpoint <= target anchors the
+  /// window and the deltas replay up to (and including) the target's frame.
+  /// A target not present on the log (chain) fails with
+  /// EpochNotRetainedError naming the nearest retained neighbors; recovery
+  /// never silently returns a different epoch's state.
+  std::optional<Epoch> target_epoch;
+};
+
+/// Thrown when a requested target epoch is not on the log (or anywhere on
+/// its generation chain): either the retention policy dropped it or it was
+/// never taken. Carries the nearest epochs that *are* present so callers
+/// (and the CLI) can offer them — a wrong-state success is never an option.
+class EpochNotRetainedError : public CorruptionError {
+ public:
+  EpochNotRetainedError(const std::string& path, Epoch target,
+                        std::optional<Epoch> below,
+                        std::optional<Epoch> above);
+
+  [[nodiscard]] Epoch target() const noexcept { return target_; }
+  /// Largest retained epoch < target, if any.
+  [[nodiscard]] std::optional<Epoch> below() const noexcept { return below_; }
+  /// Smallest retained epoch > target, if any.
+  [[nodiscard]] std::optional<Epoch> above() const noexcept { return above_; }
+
+ private:
+  Epoch target_;
+  std::optional<Epoch> below_;
+  std::optional<Epoch> above_;
 };
 
 struct RecoverResult {
@@ -129,11 +159,43 @@ struct RecoverResult {
   std::size_t stream_passes = 0;
 };
 
+/// What a compaction keeps. kSquashAll is the original garbage collection:
+/// one full checkpoint of the newest state, history gone. kBinomial rewrites
+/// the log to the RetentionPolicy schedule — every retained epoch
+/// materialized as a full frame (seq == epoch), O(log n) frames total — and
+/// declares the result in a `<log>.retain` manifest for fsck to audit.
+enum class CompactPolicy : std::uint8_t { kSquashAll, kBinomial };
+
+struct CompactOptions {
+  CompactPolicy policy = CompactPolicy::kSquashAll;
+  /// Fault injection for the replacement log's writes (tests).
+  io::FaultPolicy* fault = nullptr;
+};
+
 struct CompactResult {
-  /// Objects in the surviving full checkpoint.
+  /// Objects in the newest surviving full checkpoint.
   std::size_t objects = 0;
   std::size_t bytes_before = 0;
   std::size_t bytes_after = 0;
+  /// Epochs the rewritten log carries, ascending ({newest} for kSquashAll).
+  std::vector<Epoch> retained;
+  /// kBinomial: scheduled epochs that could not be recovered (damaged
+  /// windows) and were therefore dropped from the rewrite.
+  std::size_t epochs_dropped = 0;
+};
+
+/// One epoch visible on a log's generation chain (CheckpointManager::
+/// history): where its newest frame lives and how it was written.
+struct HistoryEntry {
+  Epoch epoch = 0;
+  Mode mode = Mode::kFull;
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  /// The file holding the frame (live log or a quarantined generation).
+  std::string file;
+  bool live = true;
+  /// A corrupt region precedes this frame (its window may be damaged).
+  bool resync = false;
 };
 
 class CheckpointManager {
@@ -201,13 +263,38 @@ class CheckpointManager {
                                const TypeRegistry& registry,
                                RecoverOptions opts = {});
 
-  /// Rewrite `path` to a single full checkpoint of its recovered state,
-  /// dropping the incremental history (checkpoint-log garbage collection).
-  /// Crash-atomic: the replacement is built in `<path>.compact`, fsynced,
-  /// and renamed over the log (with a directory fsync) — a crash at any
-  /// point loses at most the compaction, never the original log.
-  /// Must not be called while a manager has the log open. `fault` threads
-  /// an injection policy into the temporary log's writes (tests).
+  /// Time-travel: recover the state as of exactly epoch `target`.
+  /// Equivalent to recover() with opts.target_epoch set — the newest full
+  /// checkpoint <= target anchors the window, deltas replay up to the
+  /// target's frame, and the generation chain is walked when the live log
+  /// does not hold the target. Throws EpochNotRetainedError (naming the
+  /// nearest retained neighbors) when no file on the chain carries the
+  /// target, CorruptionError when it is present but its window is damaged.
+  static RecoverResult recover_to_epoch(const std::string& path,
+                                        const TypeRegistry& registry,
+                                        Epoch target, RecoverOptions opts = {});
+
+  /// Every epoch visible on the chain of `path` (live log first, then
+  /// quarantined generations), ascending by epoch; within an epoch the live
+  /// log's frame is listed first. This is the candidate list for
+  /// recover_to_epoch — entries from damaged windows (resync) may still
+  /// fail to recover.
+  static std::vector<HistoryEntry> history(const std::string& path);
+
+  /// Rewrite `path` per CompactOptions::policy: kSquashAll keeps one full
+  /// checkpoint of the newest state (checkpoint-log garbage collection,
+  /// removing any `<path>.retain` manifest); kBinomial keeps the
+  /// RetentionPolicy schedule — each retained epoch recovered and rewritten
+  /// as a full frame with seq == epoch — and publishes the `<path>.retain`
+  /// manifest. Crash-atomic either way: the replacement is built in
+  /// `<path>.compact`, fsynced, and renamed over the log (with a directory
+  /// fsync) — a crash at any point loses at most the compaction, never the
+  /// original log. Must not be called while a manager has the log open.
+  static CompactResult compact(const std::string& path,
+                               const TypeRegistry& registry,
+                               CompactOptions opts);
+
+  /// Back-compat shorthand for the kSquashAll policy.
   static CompactResult compact(const std::string& path,
                                const TypeRegistry& registry,
                                io::FaultPolicy* fault = nullptr);

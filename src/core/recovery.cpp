@@ -63,6 +63,20 @@ StreamHeader peek_header(const std::vector<std::uint8_t>& payload) {
   return read_header(r);
 }
 
+io::HeaderProbe stream_header_probe() {
+  return [](const std::vector<std::uint8_t>& payload, std::uint64_t& epoch,
+            std::uint8_t& mode) {
+    try {
+      const StreamHeader h = peek_header(payload);
+      epoch = h.epoch;
+      mode = static_cast<std::uint8_t>(h.mode);
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
+  };
+}
+
 StreamHeader Recovery::apply(io::DataReader& r, ApplyStats* stats) {
   StreamHeader header = read_header(r);
   for (;;) {

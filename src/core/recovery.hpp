@@ -18,6 +18,7 @@
 #include "core/checkpointable.hpp"
 #include "core/type_registry.hpp"
 #include "io/data_reader.hpp"
+#include "io/frame_index.hpp"
 
 namespace ickpt::core {
 
@@ -68,6 +69,12 @@ struct StreamHeader {
 /// Parse just the header of a checkpoint payload (cheap; used to locate the
 /// most recent full checkpoint in a log without decoding records).
 StreamHeader peek_header(const std::vector<std::uint8_t>& payload);
+
+/// peek_header wrapped as an io::HeaderProbe: the adapter that lets the
+/// storage layer's epoch-addressed frame index (io::index_frames) read
+/// stream headers without knowing the checkpoint format. Returns false for
+/// payloads that are not parseable checkpoint streams.
+io::HeaderProbe stream_header_probe();
 
 /// Per-checkpoint record statistics (filled by Recovery::apply on request;
 /// the basis of the log-inspection tooling).

@@ -1,0 +1,114 @@
+#include "core/retention.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/file_io.hpp"
+
+namespace ickpt::core {
+
+std::uint64_t RetentionPolicy::granularity(std::uint64_t d) noexcept {
+  return std::bit_floor(d);
+}
+
+bool RetentionPolicy::retained(Epoch e, Epoch n) noexcept {
+  if (e > n) return false;
+  if (e == n) return true;
+  return e % granularity(n - e) == 0;
+}
+
+std::vector<Epoch> RetentionPolicy::schedule(Epoch n) {
+  // Walk ages d = n - e by power-of-two bands. Within band
+  // [2^k, 2^(k+1) - 1] the granularity is constant 2^k, so the retained
+  // epochs of that band are exactly the multiples of 2^k inside the epoch
+  // range [n - dhi, n - 2^k] — at most two of them. O(log n) total.
+  std::vector<Epoch> out;
+  out.push_back(n);
+  for (std::uint64_t g = 1; g <= n; g <<= 1) {
+    const Epoch dhi = std::min<Epoch>(n, (g << 1) - 1);
+    const Epoch lo = n - dhi;
+    const Epoch hi = n - g;
+    for (Epoch e = ((lo + g - 1) / g) * g; e <= hi; e += g) out.push_back(e);
+    if (g > n - g) break;  // next shift would overflow past n
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t RetentionPolicy::max_retained(Epoch n) noexcept {
+  if (n == 0) return 1;
+  return 2 * static_cast<std::size_t>(std::bit_width(n) - 1) + 3;
+}
+
+Epoch RetentionPolicy::replay_bound(Epoch t, Epoch n) noexcept {
+  if (t >= n || retained(t, n)) return 0;
+  return 2 * granularity(n - t);
+}
+
+bool RetentionManifest::declares(Epoch e) const {
+  return std::binary_search(epochs.begin(), epochs.end(), e);
+}
+
+std::string RetentionManifest::path_for(const std::string& log_path) {
+  return log_path + ".retain";
+}
+
+std::optional<RetentionManifest> RetentionManifest::load(
+    const std::string& log_path) {
+  const std::string path = path_for(log_path);
+  if (!io::file_exists(path)) return std::nullopt;
+  const auto bytes = io::read_file(path);
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  std::string magic;
+  in >> magic;
+  if (magic != "ickpt-retain") {
+    throw CorruptionError("retention manifest " + path + ": bad magic");
+  }
+  unsigned version = 0;
+  in >> version;
+  if (!in || version != 1) {
+    throw CorruptionError("retention manifest " + path +
+                          ": unsupported version");
+  }
+  RetentionManifest m;
+  std::size_t count = 0;
+  if (!(in >> m.newest >> count)) {
+    throw CorruptionError("retention manifest " + path + ": truncated header");
+  }
+  m.epochs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Epoch e = 0;
+    if (!(in >> e)) {
+      throw CorruptionError("retention manifest " + path +
+                            ": truncated epoch list");
+    }
+    if (!m.epochs.empty() && e <= m.epochs.back()) {
+      throw CorruptionError("retention manifest " + path +
+                            ": epoch list not strictly ascending");
+    }
+    m.epochs.push_back(e);
+  }
+  return m;
+}
+
+void RetentionManifest::save(const std::string& log_path) const {
+  std::ostringstream out;
+  out << "ickpt-retain 1\n" << newest << ' ' << epochs.size() << '\n';
+  for (Epoch e : epochs) out << e << '\n';
+  const std::string text = out.str();
+  const std::string path = path_for(log_path);
+  const std::string tmp = path + ".tmp";
+  io::write_file(tmp, std::vector<std::uint8_t>(text.begin(), text.end()));
+  io::rename_durable(tmp, path);
+}
+
+void RetentionManifest::remove(const std::string& log_path) {
+  const std::string path = path_for(log_path);
+  if (std::remove(path.c_str()) == 0) io::fsync_parent_dir(path);
+}
+
+}  // namespace ickpt::core

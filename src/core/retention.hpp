@@ -1,0 +1,95 @@
+// Binomial retention schedule for checkpoint history (time-travel recovery).
+//
+// Recovery used to treat the log as a crash artifact: only the newest
+// consistent window mattered, and compact() squashed everything else. The
+// retention policy turns the log into a bounded queryable history instead,
+// following the spacing of binomial checkpointing (Siskind & Pearlmutter
+// 2016/2017): keep a set of epochs whose density halves with age, so that
+//
+//   size    — at most 2*floor(log2(n)) + 3 epochs are retained when the
+//             newest epoch is n (RetentionPolicy::max_retained, asserted
+//             exactly by tests/retention_test.cpp up to n = 10^6);
+//   replay  — restoring *any* epoch t (retained or not) from its nearest
+//             retained ancestor replays fewer than 2*granularity(n - t)
+//             epochs, i.e. the cost of reaching a moment of age d is O(d)
+//             with constant < 2, and retained epochs cost one frame;
+//   monotonicity — the schedule only ever *drops* epochs as n advances: an
+//             epoch dropped at n is never retained again at any n' > n, so
+//             successive policy compactions always find the epochs they
+//             want still present.
+//
+// The rule: epoch e is retained while the newest epoch is n iff e == n or
+// e is a multiple of granularity(n - e), where granularity(d) is the
+// largest power of two <= d. Epoch 0 (genesis) is always retained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ickpt::core {
+
+class RetentionPolicy {
+ public:
+  /// Largest power of two <= d. Requires d >= 1.
+  static std::uint64_t granularity(std::uint64_t d) noexcept;
+
+  /// True when epoch e is retained while the newest epoch is n. False for
+  /// e > n. Monotone in n: once false for some n, false for every n' > n.
+  static bool retained(Epoch e, Epoch n) noexcept;
+
+  /// Every retained epoch for newest epoch n, ascending (always contains 0
+  /// and n). O(log n) time and space — never enumerates [0, n].
+  static std::vector<Epoch> schedule(Epoch n);
+
+  /// Closed-form bound on schedule(n).size(): 2*floor(log2(n)) + 3 for
+  /// n >= 1, and 1 for n == 0. Tight (reached for some n).
+  static std::size_t max_retained(Epoch n) noexcept;
+
+  /// Upper bound on the replay distance from the nearest retained epoch
+  /// <= t to t itself: strictly fewer than 2*granularity(n - t) epochs
+  /// (0 when t == n or t is retained). This is the "bounded worst-case
+  /// replay" half of the binomial trade: reaching a moment of age d costs
+  /// less than 2*bit_floor(d) <= 2d replays.
+  static Epoch replay_bound(Epoch t, Epoch n) noexcept;
+};
+
+/// Sidecar declaration a policy compaction leaves next to the log
+/// (`<log>.retain`): which epochs the rewrite kept and what the newest
+/// epoch was when the schedule was computed. The checkpoint byte format is
+/// untouched — retention only selects frames — so this file is how fsck
+/// can tell a deliberately thinned history from a damaged one: any epoch
+/// <= `newest` present in the log but absent from `epochs` is a
+/// half-applied policy, and any declared epoch missing from the log is
+/// lost history. Schedule monotonicity makes a stale manifest (from an
+/// older compaction that crashed before updating it) conservative rather
+/// than wrong: later schedules only ever drop epochs the stale manifest
+/// already declared.
+struct RetentionManifest {
+  /// Newest epoch on the log when the schedule was computed.
+  Epoch newest = 0;
+  /// The epochs the compaction actually wrote, ascending.
+  std::vector<Epoch> epochs;
+
+  [[nodiscard]] bool declares(Epoch e) const;
+
+  /// `<log>.retain`.
+  static std::string path_for(const std::string& log_path);
+
+  /// Load the manifest next to `log_path`; nullopt when none exists.
+  /// Throws CorruptionError on an unparseable manifest.
+  static std::optional<RetentionManifest> load(const std::string& log_path);
+
+  /// Atomically publish this manifest next to `log_path` (temp + rename +
+  /// directory fsync, the same publish step the compacted log uses).
+  void save(const std::string& log_path) const;
+
+  /// Delete the manifest next to `log_path` (squash compactions drop the
+  /// history, so the declaration must go with it). Missing file is fine.
+  static void remove(const std::string& log_path);
+};
+
+}  // namespace ickpt::core

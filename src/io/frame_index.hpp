@@ -1,0 +1,77 @@
+// Epoch-addressed index of a checkpoint log.
+//
+// The storage layer frames opaque payloads; which epoch a frame carries is
+// written by the core stream encoder inside the payload. Time-travel
+// recovery and fsck's retention audit both need to answer "which epochs are
+// on this log, and where" without materializing any payload — so this scan
+// streams every frame (salvage-aware, O(largest frame) memory) and asks a
+// caller-supplied HeaderProbe to read the epoch/mode out of each payload's
+// first bytes. The probe keeps the layering honest: io stays ignorant of
+// the checkpoint stream format, core (which owns peek_header) supplies the
+// few lines that understand it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/stable_storage.hpp"
+
+namespace ickpt::io {
+
+struct IndexedFrame {
+  std::uint64_t seq = 0;
+  /// Byte offset of the frame header within the log.
+  std::uint64_t offset = 0;
+  std::size_t payload_bytes = 0;
+  /// A corrupt region lies between this frame and the previous one.
+  bool resync = false;
+  /// The HeaderProbe accepted this payload; epoch/mode are meaningful.
+  bool header_ok = false;
+  std::uint64_t epoch = 0;
+  /// Stream mode byte as written (core::Mode); meaningful iff header_ok.
+  std::uint8_t mode = 0;
+};
+
+/// Reads epoch + mode from the leading bytes of a frame payload; returns
+/// false (leaving the outputs alone) when the payload is not a parseable
+/// checkpoint stream header.
+using HeaderProbe = std::function<bool(
+    const std::vector<std::uint8_t>& payload, std::uint64_t& epoch,
+    std::uint8_t& mode)>;
+
+struct FrameIndex {
+  std::vector<IndexedFrame> frames;
+  // End-of-scan state, mirroring ScanResult.
+  bool clean = true;
+  std::string stop_reason;
+  std::uint64_t stop_offset = 0;
+  std::size_t regions_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+
+  /// Index (into frames) of the newest parseable frame carrying `epoch`;
+  /// nullopt when the epoch is not on this log.
+  [[nodiscard]] std::optional<std::size_t> find_epoch(
+      std::uint64_t epoch) const;
+
+  /// Largest parseable epoch < `epoch` on this log (nearest retained
+  /// neighbor below a missing target), and smallest parseable epoch >
+  /// `epoch`. Used to make "epoch not retained" errors actionable.
+  [[nodiscard]] std::optional<std::uint64_t> nearest_below(
+      std::uint64_t epoch) const;
+  [[nodiscard]] std::optional<std::uint64_t> nearest_above(
+      std::uint64_t epoch) const;
+
+  /// Every distinct parseable epoch on this log, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> epochs() const;
+};
+
+/// Stream the log at `path` into an index. A missing file indexes as an
+/// empty, clean log. Payloads are probed and discarded — memory stays
+/// O(largest frame) plus the index itself.
+FrameIndex index_frames(const std::string& path, ScanOptions opts,
+                        const HeaderProbe& probe);
+
+}  // namespace ickpt::io

@@ -472,6 +472,13 @@ RotateResult StableStorage::rotate(const RotateHook& hook) {
   if (file_exists(path_ + ".bak"))
     std::rename((path_ + ".bak").c_str(),
                 (result.quarantine_path + ".bak").c_str());
+  // Likewise the retention manifest: it declared the epochs of the log that
+  // just moved, so it follows the log into quarantine (leaving it at the
+  // live path would make fsck audit the fresh generation against the old
+  // generation's schedule).
+  if (file_exists(path_ + ".retain"))
+    std::rename((path_ + ".retain").c_str(),
+                (result.quarantine_path + ".retain").c_str());
   if (hook) hook(RotateStage::kAfterQuarantine);
   open_for_append();
   if (hook) hook(RotateStage::kAfterReopen);

@@ -21,6 +21,7 @@
 // `<path>.bak`), so post-crash appends never land behind unreadable bytes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -199,6 +200,15 @@ class StableStorage {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// Raise the next sequence number (forward-only; a smaller value is
+  /// ignored — sequence numbers never move backwards). The policy
+  /// compaction uses this to write each retained epoch's frame with
+  /// seq == epoch, so epoch numbering resumes correctly from next_seq()
+  /// after the rewrite.
+  void set_next_seq(std::uint64_t seq) noexcept {
+    next_seq_ = std::max(next_seq_, seq);
+  }
 
   /// The quarantine file name for slot `n`.
   static std::string quarantine_path(const std::string& path, unsigned n);

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/recovery.hpp"
+#include "core/retention.hpp"
+#include "io/frame_index.hpp"
 #include "io/stable_storage.hpp"
 
 namespace ickpt::verify {
@@ -187,11 +189,105 @@ Report fsck_frames(io::FrameIterator& frames,
   return report;
 }
 
+/// Retention audit: when a `<log>.retain` manifest declares what a policy
+/// compaction kept, the log must honor the declaration exactly. An epoch on
+/// the log (at or below the declared newest) that the manifest does not
+/// declare is a half-applied policy — damage, not tidiness; a declared
+/// epoch missing from the log is lost history; a declared epoch off the
+/// binomial schedule means the manifest itself lies. Epochs *above* the
+/// declared newest are ordinary post-compaction appends and exempt.
+void audit_retention(Report& report, const std::string& path) {
+  std::optional<core::RetentionManifest> manifest;
+  try {
+    manifest = core::RetentionManifest::load(path);
+  } catch (const CorruptionError& e) {
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "retention-policy";
+    finding.message = e.what();
+    report.add(std::move(finding));
+    return;
+  }
+  if (!manifest.has_value()) return;  // never policy-compacted: nothing due
+
+  const io::FrameIndex index =
+      io::index_frames(path, {.salvage = true}, core::stream_header_probe());
+
+  for (const io::IndexedFrame& f : index.frames) {
+    if (!f.header_ok || f.epoch > manifest->newest) continue;
+    if (manifest->declares(f.epoch)) continue;
+    Finding finding;
+    finding.severity = Severity::kError;
+    finding.code = "retention-undeclared";
+    finding.frame_seq = static_cast<std::int64_t>(f.seq);
+    finding.byte_offset = static_cast<std::int64_t>(f.offset);
+    finding.message =
+        "epoch " + std::to_string(f.epoch) +
+        " is on the log but absent from the declared retention schedule "
+        "(newest " +
+        std::to_string(manifest->newest) +
+        "); a half-applied policy compaction left undeclared history";
+    report.add(std::move(finding));
+  }
+
+  for (Epoch e : manifest->epochs) {
+    if (!core::RetentionPolicy::retained(e, manifest->newest)) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "retention-policy";
+      finding.message = "manifest declares epoch " + std::to_string(e) +
+                        " which is not on the binomial schedule for newest "
+                        "epoch " +
+                        std::to_string(manifest->newest);
+      report.add(std::move(finding));
+    }
+    const std::optional<std::size_t> at = index.find_epoch(e);
+    if (!at.has_value()) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "retention-missing";
+      finding.message = "declared retained epoch " + std::to_string(e) +
+                        " has no parseable frame on the log; retained "
+                        "history was lost";
+      report.add(std::move(finding));
+      continue;
+    }
+    // Reachability: the epoch's frame must be a full checkpoint, or sit in
+    // an unbroken run of parseable frames below an anchoring full — the
+    // exact window recover_to_epoch would replay.
+    bool reachable = false;
+    for (std::size_t j = *at + 1; j-- > 0;) {
+      const io::IndexedFrame& f = index.frames[j];
+      if (!f.header_ok) break;  // undecodable frame breaks the replay window
+      if (static_cast<core::Mode>(f.mode) == core::Mode::kFull) {
+        reachable = true;
+        break;
+      }
+      if (f.resync) break;  // a corrupt gap precedes: deltas may be missing
+    }
+    if (!reachable) {
+      Finding finding;
+      finding.severity = Severity::kError;
+      finding.code = "retention-unreachable";
+      finding.frame_seq =
+          static_cast<std::int64_t>(index.frames[*at].seq);
+      finding.message =
+          "declared retained epoch " + std::to_string(e) +
+          " is on the log but no undamaged full-checkpoint window reaches "
+          "it; recover --epoch " +
+          std::to_string(e) + " would fail";
+      report.add(std::move(finding));
+    }
+  }
+}
+
 }  // namespace
 
 Report fsck_log(const std::string& path, const core::TypeRegistry& registry) {
   io::FrameIterator frames(path);
-  return fsck_frames(frames, registry);
+  Report report = fsck_frames(frames, registry);
+  audit_retention(report, path);
+  return report;
 }
 
 Report fsck_bytes(const std::vector<std::uint8_t>& bytes,

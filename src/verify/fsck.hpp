@@ -28,6 +28,16 @@
 //                   within one frame is flagged ("dup-record", kWarning —
 //                   the double-record signature of an unguarded shared
 //                   subobject).
+//   retention     — when a `<log>.retain` manifest declares a policy
+//                   compaction's retained set, the log must honor it: an
+//                   epoch on the log at or below the declared newest but
+//                   absent from the declaration ("retention-undeclared",
+//                   kError — a half-applied policy is damage, not
+//                   tidiness), a declared epoch with no parseable frame
+//                   ("retention-missing", kError), a declared epoch off
+//                   the binomial schedule ("retention-policy", kError),
+//                   and a declared epoch no undamaged full-checkpoint
+//                   window reaches ("retention-unreachable", kError).
 //
 // Report::clean() (no errors) means replaying the log cannot fail; call it
 // before recovery to refuse a damaged log up front, or from `ickptctl fsck`

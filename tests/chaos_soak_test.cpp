@@ -158,6 +158,8 @@ struct SoakStats {
   int crashes = 0;
   int restarts = 0;
   int recover_checks = 0;
+  int timetravel_checks = 0;
+  int timetravel_damaged = 0;
 };
 
 class ChaosSoakTest : public ::testing::Test {
@@ -274,6 +276,83 @@ class ChaosSoakTest : public ::testing::Test {
       return e;
     };
 
+    // Fuzz `recover --epoch` against the shadow oracle: a few random epochs
+    // off the chain's history listing must time-travel to exactly the
+    // shadow snapshot (or fail with CorruptionError under damage — never
+    // succeed with some other epoch's state), and a target that is not on
+    // the chain must fail with EpochNotRetainedError naming the nearest
+    // present neighbors.
+    std::mt19937_64 tt_rng(seed ^ 0x77AB3175ULL);
+    auto check_time_travel = [&](const char* why) {
+      policy.arm(false);
+      const auto listing = CheckpointManager::history(path);
+      std::vector<Epoch> present;
+      for (const auto& entry : listing)
+        if (present.empty() || present.back() != entry.epoch)
+          present.push_back(entry.epoch);
+      std::vector<Epoch> candidates;
+      for (Epoch e : present)
+        if (history.count(e) != 0) candidates.push_back(e);
+      for (int k = 0; k < 3 && !candidates.empty(); ++k) {
+        const Epoch e = candidates[tt_rng() % candidates.size()];
+        ++stats.timetravel_checks;
+        try {
+          auto result =
+              CheckpointManager::recover_to_epoch(path, registry_, e);
+          ASSERT_EQ(result.state.epoch, e) << why;
+          ASSERT_EQ(result.state.roots.size(),
+                    static_cast<std::size_t>(kLeaves))
+              << why << ": epoch " << e;
+          const auto& shadow = history.at(e);
+          for (int j = 0; j < kLeaves; ++j)
+            EXPECT_EQ(result.state.root_as<Leaf>(j)->i32, shadow[j])
+                << why << ": epoch " << e << " leaf " << j;
+        } catch (const core::EpochNotRetainedError& err) {
+          ADD_FAILURE() << why << ": epoch " << e
+                        << " is on the history listing but recover_to_epoch"
+                           " claims it is not retained: "
+                        << err.what();
+        } catch (const CorruptionError&) {
+          // Acceptable: the epoch's window sits behind injected damage.
+          // What would NOT be acceptable is returning some other state.
+          ++stats.timetravel_damaged;
+        }
+      }
+      // A target that was never on the chain: past the newest epoch, and —
+      // when a crash left one — a gap inside the range. Both must name the
+      // nearest present neighbors and must never "succeed".
+      std::vector<Epoch> absent;
+      if (!present.empty()) absent.push_back(present.back() + 100);
+      for (Epoch e = 0; !present.empty() && e < present.back(); ++e)
+        if (!std::binary_search(present.begin(), present.end(), e)) {
+          absent.push_back(e);
+          break;
+        }
+      for (Epoch target : absent) {
+        ++stats.timetravel_checks;
+        try {
+          CheckpointManager::recover_to_epoch(path, registry_, target);
+          ADD_FAILURE() << why << ": absent epoch " << target
+                        << " recovered — wrong-state success";
+        } catch (const core::EpochNotRetainedError& err) {
+          EXPECT_EQ(err.target(), target) << why;
+          auto above =
+              std::upper_bound(present.begin(), present.end(), target);
+          if (above != present.begin()) {
+            ASSERT_TRUE(err.below().has_value()) << why << " " << err.what();
+            EXPECT_EQ(*err.below(), *(above - 1)) << why;
+          }
+          if (above != present.end()) {
+            ASSERT_TRUE(err.above().has_value()) << why << " " << err.what();
+            EXPECT_EQ(*err.above(), *above) << why;
+          }
+          EXPECT_NE(std::string(err.what()).find("not retained"),
+                    std::string::npos)
+              << why << " " << err.what();
+        }
+      }
+    };
+
     auto note_faults = [&] {
       const std::uint64_t total = policy.faults_total();
       if (total != faults_seen) {
@@ -289,6 +368,7 @@ class ChaosSoakTest : public ::testing::Test {
     auto restart_from_chain = [&](const char* why) {
       manager.reset();
       const Epoch e = check_recoverable(why);
+      check_time_travel(why);
       if (auto it = history.find(e); it != history.end()) values = it->second;
       build();
     };
@@ -366,6 +446,7 @@ class ChaosSoakTest : public ::testing::Test {
     manager.reset();
     (void)any_settled;
     check_recoverable("end of run");
+    check_time_travel("end of run");
 
     // The chain the soak leaves behind must carry zero fsck errors
     // (quarantined generations may be damaged — that is what quarantine
@@ -397,11 +478,14 @@ TEST_F(ChaosSoakTest, SurvivesRandomFaultScheduleAcrossAllPipelines) {
   const auto snapshot = metrics_.snapshot();
   EXPECT_GE(snapshot.counter_sum("ickpt_log_rotations_total"), 1u);
   EXPECT_GE(snapshot.counter_sum("ickpt_reheals_total"), 1u);
+  // The time-travel fuzz only proves something if it actually sampled.
+  EXPECT_GT(stats.timetravel_checks, 0);
   std::printf(
       "chaos soak: %d epochs, %d faulted, %d crashes, %d planned restarts, "
-      "%d recover checks, %llu rotations, %llu reheals\n",
+      "%d recover checks, %d time-travel probes (%d hit damage), "
+      "%llu rotations, %llu reheals\n",
       stats.epochs, stats.faulted_epochs, stats.crashes, stats.restarts,
-      stats.recover_checks,
+      stats.recover_checks, stats.timetravel_checks, stats.timetravel_damaged,
       (unsigned long long)snapshot.counter_sum("ickpt_log_rotations_total"),
       (unsigned long long)snapshot.counter_sum("ickpt_reheals_total"));
 }

@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "core/manager.hpp"
+#include "core/retention.hpp"
 #include "io/fault.hpp"
 #include "io/file_io.hpp"
 #include "io/stable_storage.hpp"
@@ -47,10 +48,12 @@ class CrashMatrixTest : public ::testing::Test {
     std::remove(path_.c_str());
     std::remove((path_ + ".bak").c_str());
     std::remove((path_ + ".compact").c_str());
+    std::remove((path_ + ".retain").c_str());
     for (unsigned n = 1; n <= 4; ++n) {
       const std::string q = StableStorage::quarantine_path(path_, n);
       std::remove(q.c_str());
       std::remove((q + ".bak").c_str());
+      std::remove((q + ".retain").c_str());
     }
   }
 
@@ -393,6 +396,73 @@ TEST_F(CrashMatrixTest, CrashAtEveryOffsetDuringCompact) {
   EXPECT_EQ(compacted.checkpoints_applied, 1u);
   EXPECT_EQ(compacted.state.epoch, reference.state.epoch);
   expect_consistent(compacted, "after successful compact");
+  auto report = verify::fsck_log(path_, registry_);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+// The schedule-driven variant: crash at every offset of a *policy*
+// compaction (kBinomial rewrites O(log n) full frames plus a manifest, so
+// it has many more write fault points than the single-frame squash). The
+// invariant is strictly stronger than "newest state survives": the entire
+// pre-compaction history — every epoch, since nothing was ever dropped —
+// must still be recoverable to exactly its oracle value after the crash.
+// The old log or its untouched bytes win; a half-rewritten history never
+// becomes visible.
+TEST_F(CrashMatrixTest, CrashAtEveryOffsetDuringPolicyCompact) {
+  run_workload(nullptr);
+  const auto pristine = io::read_file(path_);
+
+  std::uint64_t off = 0;
+  int crashes = 0;
+  for (;; off += 3) {
+    io::write_file(path_, pristine);
+    std::remove((path_ + ".retain").c_str());
+    const std::string context =
+        "policy compact crash offset " + std::to_string(off);
+    ScriptedFaultPolicy policy(FaultKind::kCrash, off);
+    bool crashed = false;
+    try {
+      CheckpointManager::compact(
+          path_, registry_,
+          core::CompactOptions{core::CompactPolicy::kBinomial, &policy});
+    } catch (const io::CrashFault&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      EXPECT_FALSE(policy.fired()) << context;
+      break;
+    }
+    ++crashes;
+    // The original log is byte-for-byte untouched, no manifest was
+    // published (it only lands after the rename), and every pre-crash
+    // epoch still time-travels to its oracle state.
+    EXPECT_EQ(io::read_file(path_), pristine) << context;
+    auto manifest = core::RetentionManifest::load(path_);
+    EXPECT_FALSE(manifest.has_value()) << context;
+    for (int e = 0; e < kTakes; ++e) {
+      auto result = CheckpointManager::recover_to_epoch(
+          path_, registry_, static_cast<Epoch>(e));
+      EXPECT_EQ(result.state.epoch, static_cast<Epoch>(e)) << context;
+      EXPECT_EQ(result.state.root_as<Leaf>()->i32, 10 + e)
+          << context << " epoch " << e;
+    }
+  }
+  EXPECT_GT(crashes, 0);
+
+  // The sweep ends on a successful policy compaction: the retained set is
+  // exactly the schedule, every retained epoch matches the oracle, and the
+  // rewritten log + manifest pass fsck (including the retention audit).
+  const Epoch newest = static_cast<Epoch>(kTakes - 1);
+  const auto schedule = core::RetentionPolicy::schedule(newest);
+  auto manifest = core::RetentionManifest::load(path_);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->newest, newest);
+  EXPECT_EQ(manifest->epochs, schedule);
+  for (Epoch e : schedule) {
+    auto result = CheckpointManager::recover_to_epoch(path_, registry_, e);
+    EXPECT_EQ(result.state.epoch, e);
+    EXPECT_EQ(result.state.root_as<Leaf>()->i32, 10 + static_cast<int>(e));
+  }
   auto report = verify::fsck_log(path_, registry_);
   EXPECT_TRUE(report.clean()) << report.to_string();
 }

@@ -1,0 +1,173 @@
+// Property tests for the binomial retention schedule — pure arithmetic, no
+// I/O. These pin the three invariants DURABILITY.md advertises and the
+// compaction/recovery code relies on:
+//
+//   size         — |schedule(n)| <= 2*floor(log2(n)) + 3, asserted exactly
+//                  for every n up to 10^6, and the bound is tight (reached).
+//   monotonicity — advancing n only drops epochs: schedule(n+1) minus the
+//                  new epoch n+1 is a subset of schedule(n), and an epoch
+//                  once unretained never resurrects.
+//   replay       — the distance from any target t back to its nearest
+//                  retained ancestor is < 2*granularity(n - t), so
+//                  recovering a moment of age d replays O(d) epochs with
+//                  constant < 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/retention.hpp"
+
+namespace ickpt::testing {
+namespace {
+
+using core::RetentionPolicy;
+using Epoch = ickpt::Epoch;
+
+// Brute-force retained set for small n, straight off the predicate.
+std::vector<Epoch> brute_schedule(Epoch n) {
+  std::vector<Epoch> out;
+  for (Epoch e = 0; e <= n; ++e)
+    if (RetentionPolicy::retained(e, n)) out.push_back(e);
+  return out;
+}
+
+TEST(RetentionPolicy, GranularityIsBitFloor) {
+  EXPECT_EQ(RetentionPolicy::granularity(1), 1u);
+  EXPECT_EQ(RetentionPolicy::granularity(2), 2u);
+  EXPECT_EQ(RetentionPolicy::granularity(3), 2u);
+  EXPECT_EQ(RetentionPolicy::granularity(4), 4u);
+  EXPECT_EQ(RetentionPolicy::granularity(1023), 512u);
+  EXPECT_EQ(RetentionPolicy::granularity(1024), 1024u);
+  EXPECT_EQ(RetentionPolicy::granularity((1ull << 40) + 7), 1ull << 40);
+}
+
+TEST(RetentionPolicy, KnownSchedules) {
+  EXPECT_EQ(RetentionPolicy::schedule(0), (std::vector<Epoch>{0}));
+  EXPECT_EQ(RetentionPolicy::schedule(1), (std::vector<Epoch>{0, 1}));
+  EXPECT_EQ(RetentionPolicy::schedule(10),
+            (std::vector<Epoch>{0, 4, 8, 9, 10}));
+  EXPECT_EQ(RetentionPolicy::schedule(16),
+            (std::vector<Epoch>{0, 8, 12, 14, 15, 16}));
+}
+
+TEST(RetentionPolicy, EndpointsAlwaysRetained) {
+  for (Epoch n : {Epoch{0}, Epoch{1}, Epoch{7}, Epoch{100}, Epoch{999983},
+                  Epoch{1} << 50}) {
+    EXPECT_TRUE(RetentionPolicy::retained(0, n)) << "n=" << n;
+    EXPECT_TRUE(RetentionPolicy::retained(n, n)) << "n=" << n;
+    EXPECT_FALSE(RetentionPolicy::retained(n + 1, n)) << "n=" << n;
+  }
+}
+
+// The O(log n) generator and the predicate are the same function.
+TEST(RetentionPolicy, ScheduleMatchesPredicate) {
+  for (Epoch n = 0; n <= 2048; ++n)
+    ASSERT_EQ(RetentionPolicy::schedule(n), brute_schedule(n)) << "n=" << n;
+  // A few large spot checks where brute force is still affordable enough.
+  for (Epoch n : {Epoch{65535}, Epoch{65536}, Epoch{100000}})
+    ASSERT_EQ(RetentionPolicy::schedule(n), brute_schedule(n)) << "n=" << n;
+}
+
+// |schedule(n)| <= 2*floor(log2(n)) + 3 for every n up to 10^6 — the
+// closed-form O(log n) size bound, checked exhaustively. The bound must
+// also be tight: some n reaches it exactly, otherwise max_retained is
+// advertising slack.
+TEST(RetentionPolicy, SizeBoundExhaustiveToOneMillion) {
+  bool tight = false;
+  for (Epoch n = 0; n <= 1000000; ++n) {
+    const std::size_t size = RetentionPolicy::schedule(n).size();
+    const std::size_t bound = RetentionPolicy::max_retained(n);
+    ASSERT_LE(size, bound) << "n=" << n;
+    if (size == bound) tight = true;
+  }
+  EXPECT_TRUE(tight) << "max_retained is never reached — bound has slack";
+}
+
+TEST(RetentionPolicy, MaxRetainedClosedForm) {
+  EXPECT_EQ(RetentionPolicy::max_retained(0), 1u);
+  EXPECT_EQ(RetentionPolicy::max_retained(1), 3u);
+  // 2*floor(log2(n)) + 3.
+  EXPECT_EQ(RetentionPolicy::max_retained(1024), 2u * 10 + 3);
+  EXPECT_EQ(RetentionPolicy::max_retained(1000000), 2u * 19 + 3);
+}
+
+// Advancing the newest epoch never resurrects a dropped epoch. Two forms:
+// the predicate is monotone nonincreasing in n for fixed e, and the
+// schedule at n+1 (minus the new endpoint) is a subset of the schedule
+// at n — which is what lets a policy compaction at n' trust that every
+// epoch it wants survived the compaction at n < n'.
+TEST(RetentionPolicy, MonotoneUnderEpochAdvance) {
+  for (Epoch n = 0; n <= 2048; ++n) {
+    for (Epoch e = 0; e <= n; ++e) {
+      if (!RetentionPolicy::retained(e, n))
+        ASSERT_FALSE(RetentionPolicy::retained(e, n + 1))
+            << "epoch " << e << " resurrected at n=" << n + 1;
+    }
+  }
+  Epoch prev_n = 99991;  // prime, so bands straddle awkwardly
+  std::vector<Epoch> prev = RetentionPolicy::schedule(prev_n);
+  for (Epoch n = prev_n + 1; n <= prev_n + 600; ++n) {
+    std::vector<Epoch> cur = RetentionPolicy::schedule(n);
+    for (Epoch e : cur) {
+      if (e == n) continue;
+      ASSERT_TRUE(std::binary_search(prev.begin(), prev.end(), e))
+          << "epoch " << e << " resurrected at n=" << n;
+    }
+    prev = std::move(cur);
+  }
+}
+
+// Worst-case replay depth: for every target t <= n, the nearest retained
+// epoch a <= t satisfies t - a < 2*granularity(n - t). Checked exhaustively
+// for n up to 2048 (which covers the empirically worst ratio, 1.998 at
+// n=1536, t=1023), using a per-n "last retained at or before" table so the
+// whole sweep is O(n^2), not O(n^3).
+TEST(RetentionPolicy, ReplayDepthWithinBinomialBound) {
+  std::uint64_t worst_num = 0, worst_den = 1;
+  for (Epoch n = 1; n <= 2048; ++n) {
+    std::vector<Epoch> anchor(static_cast<std::size_t>(n) + 1);
+    Epoch last = 0;
+    for (Epoch e = 0; e <= n; ++e) {
+      if (RetentionPolicy::retained(e, n)) last = e;
+      anchor[static_cast<std::size_t>(e)] = last;
+    }
+    for (Epoch t = 0; t < n; ++t) {
+      const Epoch dist = t - anchor[static_cast<std::size_t>(t)];
+      const Epoch bound = RetentionPolicy::replay_bound(t, n);
+      ASSERT_LE(dist, bound) << "t=" << t << " n=" << n;
+      if (dist > 0) {
+        const std::uint64_t gran = RetentionPolicy::granularity(n - t);
+        ASSERT_LT(dist, 2 * gran) << "t=" << t << " n=" << n;
+        if (dist * worst_den > worst_num * gran) {
+          worst_num = dist;
+          worst_den = gran;
+        }
+      }
+    }
+  }
+  // The bound is nearly tight: the sweep must actually get close to 2x,
+  // otherwise the test is vacuous (e.g. the predicate retains everything).
+  EXPECT_GT(worst_num * 100, worst_den * 190)
+      << "worst replay/granularity ratio " << worst_num << "/" << worst_den
+      << " is suspiciously far below 2";
+}
+
+// replay_bound is zero exactly on retained targets.
+TEST(RetentionPolicy, ReplayBoundZeroOnlyWhenRetained) {
+  for (Epoch n : {Epoch{17}, Epoch{256}, Epoch{1536}}) {
+    for (Epoch t = 0; t <= n; ++t) {
+      if (RetentionPolicy::retained(t, n))
+        EXPECT_EQ(RetentionPolicy::replay_bound(t, n), 0u)
+            << "t=" << t << " n=" << n;
+      else
+        EXPECT_GT(RetentionPolicy::replay_bound(t, n), 0u)
+            << "t=" << t << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ickpt::testing

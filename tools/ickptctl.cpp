@@ -18,8 +18,23 @@
 //                            duplicate records, dangling children; --repair
 //                            truncates a torn tail to the longest valid
 //                            prefix (removed bytes saved to <log>.bak)
-//   ickptctl compact <log>   rewrite the log to a single full checkpoint
-//                            (crash-atomic: temp + fsync + rename)
+//   ickptctl compact [--retain] <log>
+//                            rewrite the log (crash-atomic: temp + fsync +
+//                            rename): by default to a single full checkpoint
+//                            of the newest state; with --retain, to the
+//                            binomial retention schedule — every retained
+//                            epoch materialized as a full frame, declared in
+//                            <log>.retain for fsck to audit
+//   ickptctl history <log>   list every epoch recoverable from the log and
+//                            its generation chain (the candidate set for
+//                            recover --epoch), plus the declared retention
+//                            schedule when a <log>.retain manifest exists
+//   ickptctl recover --epoch <N> <log>
+//                            time-travel dry-run: recover the state as of
+//                            exactly epoch N (newest full <= N plus replayed
+//                            deltas, walking the generation chain); a
+//                            non-retained N fails naming the nearest
+//                            retained neighbors
 //   ickptctl health [--self-test] <log>
 //                            generation-chain health: fsck every quarantined
 //                            generation plus the live log, check the
@@ -70,6 +85,7 @@
 //                            additionally fails on warnings (unexercised
 //                            manifest entries)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -78,6 +94,7 @@
 #include "common/error.hpp"
 #include "core/inspect.hpp"
 #include "core/manager.hpp"
+#include "core/retention.hpp"
 #include "io/byte_sink.hpp"
 #include "io/data_reader.hpp"
 #include "io/data_writer.hpp"
@@ -185,12 +202,90 @@ int cmd_fsck(const char* path, bool repair) {
   return report.clean() ? 0 : 2;
 }
 
-int cmd_compact(const char* path) {
+int cmd_compact(const char* path, bool retain) {
   auto registry = builtin_registry();
-  auto result = core::CheckpointManager::compact(path, registry);
+  core::CompactOptions copts;
+  copts.policy = retain ? core::CompactPolicy::kBinomial
+                        : core::CompactPolicy::kSquashAll;
+  auto result = core::CheckpointManager::compact(path, registry, copts);
   std::printf("compacted %zu object(s): %zu -> %zu bytes\n", result.objects,
               result.bytes_before, result.bytes_after);
+  if (retain) {
+    std::printf("retained %zu epoch(s):", result.retained.size());
+    for (Epoch e : result.retained)
+      std::printf(" %llu", (unsigned long long)e);
+    std::printf("\n");
+    if (result.epochs_dropped > 0)
+      std::printf("warning: %zu scheduled epoch(s) unrecoverable and "
+                  "dropped\n",
+                  result.epochs_dropped);
+    std::printf("declared in %s\n",
+                core::RetentionManifest::path_for(path).c_str());
+  }
   return 0;
+}
+
+int cmd_history(const char* path) {
+  const std::vector<core::HistoryEntry> entries =
+      core::CheckpointManager::history(path);
+  for (const core::HistoryEntry& e : entries) {
+    std::printf("epoch %llu: %s, seq %llu, %zu byte(s), %s%s%s\n",
+                (unsigned long long)e.epoch,
+                e.mode == core::Mode::kFull ? "full" : "incremental",
+                (unsigned long long)e.seq, e.bytes,
+                e.live ? "live log" : e.file.c_str(),
+                e.live ? "" : " (quarantined)",
+                e.resync ? ", after corrupt region" : "");
+  }
+  std::printf("%zu epoch entr(ies) on the chain\n", entries.size());
+  if (auto manifest = core::RetentionManifest::load(path)) {
+    std::printf("declared retention schedule (newest %llu):",
+                (unsigned long long)manifest->newest);
+    for (Epoch e : manifest->epochs)
+      std::printf(" %llu", (unsigned long long)e);
+    std::printf("\n");
+  }
+  return entries.empty() ? 2 : 0;
+}
+
+int cmd_recover(const char* path, const char* epoch_flag) {
+  if (epoch_flag == nullptr) {
+    std::fprintf(stderr,
+                 "ickptctl: recover needs --epoch <N> (use `verify` for the "
+                 "newest state)\n");
+    return 64;
+  }
+  char* end = nullptr;
+  const unsigned long long target = std::strtoull(epoch_flag, &end, 10);
+  if (end == epoch_flag || *end != '\0') {
+    std::fprintf(stderr, "ickptctl: --epoch wants a number, got '%s'\n",
+                 epoch_flag);
+    return 64;
+  }
+  auto registry = builtin_registry();
+  try {
+    auto result = core::CheckpointManager::recover_to_epoch(
+        path, registry, static_cast<Epoch>(target));
+    std::printf("recovered epoch %llu from '%s': %zu object(s), %zu "
+                "checkpoint(s) replayed (%zu delta(s) over the full), "
+                "%zu root(s)%s%s\n",
+                (unsigned long long)result.state.epoch,
+                result.recovered_path.c_str(), result.state.by_id.size(),
+                result.checkpoints_applied,
+                result.checkpoints_applied > 0
+                    ? result.checkpoints_applied - 1
+                    : 0,
+                result.state.roots.size(),
+                result.log_clean ? "" : "; log ",
+                result.log_clean ? "" : result.log_note.c_str());
+    return 0;
+  } catch (const core::EpochNotRetainedError& e) {
+    std::fprintf(stderr, "ickptctl: %s\n", e.what());
+    return 2;
+  } catch (const CorruptionError& e) {
+    std::fprintf(stderr, "ickptctl: %s\n", e.what());
+    return 2;
+  }
 }
 
 int cmd_health(const char* path) {
@@ -774,7 +869,16 @@ int usage() {
       "                     epochs (exit 0 clean, 2 on any error finding);\n"
       "                     --repair truncates a torn tail to the longest\n"
       "                     valid prefix, saving removed bytes to <log>.bak\n"
-      "  compact            rewrite to a single full checkpoint\n"
+      "  compact [--retain] rewrite to a single full checkpoint; with\n"
+      "                     --retain, to the binomial retention schedule\n"
+      "                     (O(log n) full frames, declared in <log>.retain)\n"
+      "  history            list every epoch on the log + generation chain\n"
+      "                     (the candidates for recover --epoch) and the\n"
+      "                     declared retention schedule, if any\n"
+      "  recover --epoch <N>\n"
+      "                     time-travel dry-run to exactly epoch N; a\n"
+      "                     non-retained N exits 2 naming the nearest\n"
+      "                     retained neighbors\n"
       "  health [--self-test]\n"
       "                     fsck the whole generation chain (quarantined\n"
       "                     predecessors + live log), check the chain-level\n"
@@ -826,7 +930,9 @@ int main(int argc, char** argv) {
   bool salvage = false;
   bool self_test = false;
   bool json = false;
+  bool retain = false;
   const char* phase = nullptr;
+  const char* epoch = nullptr;
   const char* path = nullptr;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repair") == 0) {
@@ -837,8 +943,12 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--retain") == 0) {
+      retain = true;
     } else if (std::strcmp(argv[i], "--phase") == 0 && i + 1 < argc) {
       phase = argv[++i];
+    } else if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
+      epoch = argv[++i];
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -864,7 +974,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "inspect") == 0) return cmd_inspect(path);
     if (std::strcmp(command, "verify") == 0) return cmd_verify(path);
     if (std::strcmp(command, "fsck") == 0) return cmd_fsck(path, repair);
-    if (std::strcmp(command, "compact") == 0) return cmd_compact(path);
+    if (std::strcmp(command, "compact") == 0)
+      return cmd_compact(path, retain);
+    if (std::strcmp(command, "history") == 0) return cmd_history(path);
+    if (std::strcmp(command, "recover") == 0)
+      return cmd_recover(path, epoch);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "ickptctl: %s\n", e.what());
